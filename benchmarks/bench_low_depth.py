@@ -1,0 +1,26 @@
+"""E4 — Lemma 3: generalized low-depth decomposition, height O(log^2 n).
+
+Regenerates the height table across tree families (paths exercise the
+binarized-path machinery, balanced trees the meta-tree depth) plus the
+measured AMPC rounds on the simulator for moderate sizes.  The
+benchmarked kernel decomposes a 4096-vertex random tree.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_low_depth_heights
+from repro.trees import check_definition_1, low_depth_decomposition
+from repro.workloads import random_tree
+
+
+def test_e4_low_depth_report(report_sink, benchmark):
+    report = run_low_depth_heights([128, 512, 2048], seed=4)
+    emit(report_sink, report)
+
+    for shape, n, height, envelope, rounds in report.rows:
+        assert height <= envelope
+
+    vs, es = random_tree(4096, seed=4)
+    decomp = benchmark(lambda: low_depth_decomposition(vs, es))
+    check_definition_1(decomp.tree, decomp.label)
+    assert decomp.height <= decomp.height_bound()

@@ -1,0 +1,40 @@
+"""E6 — Theorems 1/3 memory budgets: O(n^eps) local, O((n+m) log^2 n) total.
+
+Regenerates the memory high-water table from the ledger against the
+explicit envelopes.  The benchmarked kernel is the singleton tracker
+(the paper's most space-hungry step: the log^2 n level blowup).
+"""
+
+from conftest import emit
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.analysis.harness import run_memory_budgets
+from repro.core import smallest_singleton_cut
+from repro.workloads import planted_cut
+
+
+def test_e6_memory_report(report_sink, benchmark):
+    report = run_memory_budgets([64, 128, 256], seed=6)
+    emit(report_sink, report)
+
+    for n, m, local_peak, local_budget, total_peak, total_budget, ok in report.rows:
+        assert ok
+        assert local_peak <= local_budget
+        assert total_peak <= total_budget
+
+    inst = planted_cut(128, seed=6)
+
+    def kernel():
+        ledger = RoundLedger()
+        cfg = AMPCConfig(n_input=128, eps=0.5, m_input=inst.graph.num_edges)
+        smallest_singleton_cut(inst.graph, config=cfg, ledger=ledger, seed=6)
+        return ledger
+
+    ledger = benchmark(kernel)
+    assert ledger.local_peak <= cfg_local(128, inst.graph.num_edges)
+
+
+def cfg_local(n: int, m: int) -> int:
+    from repro.analysis.theory import local_memory_envelope
+
+    return local_memory_envelope(n, 0.5, m=m)

@@ -1,0 +1,50 @@
+"""E14 — the AMPC/MPC model gap, measured on two executable runtimes.
+
+The paper's motivation (Section 1): MPC connectivity-style problems are
+conjectured to need Ω(log n) rounds (1-vs-2-cycle), while AMPC's
+adaptive mid-round reads finish them in O(1/eps).  This bench runs the
+same three workloads on both simulators: ``reduce`` is the control
+(cheap in both), ``listrank`` and the 1-vs-2-cycle connectivity
+workload separate the models.  The benchmarked kernel is MPC
+connectivity on two cycles (the expensive side of the gap).
+"""
+
+import math
+
+from conftest import emit
+
+from repro.ampc import AMPCConfig
+from repro.analysis.harness import run_model_separation
+from repro.mpc import mpc_connectivity
+from repro.workloads import two_cycles
+
+
+def test_e14_model_separation_report(report_sink, benchmark):
+    report = run_model_separation(sizes=[32, 128, 512])
+    emit(report_sink, report)
+
+    by_workload: dict = {}
+    for workload, n, ampc, mpc, gap, log2n in report.rows:
+        by_workload.setdefault(workload, []).append((n, ampc, mpc))
+
+    # reduce: both models constant, no separation
+    for n, ampc, mpc in by_workload["reduce"]:
+        assert mpc <= 8 and ampc <= 8
+
+    # listrank + 1v2cycle: AMPC flat, MPC growing with log n
+    for key in ("listrank", "1v2cycle"):
+        rows = sorted(by_workload[key])
+        ampc_rounds = [a for _, a, _ in rows]
+        mpc_rounds = [m for _, _, m in rows]
+        assert max(ampc_rounds) == min(ampc_rounds)  # flat in n
+        assert mpc_rounds == sorted(mpc_rounds)  # grows
+        assert mpc_rounds[-1] > mpc_rounds[0]
+        for (n, _, m) in rows:  # …but only log-fast
+            assert m <= 16 * (math.log2(n) + 2)
+
+    n = 64
+    g = two_cycles(n)
+    verts, edges = g.vertices(), [(u, v) for u, v, _ in g.edges()]
+    cfg = AMPCConfig(n_input=n, eps=0.5)
+    labels = benchmark(lambda: mpc_connectivity(cfg, verts, edges))
+    assert len(set(labels.values())) == 2

@@ -1,0 +1,28 @@
+"""E9 — Corollary 1: MPC Min k-Cut in O(k log n log log n) rounds.
+
+Regenerates the AMPC-vs-MPC k-cut round table; the speedup column is
+the paper's "logarithmic-in-n improvement no matter the value of k".
+The benchmarked kernel evaluates the MPC round model across a k sweep.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_mpc_corollary
+from repro.baselines import gn_mpc_kcut_rounds
+
+
+def test_e9_mpc_corollary_report(report_sink, benchmark):
+    report = run_mpc_corollary(seed=9)
+    emit(report_sink, report)
+
+    for n, k, ampc_rounds, mpc_rounds, speedup in report.rows:
+        assert mpc_rounds > ampc_rounds
+        assert speedup > 1.0
+
+    def kernel():
+        return [gn_mpc_kcut_rounds(4096, k) for k in range(2, 10)]
+
+    rounds = benchmark(kernel)
+    # linear in k: equal increments
+    diffs = {b - a for a, b in zip(rounds, rounds[1:])}
+    assert len(diffs) == 1

@@ -1,0 +1,41 @@
+"""E7 — Lemmas 1 & 2: cut-preservation probabilities.
+
+Regenerates the probability table: empirical frequency that contracting
+an n-vertex planted-cut graph to n/t vertices preserves the planted
+minimum cut, against Lemma 1's ~1/t^2 bound; and the singleton-aware
+success frequency (preserved OR a (2+eps)-light singleton appeared)
+against Lemma 2's 1/t^(1-eps/3).  The benchmarked kernel is a batch of
+preservation trials at t=2.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_preservation_probability
+from repro.baselines import contraction_preserves_cut
+from repro.workloads import planted_cut
+
+
+def test_e7_preservation_report(report_sink, benchmark):
+    report = run_preservation_probability(n=48, trials=60, seed=7)
+    emit(report_sink, report)
+
+    for t, target, empirical, lemma1, singleton_ok, lemma2 in report.rows:
+        # lower bounds must be dominated (slack 0.7 for sampling noise)
+        assert empirical >= 0.7 * lemma1, (t, empirical, lemma1)
+        assert singleton_ok >= 0.7 * lemma2, (t, singleton_ok, lemma2)
+        # Lemma 2's event contains Lemma 1's
+        assert singleton_ok >= empirical - 1e-9
+
+    inst = planted_cut(48, cross_edges=2, seed=7)
+
+    def kernel():
+        hits = 0
+        for s in range(10):
+            if contraction_preserves_cut(
+                inst.graph, inst.planted_side, 24, seed=s
+            ):
+                hits += 1
+        return hits
+
+    hits = benchmark(kernel)
+    assert 0 <= hits <= 10

@@ -1,0 +1,31 @@
+"""E13 — quality/model grid: exact vs Matula vs the paper's Algorithm 1.
+
+Three algorithms at the same ``2+eps`` quality target on identical
+instances: Stoer–Wagner (exact), Matula (deterministic sequential
+``2+eps``), boosted AMPC-MinCut (randomized parallel ``2+eps``).
+Matula's bound is deterministic, so its rows are hard assertions; the
+benchmarked kernel is Matula itself (the sequential frontier the
+paper's parallel speedup is measured against).
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_quality_grid
+from repro.baselines import matula_min_cut_weight
+from repro.workloads import planted_cut
+
+EPS = 0.5
+
+
+def test_e13_quality_grid_report(report_sink, benchmark):
+    report = run_quality_grid(eps=EPS, trials=3)
+    emit(report_sink, report)
+
+    for name, n, exact, matula, m_ratio, ampc, a_ratio in report.rows:
+        assert exact - 1e-9 <= matula <= (2 + EPS) * exact + 1e-9
+        assert m_ratio <= 2 + EPS + 1e-9
+        assert ampc >= exact - 1e-9
+
+    inst = planted_cut(96, seed=17)
+    w = benchmark(lambda: matula_min_cut_weight(inst.graph, eps=EPS))
+    assert w <= (2 + EPS) * inst.planted_weight + 1e-9

@@ -1,0 +1,29 @@
+"""E1 — Theorem 1: AMPC O(log log n) rounds vs MPC O(log n log log n).
+
+Regenerates the round-complexity comparison: measured AMPC rounds per
+input size next to the Ghaffari–Nowicki MPC cost model, the log log n
+curve, and the Theorem-1 envelope.  The benchmarked kernel is one full
+AMPC-MinCut run at n=256.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_rounds_scaling
+from repro.core import ampc_min_cut
+from repro.workloads import planted_cut
+
+
+def test_e1_rounds_scaling_report(report_sink, benchmark):
+    report = run_rounds_scaling([64, 128, 256, 512], seed=1)
+    emit(report_sink, report)
+
+    # every row inside the Theorem-1 envelope, AMPC beats MPC everywhere
+    for n, ampc_rounds, mpc_rounds, speedup, _, envelope in report.rows:
+        assert ampc_rounds <= envelope
+        assert mpc_rounds > ampc_rounds
+
+    inst = planted_cut(256, seed=1)
+    result = benchmark(
+        lambda: ampc_min_cut(inst.graph, seed=1, max_copies=2)
+    )
+    assert result.weight >= inst.planted_weight - 1e-9

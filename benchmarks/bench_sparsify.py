@@ -1,0 +1,28 @@
+"""E12 — Nagamochi–Ibaraki sparsification ablation.
+
+The certificate at level ``k = min-degree`` must preserve every minimum
+cut exactly while shrinking the ``m`` term of the paper's ``Õ(n + m)``
+total memory.  The benchmarked kernel is the scan + certificate build
+(the preprocessing a user would pay before Algorithm 1).
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_sparsification_ablation
+from repro.graph.sparsify import sparsify_preserving_min_cut
+from repro.workloads import planted_cut
+
+
+def test_e12_sparsification_report(report_sink, benchmark):
+    report = run_sparsification_ablation(sizes=[64, 128, 192])
+    emit(report_sink, report)
+
+    for n, m, m_cert, exact, exact_cert, w, w_cert, space, space_cert in report.rows:
+        assert exact_cert == exact  # certificate may never move the min cut
+        assert m_cert <= m
+        assert space_cert <= space
+        assert w >= exact - 1e-9 and w_cert >= exact - 1e-9
+
+    inst = planted_cut(192, cross_edges=3, inner_degree=16, seed=13)
+    cert = benchmark(lambda: sparsify_preserving_min_cut(inst.graph))
+    assert cert.num_edges <= inst.graph.num_edges

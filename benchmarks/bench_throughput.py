@@ -1,0 +1,23 @@
+"""E11 — simulator throughput (wall clock; not a paper claim).
+
+Times the two main kernels end to end so regressions in the simulator
+itself are visible across commits.
+"""
+
+from conftest import emit
+
+from repro.analysis.harness import run_throughput
+from repro.core import draw_contraction_keys
+from repro.core.bags import replay_min_singleton
+from repro.workloads import planted_cut
+
+
+def test_e11_throughput_report(report_sink, benchmark):
+    report = run_throughput(seed=11)
+    emit(report_sink, report)
+    assert all(row[3] < 60.0 for row in report.rows)  # sanity ceiling
+
+    inst = planted_cut(256, seed=11)
+    keys = draw_contraction_keys(inst.graph, seed=11)
+    result = benchmark(lambda: replay_min_singleton(inst.graph, keys))
+    assert result.min_singleton_weight > 0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark renders its experiment's report table (the rows
+EXPERIMENTS.md records) in addition to timing its kernel under
+pytest-benchmark.  Reports are collected here and dumped in the
+terminal summary (``pytest_terminal_summary``), which pytest never
+captures — so ``pytest benchmarks/ --benchmark-only | tee ...`` keeps
+the tables.
+"""
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered experiment reports; printed at session end."""
+    return _REPORTS
+
+
+def emit(report_sink, report) -> None:
+    text = report.render()
+    report_sink.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment reports (EXPERIMENTS.md rows)")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _REPORTS.clear()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Community detection via Min k-Cut (Algorithm 4, APX-SPLIT).
+
+The paper's Min k-Cut algorithm greedily removes approximate min cuts
+until the graph has k components.  On a graph with k planted dense
+communities, the removed edges should be exactly the sparse
+inter-community links — turning APX-SPLIT into a simple community
+detector.  This example plants 4 communities, recovers them, and scores
+the recovery (exact partition match + weight vs planted).
+
+Run:  python examples/community_split.py
+"""
+
+from repro import apx_split_kcut
+from repro.baselines import sv_split_kcut
+from repro.workloads import planted_kcut
+
+K = 4
+N = 64
+
+
+def main() -> None:
+    instance = planted_kcut(N, K, cross_edges_per_pair=2, seed=11)
+    graph = instance.graph
+    print(f"planted {K} communities over n={N} "
+          f"(crossing weight {instance.planted_weight})")
+
+    result = apx_split_kcut(graph, K, eps=0.5, seed=11)
+    print(f"\nAPX-SPLIT k-cut weight: {result.weight} "
+          f"(bound: 4.5 x planted = {4.5 * instance.planted_weight})")
+    print(f"iterations: {result.iterations}, AMPC rounds: {result.ledger.rounds}")
+
+    # Compare recovered communities with the planted ones.
+    planted = {frozenset(p) for p in instance.parts}
+    recovered = {frozenset(p) for p in result.kcut.parts}
+    exact_match = planted == recovered
+    print(f"recovered partition matches planted: {exact_match}")
+    if not exact_match:
+        agree = sum(1 for p in recovered if p in planted)
+        print(f"  ({agree}/{K} parts identical)")
+
+    # The Saran-Vazirani baseline with exact inner cuts.
+    sv = sv_split_kcut(graph, K)
+    print(f"\nSaran-Vazirani (exact splits): {sv.weight}")
+    print(f"APX-SPLIT / SV ratio: {result.weight / sv.weight:.3f}")
+
+    print("\nper-iteration removed edge sets:")
+    for i, edges in enumerate(result.cut_edge_sets, start=1):
+        print(f"  iteration {i}: removed {len(edges)} edges")
+
+
+if __name__ == "__main__":
+    main()

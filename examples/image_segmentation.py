@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Foreground/background segmentation as a minimum s-t cut.
+
+The classic graph-cut formulation (Boykov–Jolly): pixels form a
+4-connected grid whose edge weights reward keeping similar neighbours
+together; two terminal vertices (SRC = "object", SNK = "background")
+attach to every pixel with weights from intensity priors.  The minimum
+s-t cut then severs the cheapest boundary between the two regions.
+
+This exercises the library's from-scratch max-flow substrate
+(:mod:`repro.flow`) — the same engines underneath the Gomory–Hu trees
+that Theorem 2's k-cut analysis leans on — and cross-checks the two
+independent solvers (Dinic vs push–relabel) on a real workload.
+
+Run:  python examples/image_segmentation.py
+"""
+
+import math
+
+from repro.flow import min_st_cut, min_st_cut_push_relabel
+from repro.graph import Graph
+
+WIDTH, HEIGHT = 18, 12
+SRC, SNK = "SRC", "SNK"
+SIGMA = 0.35  # similarity falloff
+PRIOR = 3.0  # terminal attachment strength
+
+
+def synthetic_image() -> list[list[float]]:
+    """A bright blob on a dark background, with mild deterministic noise."""
+    img = []
+    cx, cy, r = WIDTH * 0.55, HEIGHT * 0.45, min(WIDTH, HEIGHT) * 0.30
+    for y in range(HEIGHT):
+        row = []
+        for x in range(WIDTH):
+            d = math.hypot(x - cx, y - cy)
+            base = 0.85 if d < r else 0.15
+            noise = 0.08 * math.sin(3.1 * x) * math.cos(2.7 * y)
+            row.append(min(1.0, max(0.0, base + noise)))
+        img.append(row)
+    return img
+
+
+def build_cut_graph(img: list[list[float]]) -> Graph:
+    g = Graph(vertices=[SRC, SNK])
+    for y in range(HEIGHT):
+        for x in range(WIDTH):
+            p = img[y][x]
+            # terminal links: log-likelihood-ish priors
+            g.add_edge(SRC, (x, y), PRIOR * p + 1e-3)
+            g.add_edge(SNK, (x, y), PRIOR * (1.0 - p) + 1e-3)
+            # neighbourhood links: similarity
+            for dx, dy in ((1, 0), (0, 1)):
+                nx_, ny_ = x + dx, y + dy
+                if nx_ < WIDTH and ny_ < HEIGHT:
+                    q = img[ny_][nx_]
+                    w = math.exp(-((p - q) ** 2) / (2 * SIGMA**2))
+                    g.add_edge((x, y), (nx_, ny_), w)
+    return g
+
+
+def render(img, side) -> str:
+    rows = []
+    for y in range(HEIGHT):
+        row = ""
+        for x in range(WIDTH):
+            fg = (x, y) in side
+            row += "#" if fg else ("." if img[y][x] < 0.5 else "o")
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    img = synthetic_image()
+    g = build_cut_graph(img)
+    print(f"grid {WIDTH}x{HEIGHT}: n={g.num_vertices}, m={g.num_edges}")
+
+    dinic = min_st_cut(g, SRC, SNK)
+    pr = min_st_cut_push_relabel(g, SRC, SNK)
+    print(f"min s-t cut (Dinic):        {dinic.value:.3f}")
+    print(f"min s-t cut (push-relabel): {pr.value:.3f}")
+    assert abs(dinic.value - pr.value) < 1e-6, "engines disagree!"
+
+    side = dinic.source_side - {SRC}
+    bright_inside = sum(1 for (x, y) in side if img[y][x] >= 0.5)
+    print(f"segmented object: {len(side)} pixels "
+          f"({bright_inside} of them bright)")
+    print("\nsegmentation ('#' = object side of the cut, 'o' = bright pixel "
+          "left in background):")
+    print(render(img, side))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Cut algorithms on a graph nobody planted: Zachary's karate club.
+
+Every other example runs on synthetic workloads with known optima.
+This one runs the full toolbox on the most-studied real social network
+in the literature — 34 club members, 78 friendship ties, and a
+documented real-world fission into two factions — and asks:
+
+* what does the *global* min cut of a social network look like?
+  (Spoiler: it isolates the weakest member — min cuts and communities
+  are different objectives, which is exactly why Min k-Cut and the
+  quality metrics exist.)
+* how close does APX-SPLIT's cheap 2-cut get to the documented split,
+  measured by modularity and normalized cut?
+
+Run:  python examples/karate_communities.py
+"""
+
+from repro import ampc_min_cut_boosted, apx_split_kcut
+from repro.analysis.metrics import modularity, partition_summary
+from repro.baselines import exact_min_cut_weight, matula_min_cut_weight
+from repro.flow import gomory_hu_tree_contracted
+from repro.workloads import karate_club, karate_factions
+
+
+def main() -> None:
+    g = karate_club()
+    print(f"karate club: n={g.num_vertices}, m={g.num_edges}")
+
+    instructor, administrator = karate_factions()
+    faction_cut = g.cut_weight(instructor)
+    print(f"\ndocumented fission: {len(instructor)} vs "
+          f"{len(administrator)} members, cut weight {faction_cut:.0f}, "
+          f"modularity {modularity(g, (instructor, administrator)):.3f}")
+
+    exact = exact_min_cut_weight(g)
+    approx = ampc_min_cut_boosted(g, trials=4, seed=3)
+    matula = matula_min_cut_weight(g, eps=0.5)
+    small = min(
+        (approx.cut.side, frozenset(g.vertices()) - approx.cut.side), key=len
+    )
+    print(f"\nglobal min cut: exact {exact:.0f}, AMPC {approx.weight:.0f} "
+          f"(in {approx.ledger.rounds} rounds), Matula {matula:.0f}")
+    print(f"the AMPC cut isolates member(s) {sorted(small)} — min cut "
+          f"severs the weakest member, not the factions.")
+
+    print("\nAPX-SPLIT k-cuts vs the Gomory-Hu (Saran-Vazirani) bound:")
+    tree = gomory_hu_tree_contracted(g)
+    for k in (2, 3, 4):
+        res = apx_split_kcut(g, k, seed=11)
+        summary = partition_summary(g, list(res.kcut.parts))
+        print(f"  k={k}: weight {res.weight:4.0f}  "
+              f"(GH bound {tree.kcut_upper_bound(k):4.0f})  "
+              f"Q={summary.modularity:+.3f}  balance={summary.balance:.2f}")
+
+    print("\ntakeaway: cheap k-cuts shave off low-degree members one by "
+          "one; the documented faction split costs more edges "
+          f"({faction_cut:.0f}) but scores far higher modularity — "
+          "cut weight and community quality are different objectives.")
+
+
+if __name__ == "__main__":
+    main()

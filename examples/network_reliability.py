@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Datacenter bottleneck analysis with weighted Min Cut.
+
+A two-tier leaf/spine fabric: the min cut of the capacity graph is the
+worst-case bisection bottleneck — the smallest total link capacity
+whose failure partitions the network.  We build a fabric with one
+under-provisioned pod uplink, find it with AMPC-MinCut, and confirm
+against the exact baseline.  This is the "massive systems" motivation
+of the paper's introduction rendered concrete: on real fabrics (10^5+
+links), the round count — not the asymptotic flops — is the cost, and
+O(log log n) rounds is the paper's point.
+
+Run:  python examples/network_reliability.py
+"""
+
+from repro import Graph, ampc_min_cut
+from repro.baselines import exact_min_cut_weight
+
+SPINES = 4
+PODS = 6
+LEAVES_PER_POD = 4
+UPLINK_CAPACITY = 40.0  # Gbps
+DOWNLINK_CAPACITY = 100.0
+WEAK_POD = 2  # this pod's uplinks are degraded
+WEAK_CAPACITY = 4.0
+
+
+def build_fabric() -> Graph:
+    g = Graph()
+    for pod in range(PODS):
+        agg = f"agg{pod}"
+        for spine in range(SPINES):
+            cap = WEAK_CAPACITY if pod == WEAK_POD else UPLINK_CAPACITY
+            g.add_edge(agg, f"spine{spine}", cap)
+        for leaf in range(LEAVES_PER_POD):
+            g.add_edge(agg, f"leaf{pod}_{leaf}", DOWNLINK_CAPACITY)
+    return g
+
+
+def main() -> None:
+    fabric = build_fabric()
+    print(
+        f"fabric: {fabric.num_vertices} switches, {fabric.num_edges} links, "
+        f"total capacity {fabric.total_weight():.0f} Gbps"
+    )
+
+    result = ampc_min_cut(fabric, eps=0.5, seed=3)
+    print(f"\nbottleneck capacity found: {result.weight:.0f} Gbps "
+          f"in {result.ledger.rounds} AMPC rounds")
+
+    exact = exact_min_cut_weight(fabric)
+    print(f"exact bottleneck: {exact:.0f} Gbps "
+          f"(ratio {result.weight / exact:.2f}, bound 2.5)")
+
+    # What does the cut isolate?
+    small_side = min(
+        (result.cut.side, frozenset(fabric.vertices()) - result.cut.side),
+        key=len,
+    )
+    print(f"\nisolated by the bottleneck ({len(small_side)} nodes):")
+    for node in sorted(small_side, key=str)[:10]:
+        print(f"  {node}")
+    weak_nodes = {f"agg{WEAK_POD}"} | {
+        f"leaf{WEAK_POD}_{i}" for i in range(LEAVES_PER_POD)
+    }
+    if weak_nodes & small_side:
+        print(f"\n=> the degraded pod {WEAK_POD} is the bottleneck, as designed "
+              f"({SPINES} x {WEAK_CAPACITY:.0f} = "
+              f"{SPINES * WEAK_CAPACITY:.0f} Gbps of uplinks).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Nagamochi–Ibaraki sparsification in front of the paper's algorithm.
+
+The paper's total-memory budget is ``Õ(n + m)`` — on dense inputs the
+``m`` term is the bill.  A Nagamochi–Ibaraki certificate at level
+``k = min-degree`` preserves *every* minimum cut exactly while keeping
+total capacity at most ``k (n - 1)``, so it is a sound preprocessing
+pass for Algorithm 1: same answer, smaller DHT footprint.
+
+This example runs the full grid on a dense planted-cut instance:
+
+* exact min cut, original vs sparsified (must agree exactly);
+* Matula's deterministic (2+eps) baseline on both;
+* Algorithm 1 (AMPC-MinCut) on both, comparing the ledgers' total-space
+  high-water marks.
+
+Run:  python examples/sparsification.py
+"""
+
+from repro import ampc_min_cut
+from repro.baselines import exact_min_cut_weight, matula_min_cut_weight
+from repro.graph import sparsify_preserving_min_cut
+from repro.workloads import planted_cut
+
+
+def main() -> None:
+    # Dense communities: inner degree ~24 makes m >> n.
+    instance = planted_cut(192, cross_edges=3, inner_degree=24, seed=11)
+    g = instance.graph
+    sp = sparsify_preserving_min_cut(g)
+    print("sparsification:")
+    print(f"  original:    n={g.num_vertices:4d}  m={g.num_edges:5d}  "
+          f"total weight {g.total_weight():9.1f}")
+    print(f"  certificate: n={sp.num_vertices:4d}  m={sp.num_edges:5d}  "
+          f"total weight {sp.total_weight():9.1f}")
+
+    exact_full = exact_min_cut_weight(g)
+    exact_cert = exact_min_cut_weight(sp)
+    print("\nexact min cut (Stoer-Wagner):")
+    print(f"  original {exact_full}   certificate {exact_cert}   "
+          f"planted {instance.planted_weight}")
+    assert exact_full == exact_cert, "certificate broke the min cut!"
+
+    print("\nMatula deterministic (2+eps):")
+    for label, graph in (("original", g), ("certificate", sp)):
+        w = matula_min_cut_weight(graph, eps=0.5)
+        print(f"  {label:12s} weight {w}  (ratio {w / exact_full:.2f})")
+
+    print("\nAlgorithm 1 (AMPC-MinCut), one trial each:")
+    for label, graph in (("original", g), ("certificate", sp)):
+        res = ampc_min_cut(graph, eps=0.5, seed=11)
+        print(f"  {label:12s} weight {res.weight}  "
+              f"rounds {res.ledger.rounds}  "
+              f"total-space high-water {res.ledger.total_peak} words")
+
+    print("\nSame cuts, smaller substrate — the certificate trims the 'm' "
+          "term of the paper's Õ(n+m) total memory.")
+
+
+if __name__ == "__main__":
+    main()

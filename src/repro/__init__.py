@@ -1,0 +1,57 @@
+"""repro — Adaptive Massively Parallel Algorithms for Cut Problems.
+
+A reproduction of Hajiaghayi, Knittel, Olkowski & Saleh (SPAA 2022,
+arXiv:2205.14101): an executable AMPC model with exact round/memory
+accounting, the paper's ``O(log log n)``-round ``(2+eps)``-approximate
+Min Cut (Algorithm 1), the exact smallest-singleton-cut tracker
+(Algorithm 3 / Theorem 3), the generalized low-depth tree decomposition
+(Section 3), the ``(4+eps)``-approximate Min k-Cut (Algorithm 4 /
+Theorem 2), and every baseline the paper builds on.
+
+Quickstart::
+
+    from repro import Graph, ampc_min_cut
+    from repro.workloads import planted_cut
+
+    instance = planted_cut(256, seed=1)
+    result = ampc_min_cut(instance.graph, seed=1)
+    print(result.weight, "in", result.ledger.rounds, "AMPC rounds")
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the claimed-vs-measured record.
+"""
+
+from .ampc import AMPCConfig, RoundLedger
+from .core import (
+    KCutResult,
+    MinCutResult,
+    SingletonCutResult,
+    ampc_min_cut,
+    ampc_min_cut_boosted,
+    apx_split_kcut,
+    draw_contraction_keys,
+    smallest_singleton_cut,
+)
+from .graph import Cut, Graph, KCut
+from .trees import LowDepthDecomposition, low_depth_decomposition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMPCConfig",
+    "Cut",
+    "Graph",
+    "KCut",
+    "KCutResult",
+    "LowDepthDecomposition",
+    "MinCutResult",
+    "RoundLedger",
+    "SingletonCutResult",
+    "__version__",
+    "ampc_min_cut",
+    "ampc_min_cut_boosted",
+    "apx_split_kcut",
+    "draw_contraction_keys",
+    "low_depth_decomposition",
+    "smallest_singleton_cut",
+]

@@ -1,0 +1,48 @@
+"""AMPC model substrate: configuration, DHT chain, runtime, ledger.
+
+The Adaptive Massively Parallel Computation model (Behnezhad et al.,
+SPAA 2019) extends MPC with mid-round adaptive read access to a
+distributed hash table.  This package simulates it with exact round,
+local-memory and total-space accounting; see DESIGN.md for the
+fidelity statement.
+"""
+
+from .config import AMPCConfig, DEFAULT_EPS
+from .dht import DHTChain, HashTable, word_size
+from .errors import (
+    AMPCError,
+    MemoryLimitExceeded,
+    MissingKeyError,
+    ProtocolError,
+    TotalSpaceExceeded,
+)
+from .ledger import LedgerEntry, RoundLedger
+from .machine import MachineContext
+from .runtime import AMPCRuntime
+from .trace import (
+    export_trace,
+    render_phase_table,
+    render_timeline,
+    summarize_phases,
+)
+
+__all__ = [
+    "AMPCConfig",
+    "DEFAULT_EPS",
+    "AMPCError",
+    "AMPCRuntime",
+    "export_trace",
+    "render_phase_table",
+    "render_timeline",
+    "summarize_phases",
+    "DHTChain",
+    "HashTable",
+    "LedgerEntry",
+    "MachineContext",
+    "MemoryLimitExceeded",
+    "MissingKeyError",
+    "ProtocolError",
+    "RoundLedger",
+    "TotalSpaceExceeded",
+    "word_size",
+]

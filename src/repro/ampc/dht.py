@@ -1,0 +1,155 @@
+"""Distributed hash tables ``H_0, ..., H_k`` of the AMPC model.
+
+Each round ``i`` of an AMPC computation reads (adaptively, mid-round)
+from ``H_{i-1}`` and writes (at end of round) to ``H_i``.  The simulator
+represents a table as a dict sharded across :attr:`num_shards` buckets —
+the sharding has no semantic effect but lets tests observe that keys
+spread across machines, and gives the word-accounting a place to live.
+
+Sizes are measured in **words**; see :func:`word_size` for the
+convention (numbers/None = 1 word, containers = len + contents).  Exact
+byte counts are irrelevant to the model; what matters is that budgets
+scale as the theory says, so a consistent word convention suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .errors import MissingKeyError, TotalSpaceExceeded
+
+
+def word_size(value: Any) -> int:
+    """Number of model words a value occupies.
+
+    Scalars (ints, floats, bools, None, short strings) take one word;
+    tuples/lists/dicts/sets take one word per element plus their
+    contents.  numpy arrays take one word per element.
+    """
+    if value is None or isinstance(value, (int, float, bool)):
+        return 1
+    if isinstance(value, str):
+        return max(1, (len(value) + 7) // 8)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return 1 + sum(word_size(v) for v in value)
+    if isinstance(value, dict):
+        return 1 + sum(word_size(k) + word_size(v) for k, v in value.items())
+    size = getattr(value, "size", None)
+    if size is not None and isinstance(size, int):  # numpy arrays and scalars
+        return max(1, int(size))
+    return 4  # opaque objects: flat fee
+
+
+class HashTable:
+    """One hash table ``H_i``: a sharded key/value store with accounting."""
+
+    def __init__(self, name: str, num_shards: int = 16):
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self.name = name
+        self.num_shards = num_shards
+        self._shards: list[dict[Any, Any]] = [{} for _ in range(num_shards)]
+        self._words = 0
+
+    # ------------------------------------------------------------------
+    def _shard_of(self, key: Any) -> dict[Any, Any]:
+        return self._shards[hash(key) % self.num_shards]
+
+    def get(self, key: Any) -> Any:
+        shard = self._shard_of(key)
+        try:
+            return shard[key]
+        except KeyError:
+            raise MissingKeyError(key, self.name) from None
+
+    def get_default(self, key: Any, default: Any = None) -> Any:
+        return self._shard_of(key).get(key, default)
+
+    def contains(self, key: Any) -> bool:
+        return key in self._shard_of(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        shard = self._shard_of(key)
+        old = shard.get(key)
+        if old is not None or key in shard:
+            self._words -= word_size(key) + word_size(old)
+        shard[key] = value
+        self._words += word_size(key) + word_size(value)
+
+    def put_many(self, items: Iterable[tuple[Any, Any]]) -> None:
+        for key, value in items:
+            self.put(key, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """Total words stored (keys + values)."""
+        return self._words
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def keys(self) -> Iterator[Any]:
+        for shard in self._shards:
+            yield from shard.keys()
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        for shard in self._shards:
+            yield from shard.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashTable({self.name!r}, entries={len(self)}, words={self.words})"
+
+
+class DHTChain:
+    """The sequence of hash tables across rounds, with a total-space cap.
+
+    The AMPC definition gives a *fresh* table per round but bounds the
+    size of **each** by the total-space budget.  The chain keeps the two
+    live tables (previous = readable, next = writable) and retires older
+    ones, tracking the high-water mark for the ledger.
+    """
+
+    def __init__(self, total_space_words: int, num_shards: int = 16):
+        self.total_space_words = int(total_space_words)
+        self.num_shards = num_shards
+        self._tables: list[HashTable] = [HashTable("H0", num_shards)]
+        self._high_water = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> HashTable:
+        """The table readable this round (``H_{i-1}``)."""
+        return self._tables[-1]
+
+    @property
+    def round_index(self) -> int:
+        return len(self._tables) - 1
+
+    @property
+    def high_water(self) -> int:
+        return max(self._high_water, self.current.words)
+
+    # ------------------------------------------------------------------
+    def advance(self, next_table: HashTable) -> None:
+        """End a round: ``H_i`` becomes the readable table."""
+        self._check_budget(next_table)
+        self._high_water = max(self._high_water, self.current.words, next_table.words)
+        self._tables.append(next_table)
+        # Retire all but the newest readable table; the model allows the
+        # algorithm to re-write anything it still needs forward.
+        if len(self._tables) > 2:
+            self._tables = self._tables[-2:]
+
+    def make_next(self) -> HashTable:
+        return HashTable(f"H{self.round_index + 1}", self.num_shards)
+
+    def _check_budget(self, table: HashTable) -> None:
+        if table.words > self.total_space_words:
+            raise TotalSpaceExceeded(table.words, self.total_space_words)
+
+    def seed(self, items: Iterable[tuple[Any, Any]]) -> None:
+        """Load the input into ``H_0`` before the first round."""
+        self.current.put_many(items)
+        self._check_budget(self.current)
+        self._high_water = max(self._high_water, self.current.words)

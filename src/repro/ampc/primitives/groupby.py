@@ -1,0 +1,114 @@
+"""Shuffle-based group-by.
+
+``ampc_group_by`` buckets ``(group, value)`` pairs by group key in two
+rounds.  This is the idiom behind the paper's "group time intervals
+with respect to vertices from L_i" step (Lemma 15) and the per-level
+tuple preparation of Lemma 9.
+
+A group may be far larger than one machine's ``O(n^eps)`` memory (a
+popular vertex can own ``Θ(m)`` intervals), so groups are never
+materialised on a single machine.  Instead:
+
+* **scatter** — chunk machine ``j`` writes one *shard* per group it
+  sees, ``("cellshard", group, j)``, holding that chunk's values in
+  input order.  Shard sizes are bounded by the chunk size, so every
+  write fits the local budget.
+* **gather** — one machine per *shard* re-emits it under its ordinal
+  position ``("group", group, rank)`` (ranks follow chunk order, and
+  chunks are contiguous input slices, so concatenating shards by rank
+  restores input order).  Per-machine memory is one shard, never one
+  group.
+
+The host assembles the final ``dict`` from the sharded table — the
+return value is a host-side convenience; inside the model the group
+*is* its ordered shard list, which is how downstream rounds consume it
+(one machine per shard).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from ..config import AMPCConfig
+from ..ledger import RoundLedger
+from ..dht import word_size
+from ..machine import MachineContext
+from ..runtime import AMPCRuntime
+from .distribute import seed_chunks
+
+
+def ampc_group_by(
+    config: AMPCConfig,
+    pairs: Sequence[tuple[Hashable, Any]],
+    *,
+    ledger: RoundLedger | None = None,
+) -> dict[Hashable, list[Any]]:
+    """Group ``pairs`` by first component; order within groups follows input."""
+    runtime = AMPCRuntime(config, ledger=ledger)
+    if not pairs:
+        runtime.seed([(("empty",), True)])
+        runtime.round(
+            [(lambda ctx: ctx.write(("done",), True), None)],
+            "group-by: trivial input",
+        )
+        return {}
+
+    n_chunks, _ = seed_chunks(runtime, "pairs", pairs)
+
+    # Round 1: each chunk machine writes one shard per group it holds.
+    # Distinct chunks write distinct keys, so no combiner is needed and
+    # no machine ever stages more words than its own chunk.
+    def scatter(ctx: MachineContext) -> None:
+        j = ctx.payload
+        chunk = ctx.read(("pairs", "chunk", j))
+        words = word_size(chunk)
+        ctx.hold(words)
+        shards: dict[Hashable, list[Any]] = {}
+        for group, value in chunk:
+            shards.setdefault(group, []).append(value)
+        for group, values in shards.items():
+            ctx.write(("cellshard", group, j), values)
+        ctx.release(words)
+
+    runtime.round(
+        [(scatter, j) for j in range(n_chunks)],
+        "group-by: scatter",
+        carry_forward=True,
+    )
+
+    # Host-side orchestration (control plane, like task assignment in
+    # the real model): enumerate shards and rank them by chunk index.
+    shard_keys = sorted(
+        (key for key in runtime.table.keys()
+         if isinstance(key, tuple) and key and key[0] == "cellshard"),
+        key=lambda key: key[2],
+    )
+    ranks: dict[Hashable, int] = {}
+    tasks: list[tuple[Hashable, int, int]] = []  # (group, chunk j, rank)
+    for _, group, j in shard_keys:
+        rank = ranks.get(group, 0)
+        ranks[group] = rank + 1
+        tasks.append((group, j, rank))
+
+    # Round 2: one machine per shard re-emits it at its ordinal rank.
+    def gather(ctx: MachineContext) -> None:
+        group, j, rank = ctx.payload
+        values = ctx.read(("cellshard", group, j))
+        words = word_size(values)
+        ctx.hold(words)
+        ctx.write(("group", group, rank), values)
+        ctx.release(words)
+
+    runtime.round(
+        [(gather, task) for task in tasks],
+        "group-by: gather",
+        carry_forward=True,
+    )
+
+    out: dict[Hashable, list[Any]] = {}
+    for group, n_ranks in ranks.items():
+        bucket: list[Any] = []
+        for rank in range(n_ranks):
+            bucket.extend(runtime.table.get(("group", group, rank)))
+        out[group] = bucket
+    return out

@@ -1,0 +1,233 @@
+"""Adaptive list ranking — the engine behind Lemma 4's tree rooting.
+
+In MPC, list ranking needs pointer jumping and ``Θ(log n)`` rounds.  In
+AMPC a machine can *walk* a pointer chain adaptively within one round
+(each hop is one DHT read and needs O(1) local words), which yields the
+classic anchor-sampling scheme of Behnezhad et al. [3]:
+
+1. sample ``~ n^(1-eps)`` anchors (tails always included);
+2. one round: every anchor walks the chain to the next anchor,
+   producing a contracted weighted list;
+3. recurse until the contracted list fits on one machine, which ranks
+   it directly;
+4. unwind: level by level, every remaining node walks to the next
+   node whose rank is known and adds the hop weights.
+
+Levels shrink as ``n -> n^(1-eps)`` so there are ``O(1/eps)`` levels and
+``O(1/eps)`` rounds total.  Ranks are *distances to the tail* (tail has
+rank 0), the convention the Euler-tour module builds on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Mapping, Sequence
+
+from ..config import AMPCConfig
+from ..ledger import RoundLedger
+from ..machine import MachineContext
+from ..runtime import AMPCRuntime
+
+
+def _anchor_count(n: int, eps: float) -> int:
+    """Target size of the next level: ``ceil(n^(1-eps))``, at least 1."""
+    if n <= 1:
+        return 1
+    return max(1, int(round(n ** (1.0 - eps))))
+
+
+def ampc_list_rank(
+    config: AMPCConfig,
+    successor: Mapping[Hashable, Hashable | None],
+    *,
+    ledger: RoundLedger | None = None,
+    seed: int = 0,
+) -> dict[Hashable, int]:
+    """Rank every node of a (multi-)linked list by distance to its tail.
+
+    Parameters
+    ----------
+    successor:
+        Maps each node to its successor, ``None`` for tails.  May
+        describe several disjoint lists at once.  Must be acyclic.
+    seed:
+        Seed for the anchor sampling (determinism in tests).
+
+    Returns
+    -------
+    dict node -> rank, where tails have rank 0 and each predecessor is
+    one higher.
+    """
+    nodes = list(successor.keys())
+    runtime = AMPCRuntime(config, ledger=ledger)
+    if not nodes:
+        runtime.seed([(("empty",), True)])
+        runtime.round(
+            [(lambda ctx: ctx.write(("done",), True), None)],
+            "list rank: trivial input",
+        )
+        return {}
+
+    rng = random.Random(seed)
+    capacity = max(4, config.local_memory_words // 8)
+
+    # H_0 holds the level-0 list: successor and hop weight per node.
+    items: list[tuple] = []
+    for v in nodes:
+        items.append((("succ", 0, v), successor[v]))
+        items.append((("w", 0, v), 1))
+    runtime.seed(items)
+
+    # ------------------------------------------------------------------
+    # Contraction levels.  The host only orchestrates *which* nodes act
+    # at each level (sampling is control-plane); all chain data flows
+    # through the DHT.
+    # ------------------------------------------------------------------
+    levels: list[list[Hashable]] = [nodes]
+    level = 0
+    while len(levels[level]) > capacity:
+        current = levels[level]
+        tails = [v for v in current if _level_succ(runtime, level, v) is None]
+        non_tails = [v for v in current if _level_succ(runtime, level, v) is not None]
+        if not non_tails:
+            # Every remaining node is an original tail (all chains are
+            # singletons at this level); their ranks are 0 — no further
+            # contraction possible or needed.
+            break
+        want = _anchor_count(len(current), config.eps)
+        k = max(0, min(len(non_tails), want - len(tails)))
+        anchors = set(tails) | set(rng.sample(non_tails, k)) if k else set(tails)
+        if not anchors:  # all-cycle guard; caller promised acyclic input
+            raise ValueError("list has no tail; input must be acyclic")
+        next_nodes = sorted(anchors, key=_stable_key)
+
+        # Round A: anchors mark themselves so walkers can test membership.
+        def mark(ctx: MachineContext, _lvl: int = level) -> None:
+            ctx.write(("anchor", _lvl + 1, ctx.payload), True)
+
+        runtime.round(
+            [(mark, v) for v in next_nodes],
+            f"list rank: mark anchors level {level + 1}",
+            carry_forward=True,
+        )
+
+        # Round B: each anchor walks the level chain to the next anchor.
+        def contract(ctx: MachineContext, _lvl: int = level) -> None:
+            v = ctx.payload
+            total = 0
+            u = ctx.read(("succ", _lvl, v))
+            w = ctx.read(("w", _lvl, v))
+            while u is not None and not ctx.contains(("anchor", _lvl + 1, u)):
+                total += w
+                w = ctx.read(("w", _lvl, u))
+                u = ctx.read(("succ", _lvl, u))
+            if u is not None:
+                total += w
+            ctx.write(("succ", _lvl + 1, v), u)
+            ctx.write(("w", _lvl + 1, v), total if u is not None else 0)
+
+        runtime.round(
+            [(contract, v) for v in next_nodes],
+            f"list rank: contract level {level + 1}",
+            carry_forward=True,
+        )
+        levels.append(next_nodes)
+        level += 1
+
+    # ------------------------------------------------------------------
+    # Base case: one machine ranks the contracted list.  If the loop
+    # exited because only tails remain (each its own singleton chain),
+    # their ranks are zero and are written one machine per tail instead,
+    # since they may not fit on a single machine.
+    # ------------------------------------------------------------------
+    top_nodes = levels[level]
+
+    if len(top_nodes) > capacity:
+
+        def zero_rank(ctx: MachineContext) -> None:
+            ctx.write(("rank", ctx.payload), 0)
+
+        runtime.round(
+            [(zero_rank, v) for v in top_nodes],
+            "list rank: tail ranks (degenerate all-singleton level)",
+            carry_forward=True,
+        )
+        _unwind_levels(runtime, levels, level)
+        return {v: runtime.table.get(("rank", v)) for v in nodes}
+
+    def base_rank(ctx: MachineContext, _lvl: int = level) -> None:
+        succ: dict[Hashable, Hashable | None] = {}
+        weight: dict[Hashable, int] = {}
+        ctx.hold(3 * len(top_nodes))
+        for v in top_nodes:
+            succ[v] = ctx.read(("succ", _lvl, v))
+            weight[v] = ctx.read(("w", _lvl, v))
+        rank: dict[Hashable, int] = {}
+
+        def resolve(v: Hashable) -> int:
+            # Iterative chain walk with memoisation (lists can be long).
+            path = []
+            on_path: set[Hashable] = set()
+            u = v
+            while u not in rank:
+                if u in on_path:
+                    raise ValueError(
+                        "list has a cycle; input must be acyclic"
+                    )
+                path.append(u)
+                on_path.add(u)
+                nxt = succ[u]
+                if nxt is None:
+                    rank[u] = 0
+                    path.pop()
+                    break
+                u = nxt
+            for node in reversed(path):
+                rank[node] = rank[succ[node]] + weight[node]
+            return rank[v]
+
+        for v in top_nodes:
+            resolve(v)
+            ctx.write(("rank", v), rank[v])
+        ctx.release(3 * len(top_nodes))
+
+    runtime.round([(base_rank, None)], "list rank: base case", carry_forward=True)
+
+    _unwind_levels(runtime, levels, level)
+    return {v: runtime.table.get(("rank", v)) for v in nodes}
+
+
+def _unwind_levels(
+    runtime: AMPCRuntime, levels: list[list[Hashable]], top_level: int
+) -> None:
+    """Descend the contraction pyramid, ranking each level's nodes."""
+    for lvl in range(top_level - 1, -1, -1):
+        known = set(levels[lvl + 1])
+        pending = [v for v in levels[lvl] if v not in known]
+
+        def unwind(ctx: MachineContext, _lvl: int = lvl) -> None:
+            v = ctx.payload
+            total = 0
+            u = v
+            while not ctx.contains(("rank", u)):
+                total += ctx.read(("w", _lvl, u))
+                u = ctx.read(("succ", _lvl, u))
+                if u is None:  # tail without a written rank: rank 0
+                    ctx.write(("rank", v), total)
+                    return
+            ctx.write(("rank", v), total + ctx.read(("rank", u)))
+
+        runtime.round(
+            [(unwind, v) for v in pending],
+            f"list rank: unwind level {lvl}",
+            carry_forward=True,
+        )
+
+
+def _level_succ(runtime: AMPCRuntime, level: int, v: Hashable):
+    """Host-side peek at a node's successor (control-plane sampling aid)."""
+    return runtime.table.get(("succ", level, v))
+
+
+def _stable_key(v: Hashable):
+    return (str(type(v)), str(v))

@@ -1,0 +1,145 @@
+"""The AMPC round executor.
+
+:class:`AMPCRuntime` owns the hash-table chain and the ledger.  One call
+to :meth:`AMPCRuntime.round` executes a full synchronous round:
+
+1. every machine program runs to completion with adaptive read access
+   to the previous table (programs are executed sequentially — the model
+   forbids intra-round machine-to-machine communication, so sequential
+   execution is observationally equivalent to parallel execution);
+2. buffered writes are merged into the next table; conflicting writes to
+   the same key are resolved by last-writer-wins unless a ``combiner``
+   is supplied (e.g. ``min`` for reduce trees);
+3. round counters and memory high-water marks land in the ledger.
+
+Programs are dispatched as ``(program, payload)`` pairs; the payload is
+the machine's "incoming message" for the round and is charged against
+its local memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .config import AMPCConfig
+from .dht import DHTChain, HashTable
+from .ledger import RoundLedger
+from .machine import MachineContext
+
+MachineProgram = Callable[[MachineContext], None]
+
+
+class AMPCRuntime:
+    """Executes machine programs round by round against the DHT chain."""
+
+    def __init__(
+        self,
+        config: AMPCConfig,
+        ledger: RoundLedger | None = None,
+        *,
+        num_shards: int = 16,
+    ):
+        self.config = config
+        self.ledger = ledger if ledger is not None else RoundLedger()
+        self.chain = DHTChain(config.total_space_words, num_shards=num_shards)
+        self._rounds_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_run(self) -> int:
+        return self._rounds_run
+
+    @property
+    def table(self) -> HashTable:
+        """The currently readable hash table."""
+        return self.chain.current
+
+    def seed(self, items: Iterable[tuple[Any, Any]]) -> None:
+        """Load the input into ``H_0``."""
+        self.chain.seed(items)
+
+    # ------------------------------------------------------------------
+    def round(
+        self,
+        programs: Sequence[tuple[MachineProgram, Any]],
+        reason: str,
+        *,
+        combiner: Callable[[Any, Any], Any] | None = None,
+        carry_forward: bool = False,
+    ) -> None:
+        """Run one synchronous round.
+
+        Parameters
+        ----------
+        programs:
+            ``(program, payload)`` pairs, one per virtual machine.  The
+            number of virtual machines may exceed ``config.num_machines``;
+            the model allows that by time-multiplexing, which does not
+            change the round count.
+        reason:
+            Label for the ledger entry.
+        combiner:
+            Optional associative merge for writes hitting the same key.
+        carry_forward:
+            When True, keys of the previous table that no program
+            overwrote are copied into the next table.  This models the
+            standard "re-emit your state" idiom without forcing every
+            program to spell it out.
+        """
+        readable = self.chain.current
+        next_table = self.chain.make_next()
+        local_limit = self.config.local_memory_words
+
+        local_peak = 0
+        queries = 0
+        for machine_id, (program, payload) in enumerate(programs):
+            ctx = MachineContext(machine_id, readable, local_limit, payload=payload)
+            program(ctx)
+            local_peak = max(local_peak, ctx.peak_words)
+            queries += ctx.reads
+            for key, value in ctx.drain_writes():
+                if combiner is not None and next_table.contains(key):
+                    value = combiner(next_table.get(key), value)
+                next_table.put(key, value)
+
+        if carry_forward:
+            for key, value in readable.items():
+                if not next_table.contains(key):
+                    next_table.put(key, value)
+
+        self.chain.advance(next_table)
+        self._rounds_run += 1
+        self.ledger.measure(
+            1,
+            reason,
+            local_peak=local_peak,
+            total_peak=self.chain.high_water,
+            queries=queries,
+        )
+
+    # ------------------------------------------------------------------
+    def run_plan(
+        self,
+        plan: Iterable[tuple[Sequence[tuple[MachineProgram, Any]], str]],
+        *,
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ) -> None:
+        """Execute a sequence of rounds."""
+        for programs, reason in plan:
+            self.round(programs, reason, combiner=combiner)
+
+    def collect(self, prefix: str | None = None) -> dict[Any, Any]:
+        """Gather results out of the final table (host-side, not a round).
+
+        With ``prefix`` set, only string/tuple keys whose first component
+        equals the prefix are returned, with the prefix stripped from
+        tuple keys.
+        """
+        out: dict[Any, Any] = {}
+        for key, value in self.table.items():
+            if prefix is None:
+                out[key] = value
+            elif isinstance(key, tuple) and len(key) >= 2 and key[0] == prefix:
+                rest = key[1] if len(key) == 2 else key[1:]
+                out[rest] = value
+        return out

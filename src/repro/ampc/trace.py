@@ -1,0 +1,154 @@
+"""Round-trace rendering and export for ledger post-mortems.
+
+The :class:`~repro.ampc.ledger.RoundLedger` is the accounting record;
+this module is the *lens*: it turns a ledger into
+
+* :func:`render_timeline` — an ASCII per-entry timeline with round
+  ticks and a local-memory bar, the thing to look at when a run's
+  round count surprises you (``repro-cut mincut --ledger`` prints the
+  flat report; the timeline shows *where* the rounds went);
+* :func:`summarize_phases` — entries grouped by phase label (the text
+  before the first ``:`` of each reason), with round/query subtotals —
+  e.g. all ``list rank`` rounds across every level of a run;
+* :func:`export_trace` — a list of plain dicts (JSON-ready) for
+  notebooks and external tooling.
+
+Everything here is read-only over the ledger: tracing can never change
+what was measured.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ledger import RoundLedger
+
+_BAR_WIDTH = 24
+
+
+def export_trace(ledger: RoundLedger) -> list[dict[str, Any]]:
+    """The ledger's entries as JSON-ready dicts (one per entry)."""
+    out: list[dict[str, Any]] = []
+    cumulative = 0
+    for entry in ledger.entries:
+        cumulative += entry.rounds
+        out.append(
+            {
+                "rounds": entry.rounds,
+                "cumulative_rounds": cumulative,
+                "kind": entry.kind,
+                "reason": entry.reason,
+                "local_peak": entry.local_peak,
+                "total_peak": entry.total_peak,
+                "queries": entry.queries,
+            }
+        )
+    return out
+
+
+def phase_of(reason: str) -> str:
+    """The phase label of a ledger reason: text before the first ':'.
+
+    Reasons follow the convention ``"<phase>: <detail>"`` throughout
+    the primitives ("list rank: contract level 2") and the algorithms
+    ("Algorithm 1 level 0: ...").  Reasons without a colon are their
+    own phase.
+    """
+    head = reason.split(":", 1)[0].strip()
+    return head if head else reason.strip()
+
+
+def summarize_phases(ledger: RoundLedger) -> list[dict[str, Any]]:
+    """Per-phase subtotals, in first-appearance order."""
+    order: list[str] = []
+    agg: dict[str, dict[str, Any]] = {}
+    for entry in ledger.entries:
+        phase = phase_of(entry.reason)
+        if phase not in agg:
+            order.append(phase)
+            agg[phase] = {
+                "phase": phase,
+                "entries": 0,
+                "rounds": 0,
+                "queries": 0,
+                "local_peak": 0,
+                "kinds": set(),
+            }
+        rec = agg[phase]
+        rec["entries"] += 1
+        rec["rounds"] += entry.rounds
+        rec["queries"] += entry.queries
+        rec["local_peak"] = max(rec["local_peak"], entry.local_peak)
+        rec["kinds"].add(entry.kind)
+    out = []
+    for phase in order:
+        rec = agg[phase]
+        rec["kinds"] = "+".join(sorted(rec["kinds"]))
+        out.append(rec)
+    return out
+
+
+def render_timeline(
+    ledger: RoundLedger, *, width: int = 72, max_entries: int | None = None
+) -> str:
+    """ASCII timeline: one line per entry, memory bar on the right.
+
+    ``max_entries`` truncates long traces in the middle (head and tail
+    are what post-mortems need); the memory bar is scaled to the
+    ledger's local-memory high-water mark.
+    """
+    entries = list(ledger.entries)
+    if not entries:
+        return "(empty ledger)"
+    scale = max(e.local_peak for e in entries) or 1
+    total = sum(e.rounds for e in entries)
+
+    lines = [
+        f"timeline: {len(entries)} entries, {total} rounds "
+        f"({ledger.measured_rounds} measured + {ledger.charged_rounds} "
+        f"charged), local high-water {ledger.local_peak} words"
+    ]
+    shown = entries
+    skipped = 0
+    if max_entries is not None and len(entries) > max_entries:
+        head = max_entries // 2
+        tail = max_entries - head
+        skipped = len(entries) - head - tail
+        shown = entries[:head] + [None] + entries[-tail:]  # type: ignore[list-item]
+
+    reason_width = max(16, width - _BAR_WIDTH - 22)
+    for entry in shown:
+        if entry is None:
+            lines.append(f"  ... {skipped} entries elided ...")
+            continue
+        bar_len = round(_BAR_WIDTH * entry.local_peak / scale)
+        bar = "#" * bar_len + "." * (_BAR_WIDTH - bar_len)
+        reason = entry.reason
+        if len(reason) > reason_width:
+            reason = reason[: reason_width - 1] + "…"
+        mark = "M" if entry.kind == "measured" else "C"
+        lines.append(
+            f"  r{entry.rounds:>3} [{mark}] {reason:<{reason_width}} |{bar}|"
+        )
+    return "\n".join(lines)
+
+
+def render_phase_table(ledger: RoundLedger) -> str:
+    """Fixed-width per-phase summary table."""
+    rows = summarize_phases(ledger)
+    if not rows:
+        return "(empty ledger)"
+    phase_w = max(len(r["phase"]) for r in rows)
+    phase_w = max(phase_w, 5)
+    header = (
+        f"{'phase':<{phase_w}} | entries | rounds | queries | "
+        f"local_peak | kinds"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['phase']:<{phase_w}} | {r['entries']:>7} | "
+            f"{r['rounds']:>6} | {r['queries']:>7} | "
+            f"{r['local_peak']:>10} | {r['kinds']}"
+        )
+    return "\n".join(lines)

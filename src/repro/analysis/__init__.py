@@ -1,0 +1,16 @@
+"""Experiment analysis: theory envelopes, runners, tables, figures."""
+
+from . import figures, harness, metrics, tables, theory
+from .harness import ExperimentReport
+from .metrics import PartitionSummary, partition_summary
+
+__all__ = [
+    "ExperimentReport",
+    "PartitionSummary",
+    "figures",
+    "harness",
+    "metrics",
+    "partition_summary",
+    "tables",
+    "theory",
+]

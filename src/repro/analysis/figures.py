@@ -1,0 +1,145 @@
+"""Structural reproduction of the paper's Figures 1–3 (experiment E8).
+
+The paper's figures are illustrative, not measured:
+
+* **Figure 1** — heavy-light decomposition of an example tree, vertices
+  annotated with subtree sizes, heavy edges highlighted;
+* **Figure 2** — the meta-tree obtained by contracting the heavy paths
+  of the same tree;
+* **Figure 3** — an MST fragment with per-edge contraction times and
+  the time intervals of edges w.r.t. a vertex ``v`` with
+  ``ldr_time(v) = 2``.
+
+Reproducing them means: build the same structures with the library and
+render them (ASCII), asserting the structural claims each figure makes
+(heavy paths partition the tree; the meta-tree is the contraction; the
+intervals are exactly what Lemma 13 computes).  The figure-1 tree is
+reverse-engineered up to isomorphism (see workloads.trees).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.intervals import edge_intervals
+from ..core.keys import ContractionKeys
+from ..core.ldr import build_level_structure
+from ..graph import Graph
+from ..trees.heavy_light import HeavyLight, heavy_light_decomposition
+from ..trees.low_depth import low_depth_decomposition
+from ..trees.meta_tree import MetaTree, build_meta_tree
+from ..trees.rooted import RootedTree, root_tree
+from ..workloads.trees import paper_figure1_tree
+
+Vertex = Hashable
+
+
+def render_figure1(tree: RootedTree | None = None) -> str:
+    """Figure 1: the tree with subtree sizes, heavy edges marked ``=``."""
+    if tree is None:
+        vs, es = paper_figure1_tree()
+        tree = root_tree(vs, es)
+    hl = heavy_light_decomposition(tree)
+    lines = ["Figure 1 — heavy-light decomposition (= heavy edge, - light edge)"]
+
+    def walk(v: Vertex, prefix: str, tag: str) -> None:
+        size = tree.subtree_size[v]
+        lines.append(f"{prefix}{tag}{v} [size={size}]")
+        kids = sorted(
+            tree.children[v],
+            key=lambda c: (not hl.is_heavy_edge(c, v), str(c)),
+        )
+        for i, c in enumerate(kids):
+            last = i == len(kids) - 1
+            edge = "==" if hl.is_heavy_edge(c, v) else "--"
+            walk(c, prefix + ("   " if last else "|  "), f"+{edge} ")
+
+    walk(tree.root, "", "")
+    lines.append("")
+    lines.append("heavy paths (top-down): ")
+    for m, path in enumerate(hl.paths):
+        lines.append(f"  P{m}: " + " = ".join(str(v) for v in path))
+    return "\n".join(lines)
+
+
+def render_figure2(tree: RootedTree | None = None) -> str:
+    """Figure 2: the meta-tree of the same tree."""
+    if tree is None:
+        vs, es = paper_figure1_tree()
+        tree = root_tree(vs, es)
+    hl = heavy_light_decomposition(tree)
+    meta = build_meta_tree(hl)
+    lines = ["Figure 2 — meta tree (heavy paths contracted)"]
+
+    def walk(m: int, prefix: str, tag: str) -> None:
+        path = meta.meta_path(m)
+        label = "{" + ",".join(str(v) for v in path) + "}"
+        lines.append(f"{prefix}{tag}M{m} {label}")
+        for i, c in enumerate(sorted(meta.children[m])):
+            last = i == len(meta.children[m]) - 1
+            walk(c, prefix + ("   " if last else "|  "), "+- ")
+
+    walk(meta.root, "", "")
+    lines.append("")
+    lines.append(f"meta vertices: {meta.num_meta_vertices}")
+    return "\n".join(lines)
+
+
+def figure3_instance() -> tuple[Graph, ContractionKeys, Vertex]:
+    """A small weighted instance in the spirit of Figure 3.
+
+    Figure 3 shows an MST whose edges carry contraction times 1..6 and
+    a designated vertex ``v`` with ``ldr_time(v) = 2``; the dotted
+    non-tree edges have time intervals w.r.t. ``v`` contained in
+    ``[0, 2]``.  We build a graph achieving exactly that shape.
+    """
+    g = Graph(vertices=range(7))
+    # tree edges (times 1..6 by construction below)
+    tree_edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+    non_tree = [(0, 2), (1, 3), (0, 6)]
+    for u, v in tree_edges + non_tree:
+        g.add_edge(u, v, 1.0)
+    key: dict = {}
+    for t, (u, v) in enumerate(tree_edges, start=1):
+        key[(u, v)] = t
+        key[(v, u)] = t
+    for t, (u, v) in enumerate(non_tree, start=len(tree_edges) + 1):
+        key[(u, v)] = t + 10  # non-tree edges contract late
+        key[(v, u)] = t + 10
+    keys = ContractionKeys(key=key, max_key=max(key.values()), key_space=7**3)
+    return g, keys, 2  # the designated vertex
+
+
+def render_figure3() -> str:
+    """Figure 3: time intervals of edges w.r.t. a designated vertex."""
+    g, keys, v = figure3_instance()
+    mst_edges = [(u, w) for u, w, _ in g.edges() if keys.of(u, w) <= 6]
+    decomp = low_depth_decomposition(
+        g.vertices(), mst_edges
+    )
+    lines = [
+        "Figure 3 — contraction-time intervals with respect to a vertex",
+        f"designated vertex: {v} (label {decomp.label[v]})",
+        "tree edges with times: "
+        + ", ".join(f"{u}-{w}@{keys.of(u, w)}" for u, w in mst_edges),
+    ]
+    level = decomp.label[v]
+    struct = build_level_structure(
+        decomp, keys, level, max_tree_key=6
+    )
+    if v in struct.ldr_time:
+        lines.append(f"ldr_time({v}) = {struct.ldr_time[v]}")
+        grouped = edge_intervals(g, struct)
+        for iv in sorted(grouped.get(v, []), key=lambda i: (i.start, i.end)):
+            lines.append(
+                f"  interval [{iv.start}, {iv.end}] weight {iv.weight:g}"
+            )
+    else:
+        lines.append(f"vertex {v} leads no bag at its level (degenerate draw)")
+    return "\n".join(lines)
+
+
+def render_all_figures() -> str:
+    return "\n\n".join(
+        [render_figure1(), render_figure2(), render_figure3()]
+    )

@@ -1,0 +1,160 @@
+"""Partition quality metrics for the cut experiments.
+
+The paper's objectives are pure cut weights (``δ(S)``,
+``Σ_i δ(V_i)``), but the workloads its introduction motivates —
+community detection, datacenter bottleneck analysis — judge partitions
+by normalised quantities.  These metrics let the k-cut examples and
+benches report *why* a cheap cut is (or is not) a good community
+structure:
+
+* :func:`conductance` — cut weight over the smaller side's volume; the
+  quantity sparsest-cut heuristics optimise.
+* :func:`expansion` — cut weight over the smaller side's vertex count.
+* :func:`normalized_cut_value` — Shi–Malik style sum of per-part
+  ``cut/volume`` ratios.
+* :func:`modularity` — Newman–Girvan community quality (weighted).
+* :func:`balance` — largest-part share; 1/k is perfectly balanced.
+* :func:`partition_summary` — one record with everything, used by the
+  examples' report tables.
+
+All metrics accept the same ``(graph, parts)`` shape as
+:class:`repro.graph.cuts.KCut` and validate that ``parts`` is a true
+partition of the vertex set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..graph import Graph
+
+Vertex = Hashable
+
+
+def _as_sets(
+    graph: Graph, parts: Sequence[Iterable[Vertex]]
+) -> list[frozenset]:
+    sets = [frozenset(p) for p in parts]
+    if not sets:
+        raise ValueError("partition must have at least one part")
+    if any(not s for s in sets):
+        raise ValueError("empty part in partition")
+    union: set[Vertex] = set()
+    total = 0
+    for s in sets:
+        total += len(s)
+        union.update(s)
+    if total != len(union):
+        raise ValueError("parts overlap")
+    if union != set(graph.vertices()):
+        raise ValueError("partition does not cover the vertex set")
+    return sets
+
+
+def volume(graph: Graph, side: Iterable[Vertex]) -> float:
+    """Sum of weighted degrees over ``side`` (counts internal edges twice)."""
+    return float(sum(graph.degree(v) for v in side))
+
+
+def conductance(graph: Graph, side: Iterable[Vertex]) -> float:
+    """``w(δS) / min(vol(S), vol(V-S))``; 0 for the empty cut.
+
+    Raises if one side is empty or has zero volume (isolated vertices
+    only), where conductance is undefined.
+    """
+    side_set = set(side)
+    rest = set(graph.vertices()) - side_set
+    if not side_set or not rest:
+        raise ValueError("conductance needs a proper bipartition")
+    vol = min(volume(graph, side_set), volume(graph, rest))
+    if vol == 0:
+        raise ValueError("one side has zero volume")
+    return graph.cut_weight(side_set) / vol
+
+
+def expansion(graph: Graph, side: Iterable[Vertex]) -> float:
+    """``w(δS) / min(|S|, |V-S|)`` — the vertex-count analogue."""
+    side_set = set(side)
+    rest = set(graph.vertices()) - side_set
+    if not side_set or not rest:
+        raise ValueError("expansion needs a proper bipartition")
+    return graph.cut_weight(side_set) / min(len(side_set), len(rest))
+
+
+def normalized_cut_value(
+    graph: Graph, parts: Sequence[Iterable[Vertex]]
+) -> float:
+    """``Σ_i w(δ(V_i)) / vol(V_i)`` over the parts (Shi–Malik NCut)."""
+    sets = _as_sets(graph, parts)
+    total = 0.0
+    for s in sets:
+        vol = volume(graph, s)
+        if vol == 0:
+            raise ValueError("part with zero volume")
+        total += graph.cut_weight(s) / vol
+    return total
+
+
+def modularity(graph: Graph, parts: Sequence[Iterable[Vertex]]) -> float:
+    """Weighted Newman–Girvan modularity of the partition.
+
+    ``Q = Σ_i (w_in(V_i)/W - (vol(V_i)/2W)²)`` with ``W`` the total
+    edge weight; in ``[-1/2, 1)``, higher is more community-like.
+    """
+    sets = _as_sets(graph, parts)
+    W = graph.total_weight()
+    if W == 0:
+        raise ValueError("modularity undefined on an edgeless graph")
+    q = 0.0
+    for s in sets:
+        internal = (volume(graph, s) - graph.cut_weight(s)) / 2.0
+        q += internal / W - (volume(graph, s) / (2.0 * W)) ** 2
+    return q
+
+
+def balance(parts: Sequence[Iterable[Vertex]]) -> float:
+    """Largest-part share of the vertices; ``1/k`` is perfectly balanced."""
+    sizes = [len(frozenset(p)) for p in parts]
+    if not sizes or min(sizes) == 0:
+        raise ValueError("partition must have non-empty parts")
+    return max(sizes) / sum(sizes)
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """One row of partition diagnostics (see :func:`partition_summary`)."""
+
+    k: int
+    cut_weight: float
+    normalized_cut: float
+    modularity: float
+    balance: float
+    worst_conductance: float
+
+    def render(self) -> str:
+        return (
+            f"k={self.k}  cut={self.cut_weight:.1f}  "
+            f"ncut={self.normalized_cut:.3f}  Q={self.modularity:.3f}  "
+            f"balance={self.balance:.2f}  "
+            f"max-cond={self.worst_conductance:.3f}"
+        )
+
+
+def partition_summary(
+    graph: Graph, parts: Sequence[Iterable[Vertex]]
+) -> PartitionSummary:
+    """All metrics for one partition in a single record."""
+    sets = _as_sets(graph, parts)
+    worst = 0.0
+    for s in sets:
+        if len(s) < graph.num_vertices:
+            worst = max(worst, conductance(graph, s))
+    return PartitionSummary(
+        k=len(sets),
+        cut_weight=graph.partition_cut_weight(sets),
+        normalized_cut=normalized_cut_value(graph, sets),
+        modularity=modularity(graph, sets),
+        balance=balance(sets),
+        worst_conductance=worst,
+    )

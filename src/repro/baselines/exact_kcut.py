@@ -1,0 +1,71 @@
+"""Exact Min k-Cut by partition enumeration (small-n oracle).
+
+Enumerates all set partitions of ``V`` into exactly ``k`` non-empty
+parts (restricted growth strings), evaluating the crossing weight of
+each.  ``S(n, k)`` grows fast; guarded to ``n <= 14``.  Used by E5 and
+the k-cut property tests as ground truth, and to certify the planted
+weights of the workload generators on small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from ..graph import Graph, KCut
+
+Vertex = Hashable
+
+_MAX_N = 14
+
+
+def exact_min_kcut(graph: Graph, k: int) -> KCut:
+    """Exact Min k-Cut; raises for n > 14 (enumeration blow-up guard)."""
+    n = graph.num_vertices
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n > _MAX_N:
+        raise ValueError(f"exact_min_kcut is limited to n <= {_MAX_N}")
+    vertices = graph.vertices()
+    us, vs, ws = graph.edge_arrays()
+
+    best_weight = np.inf
+    best_assign: list[int] | None = None
+    for assign in _restricted_growth_strings(n, k):
+        a = np.asarray(assign, dtype=np.int64)
+        weight = float(ws[a[us] != a[vs]].sum())
+        if weight < best_weight:
+            best_weight = weight
+            best_assign = list(assign)
+    assert best_assign is not None
+    parts: list[set] = [set() for _ in range(k)]
+    for i, p in enumerate(best_assign):
+        parts[p].add(vertices[i])
+    return KCut.of(graph, parts)
+
+
+def exact_min_kcut_weight(graph: Graph, k: int) -> float:
+    return exact_min_kcut(graph, k).weight
+
+
+def _restricted_growth_strings(n: int, k: int) -> Iterator[list[int]]:
+    """All assignments ``V -> {0..k-1}`` using exactly ``k`` labels,
+    canonicalised so label ``j`` first appears before label ``j+1``
+    (each set partition enumerated once)."""
+    assign = [0] * n
+
+    def rec(i: int, used: int) -> Iterator[list[int]]:
+        remaining = n - i
+        if used + remaining < k:
+            return  # cannot reach k labels any more
+        if i == n:
+            if used == k:
+                yield assign
+            return
+        top = min(used + 1, k)
+        for label in range(top):
+            assign[i] = label
+            yield from rec(i + 1, max(used, label + 1))
+
+    yield from rec(0, 0)

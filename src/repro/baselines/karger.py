@@ -1,0 +1,63 @@
+"""Karger's single-run contraction (the Lemma 1 probe).
+
+One run contracts weight-biased random edges until two supervertices
+remain; the surviving bipartition is a cut that equals the minimum cut
+with probability ``Omega(1/n^2)`` (Lemma 1 with ``t = n/2``).  The E7
+experiment replays many runs to chart the empirical preservation
+probability against that bound, and against Lemma 2's stronger
+singleton-aware bound.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..graph import Cut, Graph
+from ..core.contraction import contract_to_size
+from ..core.keys import draw_contraction_keys
+
+Vertex = Hashable
+
+
+def karger_single_run(graph: Graph, *, seed: int = 0) -> Cut:
+    """Contract to two supervertices; return the surviving cut."""
+    if graph.num_vertices < 2:
+        raise ValueError("need n >= 2")
+    keys = draw_contraction_keys(graph, seed=seed)
+    contracted, blocks = contract_to_size(graph, keys, 2)
+    reps = contracted.vertices()
+    if len(reps) != 2:
+        raise ValueError("graph must be connected")
+    side = frozenset(blocks[reps[0]])
+    return Cut.of(graph, side)
+
+
+def karger_best_of(graph: Graph, runs: int, *, seed: int = 0) -> Cut:
+    """Best cut over independent runs (naive boosting baseline)."""
+    if runs < 1:
+        raise ValueError("need at least one run")
+    best: Cut | None = None
+    for r in range(runs):
+        cut = karger_single_run(graph, seed=seed + 104_729 * r)
+        if best is None or cut.weight < best.weight:
+            best = cut
+    assert best is not None
+    return best
+
+
+def contraction_preserves_cut(
+    graph: Graph, side: frozenset, target: int, *, seed: int = 0
+) -> bool:
+    """Does contracting to ``target`` vertices preserve the cut ``side``?
+
+    "Preserve" = no edge crossing the cut was contracted, i.e. every
+    contracted block stays entirely on one side.  This is the event of
+    Lemma 1 / Lemma 2 whose probability E7 estimates.
+    """
+    keys = draw_contraction_keys(graph, seed=seed)
+    _, blocks = contract_to_size(graph, keys, target)
+    for members in blocks.values():
+        inside = sum(1 for v in members if v in side)
+        if 0 < inside < len(members):
+            return False
+    return True

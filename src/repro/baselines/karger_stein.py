@@ -1,0 +1,74 @@
+"""Karger–Stein recursive contraction — the paper's foundational substrate.
+
+Section 2's description, verbatim: create two copies, contract each
+(independently) until ``n / sqrt(2)`` vertices remain, recurse on both,
+return the better cut.  Success probability ``Omega(1 / log n)`` per
+invocation; ``O(log^2 n)`` invocations give high probability.
+
+Used as the exact-result baseline in E2 (it finds the true minimum cut
+w.h.p., unlike the 2+eps-approximate Algorithm 1, at a much higher
+round cost in a parallel model) and in E7's preservation experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from ..core.contraction import contract_to_size
+from ..core.keys import draw_contraction_keys
+from ..graph import Cut, Graph, lift_cut
+
+Vertex = Hashable
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def karger_stein_min_cut(graph: Graph, *, seed: int = 0, base: int = 6) -> Cut:
+    """One invocation of the recursive contraction algorithm."""
+    if graph.num_vertices < 2:
+        raise ValueError("need n >= 2")
+    return _recurse(graph, seed, base)
+
+
+def _recurse(graph: Graph, seed: int, base: int) -> Cut:
+    n = graph.num_vertices
+    if n <= base:
+        from .stoer_wagner import stoer_wagner_min_cut
+
+        return stoer_wagner_min_cut(graph)
+    target = max(2, math.ceil(n / _SQRT2))
+    if target >= n:
+        target = n - 1
+    best: Cut | None = None
+    for copy in range(2):
+        copy_seed = (seed * 2_654_435_761 + copy + 1) & 0x7FFFFFFF
+        keys = draw_contraction_keys(graph, seed=copy_seed)
+        contracted, blocks = contract_to_size(graph, keys, target)
+        if contracted.num_vertices < 2:
+            continue
+        sub = _recurse(contracted, copy_seed + 17, base)
+        lifted = Cut.of(graph, lift_cut(blocks, sub.side))
+        if best is None or lifted.weight < best.weight:
+            best = lifted
+    if best is None:  # both copies degenerated (tiny/odd graphs)
+        from .stoer_wagner import stoer_wagner_min_cut
+
+        return stoer_wagner_min_cut(graph)
+    return best
+
+
+def karger_stein_boosted(
+    graph: Graph, *, trials: int | None = None, seed: int = 0
+) -> Cut:
+    """``Theta(log^2 n)`` independent invocations — the w.h.p. wrapper."""
+    n = graph.num_vertices
+    if trials is None:
+        trials = max(1, math.ceil(math.log2(max(4, n)) ** 2 / 2))
+    best: Cut | None = None
+    for t in range(trials):
+        cut = karger_stein_min_cut(graph, seed=seed + 7907 * t)
+        if best is None or cut.weight < best.weight:
+            best = cut
+    assert best is not None
+    return best

@@ -1,0 +1,95 @@
+"""Saran–Vazirani Min k-Cut baselines (the [18] comparator).
+
+Two constructions from their paper, both ``(2 - 2/k)``-approximate:
+
+* :func:`sv_split_kcut` — the SPLIT greedy: repeatedly remove the
+  lightest **exact** min cut among current components.  This is
+  APX-SPLIT (Algorithm 4) with the approximation factor set to 1, so
+  E5 can isolate how much the ``(2+eps)`` inner cuts cost.
+* :func:`sv_gomory_hu_kcut` — EFFICIENT: union of the ``k-1`` lightest
+  Gomory–Hu cuts (Observation 10's sequence ``b_1 .. b_{k-1}``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from ..flow.gomory_hu import gomory_hu_tree
+from ..graph import Graph, KCut
+from .stoer_wagner import stoer_wagner_min_cut
+
+Vertex = Hashable
+
+
+def sv_split_kcut(graph: Graph, k: int) -> KCut:
+    """Greedy splitting with exact min cuts (SPLIT)."""
+    n = graph.num_vertices
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}")
+    working = graph.copy()
+    while True:
+        components = working.components()
+        if len(components) >= k:
+            break
+        best_edges = None
+        best_weight = math.inf
+        for comp in components:
+            if len(comp) < 2:
+                continue
+            sub = working.induced_subgraph(comp)
+            cut = stoer_wagner_min_cut(sub)
+            if cut.weight < best_weight:
+                best_weight = cut.weight
+                best_edges = [
+                    (u, v)
+                    for u, v, _ in sub.edges()
+                    if (u in cut.side) != (v in cut.side)
+                ]
+        if best_edges is None:
+            raise ValueError(f"cannot split into {k} parts")
+        working = working.without_edges(best_edges)
+    parts = [frozenset(c) for c in working.components()]
+    parts.sort(key=len)
+    while len(parts) > k:
+        a = parts.pop(0)
+        b = parts.pop(0)
+        parts.append(a | b)
+        parts.sort(key=len)
+    return KCut.of(graph, parts)
+
+
+def sv_gomory_hu_kcut(graph: Graph, k: int) -> KCut:
+    """Union of the ``k-1`` lightest Gomory–Hu cuts (EFFICIENT)."""
+    n = graph.num_vertices
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}")
+    if k == 1:
+        return KCut.of(graph, [graph.vertices()])
+    tree = gomory_hu_tree(graph)
+    removed: set[frozenset] = set()
+    working = graph.copy()
+    for e in tree.edges_by_weight():
+        if len(working.components()) >= k:
+            break
+        side = e.child_side
+        cut_edges = [
+            (u, v)
+            for u, v, _ in working.edges()
+            if (u in side) != (v in side)
+        ]
+        if cut_edges:
+            working = working.without_edges(cut_edges)
+    parts = [frozenset(c) for c in working.components()]
+    if len(parts) < k:
+        raise ValueError(
+            "Gomory–Hu cut union produced fewer than k components; "
+            "graph too degenerate for the EFFICIENT construction"
+        )
+    parts.sort(key=len)
+    while len(parts) > k:
+        a = parts.pop(0)
+        b = parts.pop(0)
+        parts.append(a | b)
+        parts.sort(key=len)
+    return KCut.of(graph, parts)

@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+Subcommands mirroring what a downstream user does first:
+
+* ``mincut``  — minimum cut of a graph file: the paper's Algorithm 1 by
+  default, or ``--algorithm matula|karger-stein|exact`` for the
+  baselines, with round/memory accounting and optional exact
+  verification;
+* ``kcut``    — (4+eps)-approximate Min k-Cut (Algorithm 4);
+* ``decompose`` — generalized low-depth decomposition of a tree file,
+  printing the labeling and the splitting process;
+* ``sparsify`` — Nagamochi–Ibaraki min-cut-preserving certificate;
+* ``convert`` — translate between edge-list, DIMACS and METIS;
+* ``experiments`` — regenerate EXPERIMENTS.md from live runs.
+
+Graph files are loaded by extension: ``.dimacs``/``.col``/``.max`` as
+DIMACS, ``.metis``/``.chaco`` as METIS, anything else as the native
+edge list (:mod:`repro.graph.io`).  Install exposes ``repro-cut`` via
+the console-script entry point; ``python -m repro.cli`` works from a
+checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines import exact_min_cut_weight
+from .core import ampc_min_cut_boosted, apx_split_kcut
+from .graph import (
+    Graph,
+    load_dimacs,
+    load_graph,
+    load_metis,
+    save_dimacs,
+    save_graph,
+    save_metis,
+    sparsify_preserving_min_cut,
+)
+from .trees import decomposition_forest_sequence, low_depth_decomposition
+
+_DIMACS_EXTS = {".dimacs", ".col", ".max", ".clq"}
+_METIS_EXTS = {".metis", ".chaco"}
+
+
+def _load_any(path: Path) -> Graph:
+    """Load a graph file, dispatching on extension."""
+    ext = path.suffix.lower()
+    if ext in _DIMACS_EXTS:
+        return load_dimacs(path)
+    if ext in _METIS_EXTS:
+        return load_metis(path)
+    return load_graph(path)
+
+
+def _save_any(graph: Graph, path: Path) -> None:
+    ext = path.suffix.lower()
+    if ext in _DIMACS_EXTS:
+        save_dimacs(graph, path)
+    elif ext in _METIS_EXTS:
+        save_metis(graph, path)
+    else:
+        save_graph(graph, path)
+
+
+def _cmd_mincut(args: argparse.Namespace) -> int:
+    graph = _load_any(args.graph)
+    rounds: int | None = None
+    if args.algorithm == "ampc":
+        result = ampc_min_cut_boosted(
+            graph, eps=args.eps, trials=args.trials, seed=args.seed
+        )
+        weight, side, rounds = result.weight, result.cut.side, result.ledger.rounds
+        ledger_report = result.ledger.report() if args.ledger else None
+    elif args.algorithm == "matula":
+        from .baselines import matula_min_cut
+
+        res = matula_min_cut(graph, eps=args.eps)
+        weight, side, ledger_report = res.weight, res.cut.side, None
+    elif args.algorithm == "karger-stein":
+        from .baselines import karger_stein_boosted
+
+        cut = karger_stein_boosted(graph, seed=args.seed)
+        weight, side, ledger_report = cut.weight, cut.side, None
+    elif args.algorithm == "exact":
+        from .baselines import stoer_wagner_min_cut
+
+        cut = stoer_wagner_min_cut(graph)
+        weight, side, ledger_report = cut.weight, cut.side, None
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.algorithm)
+
+    print(f"n={graph.num_vertices} m={graph.num_edges}")
+    print(f"cut weight: {weight}")
+    small = min((side, frozenset(graph.vertices()) - side), key=len)
+    print(f"cut side ({len(small)} vertices): {sorted(map(str, small))[:20]}")
+    if rounds is not None:
+        print(f"AMPC rounds: {rounds}")
+    if args.timeline and args.algorithm == "ampc":
+        from .ampc import render_phase_table, render_timeline
+
+        print(render_timeline(result.ledger, max_entries=24))
+        print(render_phase_table(result.ledger))
+    if args.verify:
+        exact = exact_min_cut_weight(graph)
+        print(f"exact (Stoer-Wagner): {exact}  ratio: {weight / exact:.4f}")
+    if ledger_report:
+        print(ledger_report)
+    return 0
+
+
+def _cmd_kcut(args: argparse.Namespace) -> int:
+    graph = _load_any(args.graph)
+    result = apx_split_kcut(graph, args.k, eps=args.eps, seed=args.seed)
+    print(f"n={graph.num_vertices} m={graph.num_edges} k={args.k}")
+    print(f"k-cut weight: {result.weight}")
+    for i, part in enumerate(sorted(result.kcut.parts, key=len, reverse=True)):
+        members = sorted(map(str, part))
+        shown = members if len(members) <= 12 else members[:12] + ["..."]
+        print(f"  part {i}: {len(part)} vertices: {shown}")
+    print(f"iterations: {result.iterations}  AMPC rounds: {result.ledger.rounds}")
+    if args.metrics:
+        from .analysis.metrics import partition_summary
+
+        print(partition_summary(graph, list(result.kcut.parts)).render())
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = _load_any(args.graph)
+    if graph.num_edges != graph.num_vertices - 1:
+        print("error: input must be a tree (m == n-1)", file=sys.stderr)
+        return 2
+    edges = [(u, v) for u, v, _ in graph.edges()]
+    decomp = low_depth_decomposition(graph.vertices(), edges)
+    print(f"n={graph.num_vertices}  height={decomp.height} "
+          f"(envelope {decomp.height_bound()})")
+    levels = decomp.levels()
+    for level in sorted(levels):
+        members = sorted(map(str, levels[level]))
+        shown = members if len(members) <= 16 else members[:16] + ["..."]
+        print(f"  level {level}: {shown}")
+    if args.process:
+        print("splitting process:")
+        for i, comps in enumerate(decomposition_forest_sequence(decomp), start=1):
+            sizes = sorted((len(c) for c in comps), reverse=True)
+            print(f"  T_{i}: {len(comps)} components, sizes {sizes[:12]}")
+    return 0
+
+
+def _cmd_sparsify(args: argparse.Namespace) -> int:
+    graph = _load_any(args.graph)
+    cert = sparsify_preserving_min_cut(graph, slack=args.slack)
+    _save_any(cert, args.output)
+    print(
+        f"{graph.num_edges} edges "
+        f"(total weight {graph.total_weight():.1f}) -> "
+        f"{cert.num_edges} edges "
+        f"(total weight {cert.total_weight():.1f})"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    graph = _load_any(args.input)
+    _save_any(graph, args.output)
+    print(
+        f"converted {args.input} -> {args.output} "
+        f"(n={graph.num_vertices}, m={graph.num_edges})"
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis.writer import generate
+
+    generate(args.output, fast=args.fast)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cut",
+        description="AMPC cut algorithms (SPAA 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mincut", help="minimum cut (approximate or exact)")
+    p.add_argument("graph", type=Path, help="graph file (edge list/DIMACS/METIS)")
+    p.add_argument(
+        "--algorithm",
+        choices=["ampc", "matula", "karger-stein", "exact"],
+        default="ampc",
+        help="ampc = paper Algorithm 1 (default)",
+    )
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--trials", type=int, default=None, help="boosting trials")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true", help="compare with exact")
+    p.add_argument("--ledger", action="store_true", help="print round ledger")
+    p.add_argument("--timeline", action="store_true",
+                   help="print the round timeline + per-phase table (ampc only)")
+    p.set_defaults(func=_cmd_mincut)
+
+    p = sub.add_parser("kcut", help="(4+eps)-approximate Min k-Cut")
+    p.add_argument("graph", type=Path)
+    p.add_argument("k", type=int)
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics", action="store_true",
+                   help="print partition quality metrics")
+    p.set_defaults(func=_cmd_kcut)
+
+    p = sub.add_parser("decompose", help="low-depth decomposition of a tree")
+    p.add_argument("graph", type=Path)
+    p.add_argument("--process", action="store_true",
+                   help="print the T_i splitting process")
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("sparsify", help="NI min-cut-preserving certificate")
+    p.add_argument("graph", type=Path)
+    p.add_argument("output", type=Path)
+    p.add_argument("--slack", type=float, default=1.0,
+                   help="certificate level = slack * min degree (>= 1)")
+    p.set_defaults(func=_cmd_sparsify)
+
+    p = sub.add_parser("convert", help="translate between graph formats")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--output", type=Path, default=Path("EXPERIMENTS.md"))
+    p.add_argument("--fast", action="store_true", help="smaller instances")
+    p.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: Algorithms 1 (AMPC-MinCut), 3
+(SmallestSingletonCut) and 4 (APX-SPLIT), with their substrates."""
+
+from .bags import ReplayResult, boundary_profile, replay_min_singleton
+from .contraction import bag_at, bag_boundary_weight, contract_to_size, mst_of_keys
+from .intervals import TimeInterval, edge_intervals
+from .kcut import KCutResult, apx_split_kcut
+from .keys import ContractionKeys, draw_contraction_keys, draw_uniform_keys
+from .ldr import LevelStructure, all_level_structures, build_level_structure
+from .mincut import MinCutResult, ampc_min_cut, ampc_min_cut_boosted
+from .schedule import RecursionSchedule, ScheduleLevel, schedule_for
+from .singleton import (
+    SingletonCutResult,
+    smallest_singleton_cut,
+    smallest_singleton_cut_value,
+    verify_against_replay,
+)
+from .sweep import min_interval_overlap, min_interval_overlap_ampc
+
+__all__ = [
+    "ContractionKeys",
+    "KCutResult",
+    "LevelStructure",
+    "MinCutResult",
+    "RecursionSchedule",
+    "ReplayResult",
+    "ScheduleLevel",
+    "SingletonCutResult",
+    "TimeInterval",
+    "all_level_structures",
+    "ampc_min_cut",
+    "ampc_min_cut_boosted",
+    "apx_split_kcut",
+    "bag_at",
+    "bag_boundary_weight",
+    "boundary_profile",
+    "build_level_structure",
+    "contract_to_size",
+    "draw_contraction_keys",
+    "draw_uniform_keys",
+    "edge_intervals",
+    "min_interval_overlap",
+    "min_interval_overlap_ampc",
+    "mst_of_keys",
+    "replay_min_singleton",
+    "schedule_for",
+    "smallest_singleton_cut",
+    "smallest_singleton_cut_value",
+    "verify_against_replay",
+]

@@ -1,0 +1,121 @@
+"""Naive contraction replay — the differential oracle for Algorithm 3.
+
+Replays the contraction process edge by edge (in key order) with a
+union–find, maintaining every component's *boundary weight* (the total
+weight of edges with exactly one endpoint inside).  The minimum
+singleton cut of the process (Observation 7) is then
+
+    min(  min_v deg_w(v),                      # bags at time 0
+          min over merges of merged boundary ) # every later bag
+
+restricted to bags that are proper subsets of ``V``.
+
+Runtime is ``O(m log m)``-ish via merge-the-smaller adjacency maps —
+fast enough to differential-test the interval algorithm on thousands
+of random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..graph import Graph
+from .keys import ContractionKeys
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a full contraction replay."""
+
+    min_singleton_weight: float
+    witness_vertex: Vertex
+    witness_time: int
+    #: boundary weight of every bag created, as (time, weight) pairs
+    trace: tuple[tuple[int, float], ...]
+
+
+def replay_min_singleton(graph: Graph, keys: ContractionKeys) -> ReplayResult:
+    """Exact minimum singleton-cut weight over the whole process."""
+    if graph.num_vertices < 2:
+        raise ValueError("need at least two vertices")
+
+    # Component state: representative -> adjacency {other_rep: weight}
+    # and boundary weight.  Start: every vertex alone.
+    rep: dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+
+    def find(v: Vertex) -> Vertex:
+        root = v
+        while rep[root] != root:
+            root = rep[root]
+        while rep[v] != root:
+            rep[v], v = root, rep[v]
+        return root
+
+    adj: dict[Vertex, dict[Vertex, float]] = {v: {} for v in graph.vertices()}
+    boundary: dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+    members: dict[Vertex, int] = {v: 1 for v in graph.vertices()}
+    for u, v, w in graph.edges():
+        adj[u][v] = adj[u].get(v, 0.0) + w
+        adj[v][u] = adj[v].get(u, 0.0) + w
+        boundary[u] += w
+        boundary[v] += w
+
+    n = graph.num_vertices
+    best = min(boundary.values())
+    witness = min(boundary, key=lambda v: (boundary[v],))
+    witness_t = 0
+    trace: list[tuple[int, float]] = [(0, best)]
+
+    for k, u, v in keys.edges_by_key():
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            continue
+        # merge smaller adjacency into larger
+        if len(adj[ru]) < len(adj[rv]):
+            ru, rv = rv, ru
+        cross = adj[ru].pop(rv, 0.0)
+        adj[rv].pop(ru, None)
+        new_boundary = boundary[ru] + boundary[rv] - 2.0 * cross
+        for nbr, w in adj[rv].items():
+            # rewire nbr's view of rv to ru
+            nbr_adj = adj[nbr]
+            nbr_adj[ru] = nbr_adj.get(ru, 0.0) + w
+            del nbr_adj[rv]
+            adj[ru][nbr] = adj[ru].get(nbr, 0.0) + w
+        adj[rv].clear()
+        rep[rv] = ru
+        boundary[ru] = new_boundary
+        members[ru] += members[rv]
+        trace.append((k, new_boundary))
+        if members[ru] < n and new_boundary < best:
+            best = new_boundary
+            witness = ru
+            witness_t = k
+
+    return ReplayResult(
+        min_singleton_weight=best,
+        witness_vertex=witness,
+        witness_time=witness_t,
+        trace=tuple(trace),
+    )
+
+
+def boundary_profile(
+    graph: Graph, keys: ContractionKeys, v: Vertex
+) -> list[tuple[int, float]]:
+    """``(t, Delta bag(v, t))`` at every event time, for property tests.
+
+    Brute force via :func:`repro.core.contraction.bag_at`; quadratic,
+    use only on small graphs.
+    """
+    from .contraction import bag_at, bag_boundary_weight, mst_of_keys
+
+    times = [0] + [k for k, _, _ in mst_of_keys(graph, keys)]
+    out = []
+    for t in times:
+        bag = bag_at(graph, keys, v, t)
+        out.append((t, bag_boundary_weight(graph, bag)))
+    return out

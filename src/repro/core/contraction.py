@@ -1,0 +1,93 @@
+"""The contraction process (Section 4.1) and quotient extraction.
+
+Contracting edges in increasing key order is equivalent (for topology)
+to contracting only the MST edges of the keyed graph — the comparison
+to Kruskal the paper makes.  This module provides:
+
+* :func:`mst_of_keys` — the unique MST under unique keys;
+* :func:`contract_to_size` — the graph "after the first ``k``
+  contractions" (Algorithm 1, line 6): contract cheapest MST edges
+  until the target vertex count remains, merging parallel edges by
+  weight;
+* :func:`bag_at` — ``bag(v, t)`` by definition (Definition 6), the
+  reference semantics used in property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..graph import DSU, Graph
+from .keys import ContractionKeys
+
+Vertex = Hashable
+
+
+def mst_of_keys(
+    graph: Graph, keys: ContractionKeys
+) -> list[tuple[int, Vertex, Vertex]]:
+    """Kruskal on contraction keys: the unique MST, as (key, u, v) ascending."""
+    dsu = DSU(graph.vertices())
+    mst: list[tuple[int, Vertex, Vertex]] = []
+    for k, u, v in keys.edges_by_key():
+        if dsu.union(u, v):
+            mst.append((k, u, v))
+    return mst
+
+
+def contract_to_size(
+    graph: Graph,
+    keys: ContractionKeys,
+    target_vertices: int,
+) -> tuple[Graph, dict[Vertex, list[Vertex]]]:
+    """Contract cheapest-key MST edges until ``target_vertices`` remain.
+
+    Returns the quotient graph (parallel edges merged by weight sum,
+    self-loops dropped) and the representative->members blocks mapping
+    for lifting cuts back.  Contracts nothing if the graph is already
+    at or below the target.
+    """
+    if target_vertices < 1:
+        raise ValueError("target_vertices must be >= 1")
+    n = graph.num_vertices
+    dsu = DSU(graph.vertices())
+    remaining = n
+    if remaining > target_vertices:
+        for k, u, v in mst_of_keys(graph, keys):
+            if dsu.union(u, v):
+                remaining -= 1
+                if remaining <= target_vertices:
+                    break
+    representative = {v: dsu.find(v) for v in graph.vertices()}
+    return graph.quotient(representative)
+
+
+def bag_at(
+    graph: Graph, keys: ContractionKeys, v: Vertex, t: int
+) -> frozenset:
+    """``bag(v, t)``: vertices reachable from ``v`` by MST edges of key <= t.
+
+    Definition 6 says *tree* edges; reachability over all edges of key
+    <= t gives the same set (non-tree edges with small keys connect
+    vertices already joined by smaller tree keys — the Kruskal cycle
+    property), which tests assert.  This walks the MST.
+    """
+    adj: dict[Vertex, list[Vertex]] = {u: [] for u in graph.vertices()}
+    for k, a, b in mst_of_keys(graph, keys):
+        if k <= t:
+            adj[a].append(b)
+            adj[b].append(a)
+    out = {v}
+    stack = [v]
+    while stack:
+        x = stack.pop()
+        for y in adj[x]:
+            if y not in out:
+                out.add(y)
+                stack.append(y)
+    return frozenset(out)
+
+
+def bag_boundary_weight(graph: Graph, bag: frozenset) -> float:
+    """``Delta bag``: total weight of edges leaving the bag."""
+    return graph.cut_weight(bag) if 0 < len(bag) < graph.num_vertices else 0.0

@@ -1,0 +1,89 @@
+"""Edge time intervals (Section 4.3, Lemmas 12–13).
+
+Fix a level ``i`` and its :class:`~repro.core.ldr.LevelStructure`.  For
+every graph edge ``e = (x, y, w)`` (tree **and** non-tree — the paper
+stresses "all edges of the graph G") and every leader ``r`` whose bag
+``e`` can cross while ``r`` leads, the times ``t`` with ``e`` crossing
+``bag(r, t)`` form one integer interval (Lemma 12, by monotonicity of
+bags).  The case analysis of Lemma 13, with the path-max erratum fixed
+(DESIGN.md):
+
+* both endpoints leaderless at this level — no contribution;
+* exactly one endpoint ``x`` in a leadered component — ``x`` joins at
+  ``join_time(x)``; the other endpoint cannot arrive while ``r``
+  leads, so the interval is ``[join_time(x), ldr_time(r)]``;
+* endpoints under *different* leaders — the previous case applies on
+  both sides independently;
+* endpoints under the *same* leader — the edge crosses between the
+  first and second joins: ``[min(t_x, t_y), max(t_x, t_y) - 1]``,
+  clipped to ``[0, ldr_time(r)]`` (at ``max(t_x, t_y)`` both endpoints
+  are inside, hence the ``- 1``; another place our semantics pins down
+  the paper's ambiguous closed-interval notation).
+
+Every produced interval carries the edge's weight — for weighted Min
+Cut, ``Delta bag`` is the *weight* of the boundary, so the sweep sums
+weights rather than counting intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..graph import Graph
+from .keys import ContractionKeys
+from .ldr import LevelStructure
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed integer interval ``[start, end]`` weighted by the edge."""
+
+    start: int
+    end: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError("empty interval must not be constructed")
+        if self.start < 0:
+            raise ValueError("interval starts at a negative time")
+
+
+def edge_intervals(
+    graph: Graph,
+    level: LevelStructure,
+) -> dict[Vertex, list[TimeInterval]]:
+    """All non-empty time intervals of this level, grouped by leader."""
+    out: dict[Vertex, list[TimeInterval]] = {r: [] for r in level.ldr_time}
+    for x, y, w in graph.edges():
+        for r, a, b in _intervals_for_edge(level, x, y):
+            out[r].append(TimeInterval(start=a, end=b, weight=w))
+    return out
+
+
+def _intervals_for_edge(
+    level: LevelStructure, x: Vertex, y: Vertex
+) -> Iterator[tuple[Vertex, int, int]]:
+    rx = level.leader_of.get(x)
+    ry = level.leader_of.get(y)
+    if rx is None and ry is None:
+        return  # Case 1: the edge never touches a leader's bag here.
+    if rx is not None and rx == ry:
+        # Case 3b: both under the same leader.
+        tx, ty = level.join_time[x], level.join_time[y]
+        a, b = min(tx, ty), max(tx, ty) - 1
+        b = min(b, level.ldr_time[rx])
+        if a <= b:
+            yield (rx, a, b)
+        return
+    # Cases 2 and 3a: each leadered side contributes independently.
+    for r, v in ((rx, x), (ry, y)):
+        if r is None:
+            continue
+        a = level.join_time[v]
+        b = level.ldr_time[r]
+        if a <= b:
+            yield (r, a, b)

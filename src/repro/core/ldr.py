@@ -1,0 +1,142 @@
+"""Bag leaders and ``ldr_time`` (Section 4.2, Definition 7, Lemmas 8–11).
+
+For a level ``i`` of the low-depth decomposition, the components of
+``T_i`` (tree minus vertices of label ``< i``) each contain at most one
+vertex of label ``i`` — its **leader**.  For every vertex ``x`` in a
+leadered component we need:
+
+* ``join_time(x)`` — the first ``t`` with ``x ∈ bag(r, t)``; equals the
+  *maximum* key on the tree path from the leader ``r`` to ``x``
+  (DESIGN.md errata: the paper's Lemma 13 says "minimum", but under
+  Definition 6 a vertex joins when the whole connecting path is
+  contracted);
+* ``ldr_time(r)`` — the last ``t`` at which ``r`` still leads its bag:
+  one less than the first time the bag absorbs a lower-label vertex,
+  i.e. ``min`` over the (≤ 2, Lemma 10) boundary tree edges ``(x, y)``
+  of ``max(join_time(x), key(x, y))``, minus one.  A leader with no
+  boundary (the global minimum label) keeps leading until the bag
+  becomes all of ``V``; its ``ldr_time`` is capped at
+  ``max_mst_key - 1`` so only proper subsets are scored.
+
+Everything is computed with one DFS per component (``O(n)`` per level;
+the model-cost accounting lives in :mod:`repro.core.singleton`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..trees.low_depth import LowDepthDecomposition
+from .contraction import mst_of_keys
+from .keys import ContractionKeys
+
+Vertex = Hashable
+
+
+@dataclass
+class LevelStructure:
+    """Leaders, join times and ldr_times for one decomposition level."""
+
+    level: int
+    #: vertex -> leader of its component (only vertices in leadered comps)
+    leader_of: dict[Vertex, Vertex]
+    #: vertex -> first time it belongs to its leader's bag (0 for leaders)
+    join_time: dict[Vertex, int]
+    #: leader -> last time it still leads
+    ldr_time: dict[Vertex, int]
+    #: leader -> component vertices (for witnesses/tests)
+    component_of: dict[Vertex, list[Vertex]] = field(default_factory=dict)
+
+
+def build_level_structure(
+    decomp: LowDepthDecomposition,
+    keys: ContractionKeys,
+    level: int,
+    *,
+    max_tree_key: int,
+) -> LevelStructure:
+    """Compute the Lemma-11 quantities for one level.
+
+    ``max_tree_key`` is the largest MST-edge key (caps the unbounded
+    leader's ``ldr_time``).
+    """
+    tree = decomp.tree
+    label = decomp.label
+
+    # Components of T_level, discovered by DFS from each level-`level`
+    # vertex through vertices of label >= level.
+    leader_of: dict[Vertex, Vertex] = {}
+    join_time: dict[Vertex, int] = {}
+    ldr_time: dict[Vertex, int] = {}
+    component_of: dict[Vertex, list[Vertex]] = {}
+
+    leaders = [v for v, l in label.items() if l == level]
+    for r in leaders:
+        comp = [r]
+        leader_of[r] = r
+        join_time[r] = 0
+        stack = [r]
+        first_crossing: int | None = None
+        while stack:
+            v = stack.pop()
+            t_v = join_time[v]
+            neighbours = list(tree.children[v])
+            p = tree.parent[v]
+            if p is not None:
+                neighbours.append(p)
+            for u in neighbours:
+                k = keys.of(u, v)
+                if label[u] >= level:
+                    # Trees have unique paths, so each vertex is
+                    # discovered once; the membership test also skips
+                    # the DFS parent.
+                    if u not in join_time:
+                        leader_of[u] = r
+                        join_time[u] = max(t_v, k)
+                        comp.append(u)
+                        stack.append(u)
+                else:
+                    # Boundary edge (Lemma 10: at most two per component).
+                    crossing = max(t_v, k)
+                    if first_crossing is None or crossing < first_crossing:
+                        first_crossing = crossing
+        if first_crossing is None:
+            ldr_time[r] = max_tree_key - 1
+        else:
+            ldr_time[r] = first_crossing - 1
+        component_of[r] = comp
+
+    return LevelStructure(
+        level=level,
+        leader_of=leader_of,
+        join_time=join_time,
+        ldr_time=ldr_time,
+        component_of=component_of,
+    )
+
+
+def all_level_structures(
+    decomp: LowDepthDecomposition, keys: ContractionKeys
+) -> list[LevelStructure]:
+    """Level structures for every level ``1..height`` (Lemma 9's tuples)."""
+    graph_max = max(
+        (k for k, _, _ in _tree_keys(decomp, keys)),
+        default=0,
+    )
+    return [
+        build_level_structure(decomp, keys, i, max_tree_key=graph_max)
+        for i in range(1, decomp.height + 1)
+    ]
+
+
+def _tree_keys(decomp: LowDepthDecomposition, keys: ContractionKeys):
+    for child, parent in decomp.tree.edges():
+        yield keys.of(child, parent), child, parent
+
+
+def leaders_are_unique(decomp: LowDepthDecomposition) -> bool:
+    """Lemma 8 check: every ``T_i`` component has at most one leader."""
+    from ..trees.validate import is_valid_decomposition
+
+    return is_valid_decomposition(decomp.tree, decomp.label)

@@ -1,0 +1,22 @@
+"""Max-flow substrate: Dinic, push–relabel, and Gomory–Hu trees."""
+
+from .dinic import DinicSolver, FlowResult, min_st_cut
+from .gomory_hu import (
+    GomoryHuEdge,
+    GomoryHuTree,
+    gomory_hu_tree,
+    gomory_hu_tree_contracted,
+)
+from .push_relabel import PushRelabelSolver, min_st_cut_push_relabel
+
+__all__ = [
+    "DinicSolver",
+    "FlowResult",
+    "GomoryHuEdge",
+    "GomoryHuTree",
+    "PushRelabelSolver",
+    "gomory_hu_tree",
+    "gomory_hu_tree_contracted",
+    "min_st_cut",
+    "min_st_cut_push_relabel",
+]

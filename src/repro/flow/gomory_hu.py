@@ -1,0 +1,282 @@
+"""Gomory–Hu trees (Definition 8) via Gusfield's algorithm.
+
+A Gomory–Hu tree of ``G`` is a weighted tree on ``V(G)`` in which, for
+every pair ``s, t``, the minimum edge weight on the tree path equals
+the ``s``-``t`` min cut of ``G``.  Theorem 2's proof orders the tree's
+edges by weight and compares APX-SPLIT's greedy choices against the
+prefix of that order (Observation 10); E5 reuses exactly that
+machinery as a quality reference.
+
+Gusfield's variant needs ``n - 1`` max-flow calls and no vertex
+contraction; it returns a *flow-equivalent* tree (same pairwise cut
+values — the property Definition 8 demands).  Each tree edge also
+records the concrete side found by its max-flow call, so the
+Saran–Vazirani union-of-cuts construction can be materialised.
+
+Property-tested: min edge on tree path == direct Dinic min cut for all
+pairs on small random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..graph import Graph
+from .dinic import DinicSolver
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class GomoryHuEdge:
+    """One tree edge: child—parent with the cut value and child side."""
+
+    child: Vertex
+    parent: Vertex
+    weight: float
+    child_side: frozenset
+
+
+@dataclass
+class GomoryHuTree:
+    """The tree plus query helpers."""
+
+    graph: Graph
+    edges: tuple[GomoryHuEdge, ...]
+
+    def min_cut_between(self, s: Vertex, t: Vertex) -> float:
+        """Min s-t cut = minimum edge weight on the tree path."""
+        if s == t:
+            raise ValueError("s == t")
+        parent = {e.child: (e.parent, e.weight) for e in self.edges}
+        # climb both to the root collecting path minima
+        def path_to_root(v: Vertex) -> list[tuple[Vertex, float]]:
+            out = [(v, float("inf"))]
+            while v in parent:
+                v, w = parent[v][0], parent[v][1]
+                out.append((v, w))
+            return out
+
+        ps = path_to_root(s)
+        pt = path_to_root(t)
+        on_s = {v: i for i, (v, _) in enumerate(ps)}
+        best_t = float("inf")
+        meet = None
+        for v, w in pt:
+            best_t = min(best_t, w)
+            if v in on_s:
+                meet = v
+                break
+        assert meet is not None
+        best_s = float("inf")
+        for v, w in ps:
+            # ``w`` is the weight of the edge *entering* ``v`` from the
+            # s side, which lies on the s->meet path even when v==meet.
+            best_s = min(best_s, w)
+            if v == meet:
+                break
+        return min(best_s, best_t)
+
+    def edges_by_weight(self) -> list[GomoryHuEdge]:
+        """Tree edges sorted by non-decreasing weight (Theorem 2's order)."""
+        return sorted(self.edges, key=lambda e: e.weight)
+
+    def min_cut_value(self) -> float:
+        """Global min cut = lightest tree edge."""
+        return min(e.weight for e in self.edges)
+
+    def kcut_upper_bound(self, k: int) -> float:
+        """Saran–Vazirani: union of the k-1 lightest GH cuts.
+
+        Returns the total weight of edges removed by unioning the
+        ``k-1`` lightest tree edges' recorded sides — a
+        ``(2 - 2/k)``-approximation of Min k-Cut (their Theorem 6 /
+        paper Observation 10 + Theorem 6).
+        """
+        if not 2 <= k <= self.graph.num_vertices:
+            raise ValueError("need 2 <= k <= n")
+        chosen = self.edges_by_weight()[: k - 1]
+        removed: set[tuple[Vertex, Vertex]] = set()
+        for e in chosen:
+            side = e.child_side
+            for u, v, _ in self.graph.edges():
+                if (u in side) != (v in side):
+                    removed.add((u, v))
+        return float(
+            sum(
+                w
+                for u, v, w in self.graph.edges()
+                if (u, v) in removed or (v, u) in removed
+            )
+        )
+
+
+def gomory_hu_tree(graph: Graph, *, engine: str = "dinic") -> GomoryHuTree:
+    """Build the (flow-equivalent) Gomory–Hu tree with Gusfield's method.
+
+    ``engine`` selects the max-flow implementation: ``"dinic"``
+    (default) or ``"push_relabel"`` — two independently-derived solvers
+    whose agreement the flow tests cross-check, so a flow bug cannot
+    silently skew the k-cut quality numbers built on this tree.
+    """
+    vertices = graph.vertices()
+    if len(vertices) < 2:
+        raise ValueError("need n >= 2")
+    if len(graph.components()) != 1:
+        raise ValueError("graph must be connected")
+    if engine == "dinic":
+        solver = DinicSolver(graph)
+    elif engine == "push_relabel":
+        from .push_relabel import PushRelabelSolver
+
+        solver = PushRelabelSolver(graph)
+    else:
+        raise ValueError(f"unknown flow engine {engine!r}")
+    root = vertices[0]
+    parent: dict[Vertex, Vertex] = {v: root for v in vertices[1:]}
+    weight: dict[Vertex, float] = {}
+    side_of: dict[Vertex, frozenset] = {}
+    for i, v in enumerate(vertices[1:], start=1):
+        res = solver.max_flow(v, parent[v])
+        weight[v] = res.value
+        side_of[v] = res.source_side
+        for u in vertices[i + 1 :]:
+            if parent[u] == parent[v] and u in res.source_side:
+                parent[u] = v
+    edges = tuple(
+        GomoryHuEdge(
+            child=v, parent=parent[v], weight=weight[v], child_side=side_of[v]
+        )
+        for v in vertices[1:]
+    )
+    return GomoryHuTree(graph=graph, edges=edges)
+
+
+def gomory_hu_tree_contracted(
+    graph: Graph, *, engine: str = "dinic"
+) -> GomoryHuTree:
+    """The original Gomory–Hu construction (with vertex contraction).
+
+    Gusfield's variant (:func:`gomory_hu_tree`) runs every max-flow on
+    the *full* graph; the 1961 construction instead contracts, for each
+    split, every already-separated subtree to a single vertex, so its
+    flows run on shrinking graphs.  Both satisfy Definition 8; they may
+    return *different* trees (min cuts are not unique), which makes
+    their agreement on all n(n-1)/2 pairwise cut values a strong
+    differential test of the whole flow stack — and on large dense
+    inputs the contracted variant is the faster of the two.
+
+    Implementation: the supernode-splitting loop from Gomory & Hu's
+    paper.  Each tree edge records the concrete original-vertex side of
+    its defining cut, so ``kcut_upper_bound`` works identically.
+    """
+    vertices = graph.vertices()
+    if len(vertices) < 2:
+        raise ValueError("need n >= 2")
+    if len(graph.components()) != 1:
+        raise ValueError("graph must be connected")
+    if engine == "dinic":
+        solver_cls = DinicSolver
+    elif engine == "push_relabel":
+        from .push_relabel import PushRelabelSolver
+
+        solver_cls = PushRelabelSolver
+    else:
+        raise ValueError(f"unknown flow engine {engine!r}")
+
+    # Tree over supernodes: nodes[i] is a set of original vertices.
+    nodes: list[set] = [set(vertices)]
+    adj: dict[int, dict[int, float]] = {0: {}}
+    # side_of[(i, j)]: original vertices on j's side of tree edge {i, j}.
+    side_of: dict[tuple[int, int], frozenset] = {}
+
+    while True:
+        split = next((i for i, s in enumerate(nodes) if len(s) > 1), None)
+        if split is None:
+            break
+        members = sorted(nodes[split], key=str)
+        s, t = members[0], members[1]
+
+        # Components of the tree minus `split`, each contracted to one
+        # quotient vertex.
+        comp_of: dict[int, int] = {}
+        for start in adj[split]:
+            if start in comp_of:
+                continue
+            comp_id = len(set(comp_of.values()))
+            stack = [start]
+            comp_of[start] = comp_id
+            while stack:
+                x = stack.pop()
+                for y in adj[x]:
+                    if y != split and y not in comp_of:
+                        comp_of[y] = comp_of[x]
+                        stack.append(y)
+        rep: dict = {}
+        for v in nodes[split]:
+            rep[v] = v
+        for node_idx, comp_id in comp_of.items():
+            for v in nodes[node_idx]:
+                rep[v] = ("component", comp_id)
+        quotient, _ = graph.quotient(rep)
+
+        res = solver_cls(quotient).max_flow(s, t)
+        a_side = res.source_side  # quotient vertices, contains s
+
+        # Split the supernode along the cut.
+        s_a = {v for v in nodes[split] if v in a_side}
+        s_b = nodes[split] - s_a
+        new = len(nodes)
+        nodes[split] = s_a
+        nodes.append(s_b)
+        adj[new] = {}
+        # Original-vertex side of the new edge, on `new`'s (t's) side.
+        b_vertices = frozenset(
+            v for v in vertices if rep[v] not in a_side
+        )
+
+        # Reattach former neighbours by which side their contraction fell.
+        for nbr in list(adj[split]):
+            w = adj[split][nbr]
+            stored = side_of.pop((split, nbr))
+            stored_rev = side_of.pop((nbr, split))
+            contracted = ("component", comp_of[nbr])
+            if contracted not in a_side:
+                del adj[split][nbr]
+                del adj[nbr][split]
+                adj[new][nbr] = w
+                adj[nbr][new] = w
+                side_of[(new, nbr)] = stored
+                side_of[(nbr, new)] = stored_rev
+            else:
+                side_of[(split, nbr)] = stored
+                side_of[(nbr, split)] = stored_rev
+        adj[split][new] = res.value
+        adj[new][split] = res.value
+        side_of[(split, new)] = b_vertices
+        side_of[(new, split)] = frozenset(vertices) - b_vertices
+
+    # Root the singleton tree at vertices[0] and emit parent edges.
+    only = {next(iter(s)): i for i, s in enumerate(nodes)}
+    root_idx = only[vertices[0]]
+    parent_edges: list[GomoryHuEdge] = []
+    seen = {root_idx}
+    stack = [root_idx]
+    vertex_of = {i: next(iter(s)) for i, s in enumerate(nodes)}
+    while stack:
+        x = stack.pop()
+        for y, w in adj[x].items():
+            if y in seen:
+                continue
+            seen.add(y)
+            stack.append(y)
+            parent_edges.append(
+                GomoryHuEdge(
+                    child=vertex_of[y],
+                    parent=vertex_of[x],
+                    weight=w,
+                    child_side=side_of[(x, y)],
+                )
+            )
+    return GomoryHuTree(graph=graph, edges=tuple(parent_edges))

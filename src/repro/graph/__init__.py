@@ -1,0 +1,51 @@
+"""Graph substrate: weighted graphs, cuts, union-find, serialization."""
+
+from .cuts import Cut, KCut, kcut_weight, lift_cut, min_singleton_cut, singleton_cut_weight
+from .dsu import DSU
+from .graph import Graph
+from .formats import (
+    load_dimacs,
+    load_metis,
+    read_dimacs,
+    read_metis,
+    save_dimacs,
+    save_metis,
+    write_dimacs,
+    write_metis,
+)
+from .io import load_graph, read_edgelist, save_graph, write_edgelist
+from .sparsify import (
+    NIScan,
+    ni_certificate,
+    ni_edge_starts,
+    ni_forest_partition,
+    sparsify_preserving_min_cut,
+)
+
+__all__ = [
+    "Cut",
+    "NIScan",
+    "DSU",
+    "Graph",
+    "KCut",
+    "kcut_weight",
+    "lift_cut",
+    "load_dimacs",
+    "load_graph",
+    "load_metis",
+    "min_singleton_cut",
+    "ni_certificate",
+    "ni_edge_starts",
+    "ni_forest_partition",
+    "read_dimacs",
+    "read_edgelist",
+    "read_metis",
+    "save_dimacs",
+    "save_graph",
+    "save_metis",
+    "singleton_cut_weight",
+    "sparsify_preserving_min_cut",
+    "write_dimacs",
+    "write_edgelist",
+    "write_metis",
+]

@@ -1,0 +1,210 @@
+"""DIMACS and METIS graph formats.
+
+The library's native edge list (:mod:`repro.graph.io`) is explicit but
+nobody else speaks it.  Cut/partitioning workloads in the wild come as:
+
+* **DIMACS** (the min-cut/max-flow challenge format)::
+
+      c comment
+      p <problem> <n> <m>
+      e <u> <v> [w]        -- 1-based vertex ids
+
+  ``read_dimacs`` accepts any problem tag (``edge``, ``cut``, ``max``),
+  merges duplicate edges by weight sum (the cut-preserving semantics of
+  :class:`~repro.graph.graph.Graph`), and ignores self-loops with a
+  warning counter rather than erroring (real DIMACS files contain
+  them; they can never cross a cut).
+
+* **METIS / Chaco** (the partitioner input format)::
+
+      % comment
+      <n> <m> [fmt]
+      <adjacency of vertex 1, as "nbr [w] nbr [w] ..." >
+      ...
+
+  ``fmt`` is the standard 3-digit flag string; this reader supports
+  ``0``/``001`` (edge weights off/on) and rejects vertex-weighted
+  variants (``01x``, ``1xx``) loudly since dropping vertex weights
+  silently would corrupt a partitioning experiment.
+
+Both readers produce 1-based integer vertices exactly as written, so a
+graph round-trips bit-for-bit through its own writer; both writers
+normalise to sorted vertex order for reproducible files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from .graph import Graph
+
+
+
+def _vertex_sort_key(v) -> tuple:
+    """Numeric order for int vertices, lexicographic for the rest."""
+    if isinstance(v, bool):  # bool is an int subclass; keep it textual
+        return (1, 0, str(v))
+    if isinstance(v, int):
+        return (0, v, "")
+    return (1, 0, str(v))
+
+
+# ----------------------------------------------------------------------
+# DIMACS
+# ----------------------------------------------------------------------
+def write_dimacs(graph: Graph, fp: TextIO, *, problem: str = "cut") -> None:
+    """Write the DIMACS edge format, remapping vertices to ``1..n``."""
+    order = sorted(graph.vertices(), key=_vertex_sort_key)
+    vid = {v: i + 1 for i, v in enumerate(order)}
+    fp.write(f"c repro graph: {graph.num_vertices} vertices\n")
+    fp.write(f"p {problem} {graph.num_vertices} {graph.num_edges}\n")
+    for u, v, w in sorted(graph.edges(), key=lambda e: (vid[e[0]], vid[e[1]])):
+        a, b = sorted((vid[u], vid[v]))
+        if w == int(w):
+            fp.write(f"e {a} {b} {int(w)}\n")
+        else:
+            fp.write(f"e {a} {b} {w!r}\n")
+
+
+def read_dimacs(fp: TextIO) -> Graph:
+    """Parse a DIMACS edge-format file into a :class:`Graph`.
+
+    Vertices are the 1-based integers of the file.  Duplicate edges
+    merge by weight sum; self-loops are skipped (they cannot cross any
+    cut).  Unweighted ``e u v`` lines get weight 1.
+    """
+    n_declared: int | None = None
+    g = Graph()
+    for lineno, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if n_declared is not None:
+                raise ValueError(f"line {lineno}: second problem line")
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: malformed problem line")
+            n_declared = int(parts[2])
+            for v in range(1, n_declared + 1):
+                g.add_vertex(v)
+        elif parts[0] in ("e", "a"):
+            if n_declared is None:
+                raise ValueError(f"line {lineno}: edge before problem line")
+            if len(parts) not in (3, 4):
+                raise ValueError(f"line {lineno}: malformed edge line")
+            u, v = int(parts[1]), int(parts[2])
+            w = float(parts[3]) if len(parts) == 4 else 1.0
+            if not (1 <= u <= n_declared and 1 <= v <= n_declared):
+                raise ValueError(
+                    f"line {lineno}: vertex out of range 1..{n_declared}"
+                )
+            if u == v:
+                continue  # self-loops never cross a cut
+            g.add_edge(u, v, w)
+        else:
+            raise ValueError(f"line {lineno}: unrecognised {parts[0]!r} line")
+    if n_declared is None:
+        raise ValueError("missing problem line")
+    return g
+
+
+def save_dimacs(graph: Graph, path: str | Path, *, problem: str = "cut") -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        write_dimacs(graph, fp, problem=problem)
+
+
+def load_dimacs(path: str | Path) -> Graph:
+    with open(path, "r", encoding="utf-8") as fp:
+        return read_dimacs(fp)
+
+
+# ----------------------------------------------------------------------
+# METIS
+# ----------------------------------------------------------------------
+def write_metis(graph: Graph, fp: TextIO) -> None:
+    """Write METIS adjacency format (with edge weights, fmt=001)."""
+    order = sorted(graph.vertices(), key=_vertex_sort_key)
+    vid = {v: i + 1 for i, v in enumerate(order)}
+    adj = graph.adjacency()
+    weighted = any(w != 1.0 for _, _, w in graph.edges())
+    fmt = " 001" if weighted else ""
+    fp.write(f"{graph.num_vertices} {graph.num_edges}{fmt}\n")
+    for v in order:
+        row: list[str] = []
+        for u, w in sorted(adj[v].items(), key=lambda kv: vid[kv[0]]):
+            row.append(str(vid[u]))
+            if weighted:
+                row.append(str(int(w)) if w == int(w) else repr(w))
+        fp.write(" ".join(row) + "\n")
+
+
+def read_metis(fp: TextIO) -> Graph:
+    """Parse METIS adjacency format (fmt 0 or 001) into a :class:`Graph`."""
+    header: list[str] | None = None
+    rows: list[str] = []
+    for raw in fp:
+        line = raw.strip()
+        if line.startswith("%"):
+            continue
+        if header is None:
+            if not line:
+                continue  # leading blanks before the header
+            header = line.split()
+        else:
+            # blank lines after the header are *rows*: a vertex with an
+            # empty adjacency list (isolated vertex)
+            rows.append(line)
+    if header is None:
+        raise ValueError("empty METIS file")
+    if len(header) not in (2, 3):
+        raise ValueError(f"malformed METIS header: {header}")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) == 3 else "0"
+    fmt = fmt.zfill(3)
+    if fmt[0] != "0" or fmt[1] != "0":
+        raise ValueError(
+            f"METIS fmt {fmt!r}: vertex weights/sizes are not supported"
+        )
+    has_ew = fmt[2] == "1"
+    if len(rows) < n:
+        # blank adjacency lines for isolated trailing vertices are legal
+        rows.extend([""] * (n - len(rows)))
+    if len(rows) > n:
+        raise ValueError(f"expected {n} adjacency lines, found {len(rows)}")
+
+    g = Graph(vertices=range(1, n + 1))
+    for i, line in enumerate(rows, start=1):
+        toks = line.split()
+        step = 2 if has_ew else 1
+        if len(toks) % step:
+            raise ValueError(f"vertex {i}: odd token count with edge weights")
+        for j in range(0, len(toks), step):
+            u = int(toks[j])
+            w = float(toks[j + 1]) if has_ew else 1.0
+            if not 1 <= u <= n:
+                raise ValueError(f"vertex {i}: neighbour {u} out of range")
+            if u == i:
+                continue
+            if g.has_edge(i, u):  # listed from both endpoints
+                if abs(g.weight(i, u) - w) > 1e-9:
+                    raise ValueError(
+                        f"edge ({i},{u}): asymmetric weights "
+                        f"{g.weight(i, u)} vs {w}"
+                    )
+                continue
+            g.add_edge(i, u, w)
+    if g.num_edges != m:
+        raise ValueError(f"header declared {m} edges, parsed {g.num_edges}")
+    return g
+
+
+def save_metis(graph: Graph, path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        write_metis(graph, fp)
+
+
+def load_metis(path: str | Path) -> Graph:
+    with open(path, "r", encoding="utf-8") as fp:
+        return read_metis(fp)

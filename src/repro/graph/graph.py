@@ -1,0 +1,243 @@
+"""Weighted undirected graph with contraction support.
+
+The cut algorithms need exactly these operations, all cheap here:
+
+* iterate edges with weights (numpy-friendly columnar storage),
+* weighted degree / cut evaluation,
+* quotient by a vertex partition (Karger contraction), merging
+  parallel edges by *summing* weights and dropping self-loops — the
+  operation Algorithm 1 line 6 performs after "the first k
+  contractions",
+* edge deletion (APX-SPLIT removes chosen cut edges),
+* connected components / induced subgraphs (APX-SPLIT recurses on
+  components).
+
+Vertices are arbitrary hashables externally; internally edges are kept
+as index triples into a vertex list so numpy can batch-evaluate cuts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .dsu import DSU
+
+Vertex = Hashable
+Edge = tuple[Hashable, Hashable, float]
+
+
+class Graph:
+    """Simple weighted undirected graph (no parallel edges, no loops).
+
+    Parallel edges supplied to the constructor are merged by summing
+    their weights — the correct semantics for cut problems, where a
+    bundle of parallel edges crosses a cut exactly as their total
+    weight.  Self-loops are rejected (they can never cross a cut).
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[tuple[Vertex, Vertex] | Edge] = (),
+    ):
+        self._vertices: list[Vertex] = []
+        self._index: dict[Vertex, int] = {}
+        self._weights: dict[tuple[int, int], float] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for e in edges:
+            if len(e) == 2:
+                u, v = e  # type: ignore[misc]
+                w = 1.0
+            else:
+                u, v, w = e  # type: ignore[misc]
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        if v not in self._index:
+            self._index[v] = len(self._vertices)
+            self._vertices.append(v)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Add (or reinforce) edge ``{u, v}`` with positive weight."""
+        if u == v:
+            raise ValueError(f"self-loop on {u!r} rejected")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        key = self._ekey(u, v)
+        self._weights[key] = self._weights.get(key, 0.0) + float(weight)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> float:
+        """Delete edge ``{u, v}`` entirely; returns its weight."""
+        return self._weights.pop(self._ekey(u, v))
+
+    def _ekey(self, u: Vertex, v: Vertex) -> tuple[int, int]:
+        iu, iv = self._index[u], self._index[v]
+        return (iu, iv) if iu < iv else (iv, iu)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._weights)
+
+    def vertices(self) -> list[Vertex]:
+        return list(self._vertices)
+
+    def edges(self) -> Iterator[Edge]:
+        for (iu, iv), w in self._weights.items():
+            yield (self._vertices[iu], self._vertices[iv], w)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        try:
+            return self._ekey(u, v) in self._weights
+        except KeyError:
+            return False
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        return self._weights[self._ekey(u, v)]
+
+    def total_weight(self) -> float:
+        return float(sum(self._weights.values()))
+
+    def neighbors(self, v: Vertex) -> list[Vertex]:
+        iv = self._index[v]
+        out = []
+        for iu, iw in self._weights:
+            if iu == iv:
+                out.append(self._vertices[iw])
+            elif iw == iv:
+                out.append(self._vertices[iu])
+        return out
+
+    def degree(self, v: Vertex) -> float:
+        """Weighted degree of ``v`` (= weight of the singleton cut {v})."""
+        iv = self._index[v]
+        return float(
+            sum(w for (iu, iw), w in self._weights.items() if iv in (iu, iw))
+        )
+
+    def adjacency(self) -> dict[Vertex, dict[Vertex, float]]:
+        adj: dict[Vertex, dict[Vertex, float]] = {v: {} for v in self._vertices}
+        for (iu, iv), w in self._weights.items():
+            u, v = self._vertices[iu], self._vertices[iv]
+            adj[u][v] = w
+            adj[v][u] = w
+        return adj
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar edge view ``(us, vs, ws)`` of vertex indices/weights."""
+        m = len(self._weights)
+        us = np.empty(m, dtype=np.int64)
+        vs = np.empty(m, dtype=np.int64)
+        ws = np.empty(m, dtype=np.float64)
+        for i, ((iu, iv), w) in enumerate(self._weights.items()):
+            us[i], vs[i], ws[i] = iu, iv, w
+        return us, vs, ws
+
+    def index_of(self, v: Vertex) -> int:
+        return self._index[v]
+
+    # ------------------------------------------------------------------
+    # Cut evaluation
+    # ------------------------------------------------------------------
+    def cut_weight(self, side: Iterable[Vertex]) -> float:
+        """Total weight crossing the cut ``(side, V \\ side)``.
+
+        Vectorised over the edge arrays; ``side`` may be any iterable of
+        vertices present in the graph.
+        """
+        mask = np.zeros(len(self._vertices), dtype=bool)
+        for v in side:
+            mask[self._index[v]] = True
+        us, vs, ws = self.edge_arrays()
+        crossing = mask[us] ^ mask[vs]
+        return float(ws[crossing].sum())
+
+    def partition_cut_weight(self, parts: Sequence[Iterable[Vertex]]) -> float:
+        """Total weight of edges joining *different* parts of a partition."""
+        label = np.full(len(self._vertices), -1, dtype=np.int64)
+        for p, part in enumerate(parts):
+            for v in part:
+                label[self._index[v]] = p
+        if (label < 0).any():
+            raise ValueError("partition does not cover all vertices")
+        us, vs, ws = self.edge_arrays()
+        return float(ws[label[us] != label[vs]].sum())
+
+    # ------------------------------------------------------------------
+    # Structure operations
+    # ------------------------------------------------------------------
+    def components(self) -> list[list[Vertex]]:
+        """Connected components (each sorted by internal index)."""
+        dsu = DSU(range(len(self._vertices)))
+        for iu, iv in self._weights:
+            dsu.union(iu, iv)
+        groups = dsu.groups()
+        return [
+            [self._vertices[i] for i in sorted(members)]
+            for _, members in sorted(groups.items(), key=lambda kv: min(kv[1]))
+        ]
+
+    def induced_subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        keep_set = set(keep)
+        sub = Graph(vertices=[v for v in self._vertices if v in keep_set])
+        for u, v, w in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def quotient(
+        self, representative: Mapping[Vertex, Vertex]
+    ) -> tuple["Graph", dict[Vertex, list[Vertex]]]:
+        """Contract vertex groups (Karger contraction).
+
+        ``representative`` maps every vertex to its group representative.
+        Parallel edges merge by weight sum; intra-group edges vanish.
+
+        Returns the quotient graph and ``blocks``: representative ->
+        list of original vertices, so cuts in the quotient can be
+        lifted back to cuts of the original graph.
+        """
+        blocks: dict[Vertex, list[Vertex]] = {}
+        for v in self._vertices:
+            blocks.setdefault(representative[v], []).append(v)
+        q = Graph(vertices=list(blocks.keys()))
+        for u, v, w in self.edges():
+            ru, rv = representative[u], representative[v]
+            if ru != rv:
+                q.add_edge(ru, rv, w)
+        return q, blocks
+
+    def without_edges(self, cut_edges: Iterable[tuple[Vertex, Vertex]]) -> "Graph":
+        """Copy of the graph minus the given edges (APX-SPLIT's G')."""
+        removed = set()
+        for u, v in cut_edges:
+            removed.add(self._ekey(u, v))
+        g = Graph(vertices=self._vertices)
+        for (iu, iv), w in self._weights.items():
+            if (iu, iv) not in removed:
+                g.add_edge(self._vertices[iu], self._vertices[iv], w)
+        return g
+
+    def copy(self) -> "Graph":
+        g = Graph(vertices=self._vertices)
+        for (iu, iv), w in self._weights.items():
+            g.add_edge(self._vertices[iu], self._vertices[iv], w)
+        return g
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,76 @@
+"""Edge-list serialization.
+
+A minimal, dependency-free text format::
+
+    # comment
+    n_vertices
+    u v weight
+    ...
+
+Vertices are written by ``repr``-stable string; on load they come back
+as ints when they parse as ints, else strings.  Sufficient for sharing
+benchmark workloads and example graphs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from .graph import Graph
+
+
+def write_edgelist(graph: Graph, fp: TextIO) -> None:
+    """Serialize ``graph`` to an open text file."""
+    fp.write(f"{graph.num_vertices}\n")
+    order = {v: i for i, v in enumerate(graph.vertices())}
+    for v in graph.vertices():
+        fp.write(f"v {_fmt(v)}\n")
+    for u, v, w in sorted(graph.edges(), key=lambda e: (order[e[0]], order[e[1]])):
+        fp.write(f"e {_fmt(u)} {_fmt(v)} {w!r}\n")
+
+
+def read_edgelist(fp: TextIO) -> Graph:
+    """Parse a graph previously written by :func:`write_edgelist`."""
+    header = fp.readline()
+    if not header:
+        raise ValueError("empty edge-list file")
+    n = int(header.strip())
+    g = Graph()
+    for line in fp:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "v":
+            g.add_vertex(_parse(parts[1]))
+        elif parts[0] == "e":
+            g.add_edge(_parse(parts[1]), _parse(parts[2]), float(parts[3]))
+        else:
+            raise ValueError(f"unrecognised line: {line!r}")
+    if g.num_vertices != n:
+        raise ValueError(
+            f"header declared {n} vertices but {g.num_vertices} were listed"
+        )
+    return g
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        write_edgelist(graph, fp)
+
+
+def load_graph(path: str | Path) -> Graph:
+    with open(path, "r", encoding="utf-8") as fp:
+        return read_edgelist(fp)
+
+
+def _fmt(v) -> str:
+    return str(v)
+
+
+def _parse(s: str):
+    try:
+        return int(s)
+    except ValueError:
+        return s

@@ -1,0 +1,19 @@
+"""Executable MPC model (non-adaptive twin of :mod:`repro.ampc`).
+
+Machines exchange messages at round boundaries only — no mid-round
+reads.  Used by bench E14 to *measure* the AMPC-vs-MPC model gap the
+paper's introduction argues from (1-vs-2-cycle), instead of merely
+pricing it with the Ghaffari–Nowicki cost model.
+"""
+
+from .primitives import mpc_connectivity, mpc_list_rank, mpc_reduce
+from .runtime import MPCMachineContext, MPCProgram, MPCRuntime
+
+__all__ = [
+    "MPCMachineContext",
+    "MPCProgram",
+    "MPCRuntime",
+    "mpc_connectivity",
+    "mpc_list_rank",
+    "mpc_reduce",
+]

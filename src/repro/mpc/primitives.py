@@ -1,0 +1,332 @@
+"""MPC primitives with *measured* message rounds.
+
+Each primitive here is the non-adaptive twin of an AMPC primitive in
+:mod:`repro.ampc.primitives`, implemented with genuine message passing
+on :class:`~repro.mpc.runtime.MPCRuntime`:
+
+* :func:`mpc_reduce` — ``n^eps``-ary aggregation tree, ``O(1/eps)``
+  rounds.  Deliberately included: reduction is *not* where the models
+  separate, and the bench uses it as the control row.
+* :func:`mpc_list_rank` — pointer doubling, ``2·⌈log₂ n⌉`` message
+  rounds (a query round and a reply round per doubling).  The AMPC
+  version walks chains adaptively in ``O(1/eps)`` rounds.
+* :func:`mpc_connectivity` — hook-to-minimum + pointer jumping
+  (Shiloach–Vishkin style), ``Θ(log n)`` iterations of a constant
+  number of message rounds.  This is the workload behind the
+  1-vs-2-cycle conjecture: in MPC the ``log n`` is believed necessary,
+  while AMPC connectivity finishes in ``O(1/eps)`` rounds — bench E14
+  measures exactly this gap.
+
+Every primitive returns both the answer and the runtime so callers can
+read measured rounds off the ledger; results are differentially tested
+against sequential oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Mapping, Sequence
+
+from ..ampc.config import AMPCConfig
+from ..ampc.ledger import RoundLedger
+from .runtime import MPCMachineContext, MPCRuntime
+
+Vertex = Hashable
+
+
+# ----------------------------------------------------------------------
+# Reduce (the control: constant rounds in both models)
+# ----------------------------------------------------------------------
+def mpc_reduce(
+    config: AMPCConfig,
+    values: Sequence[Any],
+    op,
+    *,
+    ledger: RoundLedger | None = None,
+) -> Any:
+    """Reduce ``values`` with associative ``op`` over an aggregation tree.
+
+    Leaves are packed ``chunk``-per-machine; each level fans in by the
+    chunk factor, so the tree has ``O(1/eps)`` levels.
+    """
+    if not values:
+        raise ValueError("cannot reduce an empty sequence")
+    runtime = MPCRuntime(config, ledger=ledger)
+    chunk = max(2, config.local_memory_words // 8)
+
+    leaves = [
+        list(values[lo : lo + chunk]) for lo in range(0, len(values), chunk)
+    ]
+    runtime.seed({("lvl", 0, j): vals for j, vals in enumerate(leaves)})
+
+    level = 0
+    width = len(leaves)
+    while width > 1:
+        up_level = level + 1
+
+        def push_up(ctx: MPCMachineContext, _lvl: int = level) -> None:
+            mid = ctx.machine_id
+            if (
+                isinstance(mid, tuple)
+                and mid[0] == "lvl"
+                and mid[1] == _lvl
+                and ctx.state
+            ):
+                acc = ctx.state[0]
+                for v in ctx.state[1:]:
+                    acc = op(acc, v)
+                ctx.send(("lvl", _lvl + 1, mid[2] // chunk), acc)
+                ctx.state = None  # this machine's work is done
+
+        def absorb(ctx: MPCMachineContext, _lvl: int = up_level) -> None:
+            mid = ctx.machine_id
+            if isinstance(mid, tuple) and mid[0] == "lvl" and mid[1] == _lvl:
+                if ctx.inbox:
+                    ctx.state = list(ctx.inbox)
+
+        runtime.round(push_up, f"reduce: level {level} -> {up_level}")
+        runtime.round(absorb, f"reduce: absorb level {up_level}")
+        level = up_level
+        width = math.ceil(width / chunk)
+
+    result = runtime.state_of(("lvl", level, 0))
+    acc = result[0]
+    for v in result[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# List ranking (pointer doubling: 2 rounds per doubling)
+# ----------------------------------------------------------------------
+def mpc_list_rank(
+    config: AMPCConfig,
+    successor: Mapping[Vertex, Vertex | None],
+    *,
+    ledger: RoundLedger | None = None,
+) -> dict[Vertex, int]:
+    """Rank list nodes by distance to their tail via pointer doubling.
+
+    State per node machine: ``[succ, dist]`` with the invariant
+    ``rank(v) = dist(v) + rank(succ(v))`` (``rank(tail) = 0``).  Each
+    doubling is a query round (ask your successor) plus a reply round
+    (successor answers with its own ``(succ, dist)``).
+    """
+    runtime = MPCRuntime(config, ledger=ledger)
+    runtime.seed(
+        {
+            ("node", v): [successor[v], 1 if successor[v] is not None else 0]
+            for v in successor
+        }
+    )
+
+    def query(ctx: MPCMachineContext) -> None:
+        if ctx.state is None:
+            return
+        succ, _ = ctx.state
+        if succ is not None:
+            ctx.send(("node", succ), ("q", ctx.machine_id[1]))
+
+    def reply_and_apply(ctx: MPCMachineContext) -> None:
+        if ctx.state is None:
+            return
+        succ, dist = ctx.state
+        for msg in ctx.inbox:
+            if msg[0] == "q":
+                ctx.send(("node", msg[1]), ("r", succ, dist))
+
+    def apply(ctx: MPCMachineContext) -> None:
+        if ctx.state is None:
+            return
+        succ, dist = ctx.state
+        for msg in ctx.inbox:
+            if msg[0] == "r":
+                succ2, dist2 = msg[1], msg[2]
+                ctx.state = [succ2, dist + dist2]
+
+    def all_done(states: dict) -> bool:
+        return all(
+            s is None or s[0] is None for s in states.values()
+        )
+
+    doublings = 0
+    limit = 2 * max(1, math.ceil(math.log2(max(2, len(successor))))) + 4
+    while not all_done(runtime.states()):
+        if doublings > limit:
+            raise ValueError(
+                "pointer doubling did not converge; is the list acyclic?"
+            )
+        runtime.round(query, f"list rank: query (doubling {doublings})")
+        runtime.round(reply_and_apply, f"list rank: reply (doubling {doublings})")
+        runtime.round(apply, f"list rank: apply (doubling {doublings})")
+        doublings += 1
+
+    return {
+        mid[1]: state[1]
+        for mid, state in runtime.states().items()
+        if state is not None and isinstance(mid, tuple) and mid[0] == "node"
+    }
+
+
+# ----------------------------------------------------------------------
+# Connectivity (hook to minimum root + pointer jumping, relay trees)
+# ----------------------------------------------------------------------
+def mpc_connectivity(
+    config: AMPCConfig,
+    vertices: Sequence[Vertex],
+    edges: Sequence[tuple[Vertex, Vertex]],
+    *,
+    ledger: RoundLedger | None = None,
+    max_iterations: int | None = None,
+) -> dict[Vertex, Vertex]:
+    """Component labels via Shiloach–Vishkin hook-and-jump.
+
+    Vertex machines hold a parent pointer (initially themselves); edge
+    machines repeatedly (a) fetch both endpoints' parents, (b) propose
+    hooking the larger parent onto the smaller, after which (c) roots
+    accept their minimum proposal and (d) every vertex pointer-jumps.
+    ``O(log n)`` iterations of a constant number of message rounds —
+    the ``Θ(log n)`` MPC connectivity cost the AMPC model removes.
+
+    Fan-in discipline: a star component's root would receive
+    ``Θ(component)`` queries per jump, far beyond ``O(n^eps)`` local
+    memory, so *all* traffic to a hot machine flows through ``b``-ary
+    **relay trees** (``b ~`` machine capacity): fetches ascend with
+    query coalescing and descend as broadcasts; hook proposals ascend
+    with min-combining.  That is exactly how shuffle combiners bound
+    reducer fan-in in real MapReduce — and it costs extra *constant*
+    rounds per iteration, never breaking the ``Θ(log n)`` shape.
+
+    Returns vertex -> component label (the minimum vertex of its
+    component, by the given ``vertices`` order).
+    """
+    order = {v: i for i, v in enumerate(vertices)}
+    n, m = len(vertices), len(edges)
+    if max_iterations is None:
+        max_iterations = 4 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+    runtime = MPCRuntime(config, ledger=ledger)
+    b = max(2, config.local_memory_words // 12)
+    population = max(2, n, m)
+    depth = 1
+    while b ** (depth + 1) < population:
+        depth += 1
+
+    states: dict = {("v", v): ["par", v] for v in vertices}
+    for j, (u, v) in enumerate(edges):
+        states[("e", j)] = ["edge", u, v]
+    runtime.seed(states)
+
+    def _relay_up(mid: tuple) -> tuple:
+        """Parent of a fetch/combine relay, or the target vertex at top."""
+        kind, tgt, lvl, blk = mid
+        if lvl == depth - 1:
+            return ("v", tgt)
+        return (kind, tgt, lvl + 1, blk // b)
+
+    def universal(ctx: MPCMachineContext) -> None:
+        """Relay routing + vertices answering coalesced queries.
+
+        Fetch relays ("r", target, level, block): "q" messages ascend
+        (requesters remembered in relay state), "a" messages broadcast
+        back down.  Combine relays ("c", target, level, block): "h"
+        proposals ascend keeping only the minimum.  Vertices answer "q"
+        with their current parent pointer.
+        """
+        mid = ctx.machine_id
+        if mid[0] == "r":
+            pending = [msg[1] for msg in ctx.inbox if msg[0] == "q"]
+            if pending:
+                ctx.state = (ctx.state or []) + pending
+                ctx.send(_relay_up(mid), ("q", mid))
+            for msg in ctx.inbox:
+                if msg[0] == "a":
+                    answer = msg if len(msg) == 3 else ("a", mid[1], msg[1])
+                    for requester in ctx.state or []:
+                        ctx.send(requester, answer)
+                    ctx.state = None
+        elif mid[0] == "c":
+            proposals = [msg[1] for msg in ctx.inbox if msg[0] == "h"]
+            if proposals:
+                best = min(proposals, key=lambda p: order[p])
+                ctx.send(_relay_up(mid), ("h", best))
+        elif mid[0] == "v" and ctx.state is not None:
+            for msg in ctx.inbox:
+                if msg[0] == "q":
+                    ctx.send(msg[1], ("a", ctx.state[1]))
+
+    def edge_fetch_pars(ctx: MPCMachineContext) -> None:
+        universal(ctx)
+        mid = ctx.machine_id
+        if mid[0] == "e" and ctx.state is not None:
+            j = mid[1]
+            _, u, v = ctx.state[:3]
+            ctx.send(("r", u, 0, j // b), ("q", mid))
+            if u != v:
+                ctx.send(("r", v, 0, j // b), ("q", mid))
+
+    def edge_propose(ctx: MPCMachineContext) -> None:
+        universal(ctx)
+        mid = ctx.machine_id
+        if mid[0] == "e" and ctx.state is not None:
+            _, u, v = ctx.state[:3]
+            pars = {msg[1]: msg[2] for msg in ctx.inbox if msg[0] == "a"}
+            pu, pv = pars.get(u), pars.get(v)
+            if pu is not None and pv is not None and pu != pv:
+                lo, hi = sorted((pu, pv), key=lambda p: order[p])
+                ctx.send(("c", hi, 0, mid[1] // b), ("h", lo))
+
+    def vertex_accept_and_jump_query(ctx: MPCMachineContext) -> None:
+        universal(ctx)
+        mid = ctx.machine_id
+        if mid[0] == "v" and ctx.state is not None:
+            proposals = [msg[1] for msg in ctx.inbox if msg[0] == "h"]
+            if proposals and ctx.state[1] == mid[1]:  # only roots hook
+                best = min(proposals, key=lambda p: order[p])
+                if order[best] < order[mid[1]]:
+                    ctx.state = ["par", best]
+            # fetch the grandparent through the parent's relay tree
+            ctx.send(("r", ctx.state[1], 0, order[mid[1]] // b), ("q", mid))
+
+    def vertex_apply_jump(ctx: MPCMachineContext) -> None:
+        universal(ctx)
+        mid = ctx.machine_id
+        if mid[0] == "v" and ctx.state is not None:
+            for msg in ctx.inbox:
+                if msg[0] == "a":
+                    ctx.state = ["par", msg[2]]
+
+    def converged(states: dict) -> bool:
+        par = {
+            mid[1]: s[1]
+            for mid, s in states.items()
+            if mid[0] == "v" and s is not None
+        }
+        if any(par[par[v]] != par[v] for v in par):
+            return False
+        return all(par[u] == par[v] for u, v in edges)
+
+    fetch_span = 2 * depth + 1  # ascend + answer + descend
+    iterations = 0
+    while not converged(runtime.states()):
+        if iterations >= max_iterations:
+            raise RuntimeError("connectivity did not converge")
+        it = iterations
+        runtime.round(edge_fetch_pars, f"connectivity: fetch pars (it {it})")
+        for _ in range(fetch_span):
+            runtime.round(universal, f"connectivity: relay traffic (it {it})")
+        runtime.round(edge_propose, f"connectivity: hook proposals (it {it})")
+        for _ in range(depth):
+            runtime.round(universal, f"connectivity: combine ascent (it {it})")
+        runtime.round(
+            vertex_accept_and_jump_query, f"connectivity: accept + jump? (it {it})"
+        )
+        for _ in range(fetch_span):
+            runtime.round(universal, f"connectivity: relay traffic (it {it})")
+        runtime.round(vertex_apply_jump, f"connectivity: pointer jump (it {it})")
+        iterations += 1
+
+    return {
+        mid[1]: s[1]
+        for mid, s in runtime.states().items()
+        if mid[0] == "v" and s is not None
+    }

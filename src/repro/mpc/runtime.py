@@ -1,0 +1,191 @@
+"""A genuine (non-adaptive) MPC runtime, for measuring the model gap.
+
+:mod:`repro.baselines.gn_mpc` prices Ghaffari–Nowicki's algorithm with
+a *cost model*; this module is the stronger artefact: an executable MPC
+simulator whose primitives really exchange messages, so the paper's
+headline contrast — **AMPC reads adaptively mid-round, MPC cannot** —
+shows up as *measured* round counts on the same workloads (bench E14).
+
+The model, following Karloff–Suri–Vassilvitskii and Section 1.1 of the
+paper:
+
+* machines hold ``O(n^eps)`` words of **state**;
+* a round = every machine runs on ``(state, inbox)`` and emits messages
+  for other machines; messages are delivered only at the round
+  boundary — nothing a machine did not request *last* round can reach
+  it this round (this is exactly the restriction AMPC lifts);
+* per-machine inbox + outbox must fit local memory (the standard I/O
+  constraint).
+
+The defining *absence* here is any ``read()``: an
+:class:`MPCMachineContext` exposes state, inbox, and ``send`` — there
+is deliberately no way to fetch remote data within a round.  Pointer
+chasing therefore costs a round per hop unless the algorithm doubles
+pointers, which is where the ``Θ(log n)`` factors in MPC connectivity
+and list ranking come from (and what the 1-vs-2-cycle conjecture says
+cannot be avoided).
+
+Machines are addressed by arbitrary hashable ids and materialise
+lazily: sending to a fresh id creates that machine with ``None`` state
+(the standard "vertex machine / edge machine" idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+from ..ampc.config import AMPCConfig
+from ..ampc.dht import word_size
+from ..ampc.errors import MemoryLimitExceeded
+from ..ampc.ledger import RoundLedger
+
+MachineId = Hashable
+
+
+class MPCMachineContext:
+    """What one machine sees during one MPC round.
+
+    ``state`` is the machine's persisted local memory from the previous
+    round; ``inbox`` the messages delivered at the last round boundary.
+    The program mutates state via :attr:`state` assignment and
+    communicates *only* through :meth:`send`.
+    """
+
+    def __init__(
+        self,
+        machine_id: MachineId,
+        state: Any,
+        inbox: list[Any],
+        local_limit: int,
+    ):
+        self.machine_id = machine_id
+        self.state = state
+        self.inbox = inbox
+        self._local_limit = int(local_limit)
+        self._out: list[tuple[MachineId, Any]] = []
+        self._out_words = 0
+        base = word_size(state) + word_size(inbox)
+        self._peak = base
+        if base > self._local_limit:
+            raise MemoryLimitExceeded(base, self._local_limit, machine_id)
+
+    def send(self, to: MachineId, message: Any) -> None:
+        """Queue ``message`` for delivery to machine ``to`` next round."""
+        self._out.append((to, message))
+        self._out_words += word_size(message)
+        used = (
+            word_size(self.state)
+            + word_size(self.inbox)
+            + self._out_words
+        )
+        self._peak = max(self._peak, used)
+        if used > self._local_limit:
+            raise MemoryLimitExceeded(used, self._local_limit, self.machine_id)
+
+    @property
+    def peak_words(self) -> int:
+        return max(self._peak, word_size(self.state) + self._out_words)
+
+
+MPCProgram = Callable[[MPCMachineContext], None]
+
+
+class MPCRuntime:
+    """Executes one MPC program over a set of stateful machines."""
+
+    def __init__(self, config: AMPCConfig, ledger: RoundLedger | None = None):
+        self.config = config
+        self.ledger = ledger if ledger is not None else RoundLedger()
+        self._state: dict[MachineId, Any] = {}
+        self._inbox: dict[MachineId, list[Any]] = {}
+        self._rounds_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_run(self) -> int:
+        return self._rounds_run
+
+    def seed(self, states: Mapping[MachineId, Any] | Iterable[tuple[MachineId, Any]]) -> None:
+        """Install initial machine states (the input distribution)."""
+        items = states.items() if isinstance(states, Mapping) else states
+        for mid, state in items:
+            self._state[mid] = state
+            self._inbox.setdefault(mid, [])
+
+    def state_of(self, mid: MachineId) -> Any:
+        """Host-side readout of a machine's state (not a round)."""
+        return self._state.get(mid)
+
+    def states(self) -> dict[MachineId, Any]:
+        """Host-side snapshot of all machine states."""
+        return dict(self._state)
+
+    # ------------------------------------------------------------------
+    def round(self, program: MPCProgram, reason: str) -> None:
+        """Run ``program`` on every live machine; deliver messages after.
+
+        A machine is *live* if it has state or pending messages.  All
+        machines run the same program (SPMD, the MapReduce idiom);
+        per-machine behaviour branches on state/inbox contents.
+        """
+        live = {m for m, s in self._state.items() if s is not None} | {
+            m for m, box in self._inbox.items() if box
+        }
+        outboxes: dict[MachineId, list[Any]] = {}
+        local_peak = 0
+        messages = 0
+        for mid in sorted(live, key=repr):
+            ctx = MPCMachineContext(
+                mid,
+                self._state.get(mid),
+                self._inbox.get(mid, []),
+                self.config.local_memory_words,
+            )
+            program(ctx)
+            self._state[mid] = ctx.state
+            local_peak = max(local_peak, ctx.peak_words)
+            for to, message in ctx._out:
+                outboxes.setdefault(to, []).append(message)
+                messages += 1
+
+        # Round boundary: deliver everything at once.
+        self._inbox = outboxes
+        for to in outboxes:
+            self._state.setdefault(to, None)
+        # Receiver-side I/O constraint: an inbox must fit local memory.
+        for to, box in outboxes.items():
+            inbox_words = word_size(box)
+            if inbox_words > self.config.local_memory_words:
+                raise MemoryLimitExceeded(
+                    inbox_words, self.config.local_memory_words, to
+                )
+        self._rounds_run += 1
+        total = sum(word_size(s) for s in self._state.values()) + sum(
+            word_size(b) for b in self._inbox.values()
+        )
+        self.ledger.measure(
+            1,
+            reason,
+            local_peak=local_peak,
+            total_peak=total,
+            queries=messages,
+        )
+
+    def run_until(
+        self,
+        program: MPCProgram,
+        done: Callable[[dict[MachineId, Any]], bool],
+        reason: str,
+        *,
+        max_rounds: int = 10_000,
+    ) -> int:
+        """Iterate ``program`` until ``done(states)``; returns rounds used."""
+        used = 0
+        while not done(self.states()):
+            if used >= max_rounds:
+                raise RuntimeError(
+                    f"MPC program did not converge within {max_rounds} rounds"
+                )
+            self.round(program, f"{reason} [iter {used}]")
+            used += 1
+        return used

@@ -1,0 +1,146 @@
+"""Heavy-light decomposition (Section 3.2, Definitions 2–3, Obs. 1–2).
+
+Definition 2 (Sleator–Tarjan): for every internal vertex ``v``, the
+edge to the child with the largest subtree is **heavy** (ties broken
+deterministically by picking the first such child in child order); all
+other child edges are **light**.  Under this definition *every internal
+vertex has exactly one descending heavy edge* (Observation 2), which is
+the property the paper's meta-tree needs — it deviates from Ghaffari
+and Nowicki, who only mark an edge heavy when the child's subtree is
+large in absolute terms.
+
+Definition 3: a **heavy path** is a maximal path of heavy edges.  By
+Observation 2 heavy paths partition the vertex set (a leaf that is the
+heavy child of its parent extends its parent's path; every other leaf
+is a singleton path).
+
+Observation 1: any root-to-vertex path crosses at most ``O(log n)``
+light edges — each light edge at least halves the subtree size.  The
+explicit constant (``<= floor(log2 n)``) is asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from .rooted import RootedTree
+
+Vertex = Hashable
+
+
+@dataclass
+class HeavyLight:
+    """Heavy-light decomposition of a rooted tree.
+
+    Attributes
+    ----------
+    heavy_child:
+        ``heavy_child[v]`` is the unique heavy child of internal ``v``
+        (absent for leaves).
+    paths:
+        The heavy paths, each listed **top-down** (shallowest vertex
+        first).  Singleton paths appear for vertices on no heavy edge.
+    path_of:
+        Vertex -> index into :attr:`paths`.
+    position:
+        Vertex -> index within its heavy path.
+    """
+
+    tree: RootedTree
+    heavy_child: dict[Vertex, Vertex]
+    paths: list[list[Vertex]]
+    path_of: dict[Vertex, int]
+    position: dict[Vertex, int]
+
+    # ------------------------------------------------------------------
+    def is_heavy_edge(self, child: Vertex, parent: Vertex) -> bool:
+        """Is (child, parent) a heavy edge (w.r.t. the rooted tree)?"""
+        return self.heavy_child.get(parent) == child
+
+    def path_head(self, v: Vertex) -> Vertex:
+        """Shallowest vertex of ``v``'s heavy path."""
+        return self.paths[self.path_of[v]][0]
+
+    def light_edges_to_root(self, v: Vertex) -> int:
+        """Number of light edges on the path from ``v`` to the root."""
+        count = 0
+        cur: Vertex | None = v
+        tree = self.tree
+        while tree.parent[cur] is not None:
+            p = tree.parent[cur]
+            if not self.is_heavy_edge(cur, p):
+                count += 1
+            cur = p
+        return count
+
+    def heavy_paths_to_root(self, v: Vertex) -> int:
+        """Number of distinct heavy paths met walking from ``v`` to root."""
+        seen = set()
+        cur: Vertex | None = v
+        while cur is not None:
+            seen.add(self.path_of[cur])
+            cur = self.tree.parent[cur]
+        return len(seen)
+
+    def validate(self) -> None:
+        """Check Observation 2 and the partition property."""
+        covered: set[Vertex] = set()
+        for path in self.paths:
+            for a, b in zip(path, path[1:]):
+                if self.heavy_child.get(a) != b:
+                    raise ValueError(f"non-heavy edge inside path at {a!r}->{b!r}")
+            overlap = covered.intersection(path)
+            if overlap:
+                raise ValueError(f"paths overlap on {overlap!r}")
+            covered.update(path)
+        if covered != set(self.tree.parent.keys()):
+            raise ValueError("paths do not cover the vertex set")
+        for v in self.tree.parent:
+            if self.tree.children[v] and v not in self.heavy_child:
+                raise ValueError(f"internal vertex {v!r} lacks a heavy child")
+
+
+def heavy_light_decomposition(tree: RootedTree) -> HeavyLight:
+    """Compute the decomposition (host-side; the AMPC cost is Lemma 5's).
+
+    The heavy child of each internal vertex is the child with maximum
+    subtree size, first-in-child-order on ties — deterministic, as
+    Definition 2's "arbitrarily choose exactly one" permits.
+    """
+    heavy_child: dict[Vertex, Vertex] = {}
+    for v in tree.parent:
+        kids = tree.children[v]
+        if not kids:
+            continue
+        best = kids[0]
+        for c in kids[1:]:
+            if tree.subtree_size[c] > tree.subtree_size[best]:
+                best = c
+        heavy_child[v] = best
+
+    # Heavy paths: start at every vertex whose parent edge is light (or
+    # absent) and follow heavy children downwards.
+    paths: list[list[Vertex]] = []
+    path_of: dict[Vertex, int] = {}
+    position: dict[Vertex, int] = {}
+    for v in tree.parent:
+        p = tree.parent[v]
+        starts_path = p is None or heavy_child.get(p) != v
+        if not starts_path:
+            continue
+        path = [v]
+        while path[-1] in heavy_child:
+            path.append(heavy_child[path[-1]])
+        idx = len(paths)
+        paths.append(path)
+        for pos, u in enumerate(path):
+            path_of[u] = idx
+            position[u] = pos
+    return HeavyLight(
+        tree=tree,
+        heavy_child=heavy_child,
+        paths=paths,
+        path_of=path_of,
+        position=position,
+    )

@@ -1,0 +1,186 @@
+"""Generalized low-depth tree decomposition (Section 3, Algorithm 2).
+
+Definition 1: a labeling ``l : V(T) -> [h]`` with ``h = O(log^2 n)``
+such that for every level ``i``, each connected component induced on
+``T_i = {v : l(v) >= i}`` contains **at most one** vertex with label
+``i``.  The construction (Lemma 7):
+
+1. root the tree (Lemma 4);
+2. heavy-light decompose it and contract heavy paths to the meta tree
+   (Lemma 5);
+3. replace each heavy path by its binarized path (Lemma 6), forming
+   the *expanded meta tree* whose depth is ``O(log^2 n)``
+   (Observation 6: ``O(log n)`` meta levels x ``O(log n)`` binarized
+   depth);
+4. label every original vertex with the expanded-meta-tree depth of
+   its *anchor*: the highest binarized-path node whose right child has
+   the vertex as its leftmost leaf-descendant (or the vertex's own
+   leaf when no such node exists).
+
+The AMPC cost is ``O(1/eps)`` rounds (Lemma 3); the genuinely-executed
+round measurements come from the rooting/list-ranking primitives, the
+rest is charged per Lemmas 5–7 (see the pipeline in
+:func:`low_depth_decomposition_ampc`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..ampc import AMPCConfig, RoundLedger
+from .binarized import BinarizedPath, binarize_path
+from .heavy_light import HeavyLight, heavy_light_decomposition
+from .meta_tree import MetaTree, build_meta_tree
+from .rooted import RootedTree, root_tree, root_tree_ampc
+
+Vertex = Hashable
+
+
+@dataclass
+class LowDepthDecomposition:
+    """The labeling plus every intermediate structure (for inspection).
+
+    ``label[v]`` is the level of ``v`` (1-based).  ``height`` is
+    ``max(label)``; Definition 1 requires ``height = O(log^2 n)``.
+    """
+
+    tree: RootedTree
+    hl: HeavyLight
+    meta: MetaTree
+    binarized: dict[int, BinarizedPath]
+    offset: dict[int, int]
+    label: dict[Vertex, int]
+
+    @property
+    def height(self) -> int:
+        return max(self.label.values())
+
+    def levels(self) -> dict[int, list[Vertex]]:
+        """Level -> vertices with that label (the paper's ``L_i``)."""
+        out: dict[int, list[Vertex]] = {}
+        for v, l in self.label.items():
+            out.setdefault(l, []).append(v)
+        return out
+
+    def expanded_leaf_depth(self, v: Vertex) -> int:
+        """Depth of ``v``'s leaf in the expanded meta tree."""
+        m = self.meta.meta_of(v)
+        return self.offset[m] + self.binarized[m].leaf_depth(v)
+
+    def height_bound(self) -> int:
+        """The explicit ``O(log^2 n)`` envelope asserted by tests.
+
+        Each meta level contributes at most ``floor(log2 n) + 1``
+        binarized depth, and there are at most ``floor(log2 n) + 1``
+        meta levels on any root path (Observation 1).
+        """
+        n = self.tree.num_vertices
+        log = math.floor(math.log2(max(2, n))) + 1
+        return log * log
+
+
+def low_depth_decomposition(
+    vertices: Sequence[Vertex],
+    edges: Iterable[tuple[Vertex, Vertex]],
+    *,
+    root: Vertex | None = None,
+    precomputed_tree: RootedTree | None = None,
+) -> LowDepthDecomposition:
+    """Algorithm 2 (host-side computation; see the AMPC variant below)."""
+    tree = (
+        precomputed_tree
+        if precomputed_tree is not None
+        else root_tree(vertices, edges, root=root)
+    )
+    return _decompose_from_tree(tree)
+
+
+def low_depth_decomposition_ampc(
+    vertices: Sequence[Vertex],
+    edges: Iterable[tuple[Vertex, Vertex]],
+    *,
+    config: AMPCConfig | None = None,
+    ledger: RoundLedger | None = None,
+    root: Vertex | None = None,
+) -> LowDepthDecomposition:
+    """Algorithm 2 with AMPC round accounting (Lemma 3).
+
+    Rooting runs genuinely on the simulator (measured rounds); the
+    remaining steps charge the costs proven in Lemmas 5–7.
+    """
+    vertices = list(vertices)
+    edge_list = list(edges)
+    if config is None:
+        config = AMPCConfig(n_input=max(1, len(vertices)))
+    tree = root_tree_ampc(
+        vertices, edge_list, config=config, ledger=ledger, root=root
+    )
+    decomp = _decompose_from_tree(tree)
+    if ledger is not None:
+        n = max(2, len(vertices))
+        log2n = math.ceil(math.log2(n))
+        ledger.charge(
+            config.rounds_per_primitive,
+            "Lemma 5: meta-tree construction via forest connectivity",
+            local_peak=config.local_memory_words,
+            total_peak=n * log2n * log2n,
+        )
+        ledger.charge(
+            config.rounds_per_primitive,
+            "Lemma 6: binarized-path construction + preorder mapping",
+            local_peak=config.local_memory_words,
+            total_peak=n * log2n,
+        )
+        ledger.charge(
+            1,
+            "Lemma 7: vertex labeling by adaptive root-path walks",
+            local_peak=config.local_memory_words,
+            total_peak=n * log2n * log2n,
+        )
+    return decomp
+
+
+def _decompose_from_tree(tree: RootedTree) -> LowDepthDecomposition:
+    hl = heavy_light_decomposition(tree)
+    meta = build_meta_tree(hl)
+    binarized: dict[int, BinarizedPath] = {
+        m: binarize_path(path) for m, path in enumerate(hl.paths)
+    }
+
+    # Expanded-meta-tree depth offsets: the root of meta vertex m's
+    # binarized tree hangs below the *leaf* of the attach vertex in the
+    # parent meta vertex, so children start at that leaf's expanded depth.
+    offset: dict[int, int] = {}
+
+    def compute_offset(m: int) -> int:
+        cached = offset.get(m)
+        if cached is not None:
+            return cached
+        p = meta.parent[m]
+        if p is None:
+            val = 0
+        else:
+            attach = meta.attach[m]
+            val = compute_offset(p) + binarized[p].leaf_depth(attach)
+        offset[m] = val
+        return val
+
+    for m in meta.parent:
+        compute_offset(m)
+
+    label: dict[Vertex, int] = {}
+    for m, bp in binarized.items():
+        base = offset[m]
+        for v in bp.path:
+            label[v] = base + bp.anchor_depth(v)
+
+    return LowDepthDecomposition(
+        tree=tree,
+        hl=hl,
+        meta=meta,
+        binarized=binarized,
+        offset=offset,
+        label=label,
+    )

@@ -1,0 +1,122 @@
+"""Meta tree (Section 3.2, Definition 4, Lemma 5).
+
+Contracting every heavy path of the heavy-light decomposition to a
+single **meta vertex** yields the meta tree ``T_M``.  Two meta vertices
+are adjacent when some light edge of ``T`` joins their heavy paths.
+Because heavy paths partition the vertices (Observation 2), the
+contraction is well-defined, and ``T_M`` is itself a tree rooted at the
+meta vertex containing the root of ``T``.
+
+Lemma 5's AMPC cost (``O(1/eps)`` rounds) comes from forest
+connectivity on the heavy forest; heavy paths are *paths*, so the
+genuinely-executed route is list ranking — the meta-tree experiments
+use :func:`repro.ampc.primitives.connectivity.ampc_forest_components`
+for that.  This module is the fast host-side constructor the pipeline
+uses, with identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from .heavy_light import HeavyLight
+from .rooted import RootedTree
+
+Vertex = Hashable
+MetaVertex = int  # index of the heavy path
+
+
+@dataclass
+class MetaTree:
+    """The contracted tree of heavy paths.
+
+    Attributes
+    ----------
+    hl:
+        The underlying heavy-light decomposition (paths index = meta id).
+    parent:
+        Meta vertex -> parent meta vertex (None for the root path).
+    children:
+        Meta vertex -> child meta vertices in deterministic order.
+    attach:
+        For each non-root meta vertex ``P``, the vertex of the *parent
+        path* that the head of ``P`` hangs from (the light edge's upper
+        endpoint).
+    depth:
+        Meta-tree depth (root path = 1).
+    """
+
+    hl: HeavyLight
+    parent: dict[MetaVertex, MetaVertex | None]
+    children: dict[MetaVertex, list[MetaVertex]]
+    attach: dict[MetaVertex, Vertex]
+    depth: dict[MetaVertex, int]
+
+    @property
+    def root(self) -> MetaVertex:
+        return self.hl.path_of[self.hl.tree.root]
+
+    @property
+    def num_meta_vertices(self) -> int:
+        return len(self.parent)
+
+    def meta_path(self, m: MetaVertex) -> list[Vertex]:
+        """Original vertices of meta vertex ``m``, top-down."""
+        return self.hl.paths[m]
+
+    def meta_of(self, v: Vertex) -> MetaVertex:
+        return self.hl.path_of[v]
+
+    def validate(self) -> None:
+        """Tree-ness and attachment consistency."""
+        root = self.root
+        if self.parent[root] is not None:
+            raise ValueError("root meta vertex must have no parent")
+        tree = self.hl.tree
+        for m, p in self.parent.items():
+            if p is None:
+                continue
+            head = self.hl.paths[m][0]
+            up = tree.parent[head]
+            if up is None or self.hl.path_of[up] != p:
+                raise ValueError(f"meta parent of {m} inconsistent")
+            if self.attach[m] != up:
+                raise ValueError(f"attach vertex of {m} inconsistent")
+            if self.depth[m] != self.depth[p] + 1:
+                raise ValueError(f"meta depth broken at {m}")
+
+
+def build_meta_tree(hl: HeavyLight) -> MetaTree:
+    """Contract heavy paths into the meta tree (Definition 4)."""
+    tree: RootedTree = hl.tree
+    parent: dict[MetaVertex, MetaVertex | None] = {}
+    children: dict[MetaVertex, list[MetaVertex]] = {
+        m: [] for m in range(len(hl.paths))
+    }
+    attach: dict[MetaVertex, Vertex] = {}
+    for m, path in enumerate(hl.paths):
+        head = path[0]
+        up = tree.parent[head]
+        if up is None:
+            parent[m] = None
+        else:
+            pm = hl.path_of[up]
+            parent[m] = pm
+            children[pm].append(m)
+            attach[m] = up
+    depth: dict[MetaVertex, int] = {}
+
+    def meta_depth(m: MetaVertex) -> int:
+        d = depth.get(m)
+        if d is None:
+            p = parent[m]
+            d = 1 if p is None else meta_depth(p) + 1
+            depth[m] = d
+        return d
+
+    for m in parent:
+        meta_depth(m)
+    return MetaTree(
+        hl=hl, parent=parent, children=children, attach=attach, depth=depth
+    )

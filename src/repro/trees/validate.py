@@ -1,0 +1,95 @@
+"""Definition-1 validity checking and decomposition forests.
+
+The check: for every level ``i``, the components induced on
+``T_i = {v : label(v) >= i}`` must each contain at most one vertex of
+label ``i``.  Also exposes :func:`level_components` (the ``T_i``
+component structure) and :func:`boundary_edges` (Lemma 10: each
+component of ``T_i`` has at most two tree edges to ``V \\ T_i``), which
+Section 4's ``ldr_time`` computation consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..graph.dsu import DSU
+from .low_depth import LowDepthDecomposition
+from .rooted import RootedTree
+
+Vertex = Hashable
+
+
+def check_definition_1(
+    tree: RootedTree, label: dict[Vertex, int]
+) -> None:
+    """Raise ``ValueError`` if the labeling violates Definition 1."""
+    if set(label) != set(tree.parent):
+        raise ValueError("labeling must cover exactly the vertex set")
+    levels = sorted(set(label.values()))
+    for i in levels:
+        comps = level_components(tree, label, i)
+        for comp in comps:
+            hits = [v for v in comp if label[v] == i]
+            if len(hits) > 1:
+                raise ValueError(
+                    f"level {i}: component with {len(hits)} vertices of "
+                    f"label {i}: {hits[:5]!r}..."
+                )
+
+
+def is_valid_decomposition(tree: RootedTree, label: dict[Vertex, int]) -> bool:
+    try:
+        check_definition_1(tree, label)
+    except ValueError:
+        return False
+    return True
+
+
+def level_components(
+    tree: RootedTree, label: dict[Vertex, int], i: int
+) -> list[list[Vertex]]:
+    """Connected components of ``T_i = {v : label(v) >= i}``."""
+    keep = {v for v, l in label.items() if l >= i}
+    dsu = DSU(keep)
+    for child, parent in tree.edges():
+        if child in keep and parent in keep:
+            dsu.union(child, parent)
+    return list(dsu.groups().values())
+
+
+def boundary_edges(
+    tree: RootedTree,
+    label: dict[Vertex, int],
+    component: Iterable[Vertex],
+    i: int,
+) -> list[tuple[Vertex, Vertex]]:
+    """Tree edges from a ``T_i`` component to vertices of label ``< i``.
+
+    Lemma 10 asserts there are at most two; tests verify.  Returned as
+    ``(inside, outside)`` pairs.
+    """
+    comp = set(component)
+    out: list[tuple[Vertex, Vertex]] = []
+    for v in comp:
+        p = tree.parent[v]
+        if p is not None and p not in comp and label[p] < i:
+            out.append((v, p))
+        for c in tree.children[v]:
+            if c not in comp and label[c] < i:
+                out.append((v, c))
+    return out
+
+
+def decomposition_forest_sequence(
+    decomp: LowDepthDecomposition,
+) -> list[list[list[Vertex]]]:
+    """The splitting process: components of ``T_1, T_2, ..., T_h``.
+
+    ``T_1`` is the whole tree; as ``i`` grows, removing lower-label
+    vertices splits the forest until only isolated vertices remain —
+    the process Section 3's prose describes.
+    """
+    return [
+        level_components(decomp.tree, decomp.label, i)
+        for i in range(1, decomp.height + 1)
+    ]

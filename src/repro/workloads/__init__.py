@@ -1,0 +1,59 @@
+"""Workload generators and classic datasets for experiments and examples."""
+
+from .classic import (
+    KARATE_INSTRUCTOR_FACTION,
+    dolphins,
+    karate_club,
+    karate_factions,
+)
+from .generators import (
+    PlantedCutInstance,
+    PlantedKCutInstance,
+    barbell,
+    cycle,
+    erdos_renyi,
+    grid,
+    leaf_spine,
+    planted_cut,
+    planted_kcut,
+    power_law,
+    random_regular_ish,
+    two_cycles,
+    wheel,
+)
+from .trees import (
+    balanced_binary,
+    broom,
+    caterpillar,
+    paper_figure1_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+__all__ = [
+    "KARATE_INSTRUCTOR_FACTION",
+    "PlantedCutInstance",
+    "PlantedKCutInstance",
+    "balanced_binary",
+    "barbell",
+    "broom",
+    "caterpillar",
+    "cycle",
+    "dolphins",
+    "erdos_renyi",
+    "grid",
+    "karate_club",
+    "leaf_spine",
+    "karate_factions",
+    "paper_figure1_tree",
+    "path_tree",
+    "planted_cut",
+    "planted_kcut",
+    "power_law",
+    "random_regular_ish",
+    "random_tree",
+    "star_tree",
+    "two_cycles",
+    "wheel",
+]

@@ -1,0 +1,97 @@
+"""Classic small real-world graphs (embedded, public domain).
+
+The synthetic generators in :mod:`repro.workloads.generators` have
+*planted* structure with known optima; these two datasets are the
+standard sanity check that the algorithms behave on graphs nobody
+planted:
+
+* :func:`karate_club` — Zachary's karate club (1977): 34 members, 78
+  friendship edges, and the famous observed fission into the factions
+  of the instructor (vertex 1) and the administrator (vertex 34).
+  The k-cut examples/benches test whether cheap cuts align with the
+  documented split.
+* :func:`dolphins` — a **reconstruction** of Lusseau's Doubtful
+  Sound bottlenose dolphin social network (2003).  This copy has 61
+  dolphins and 157 ties (the published network has 62/159; two ties
+  and one peripheral animal are missing), so treat it as "a realistic
+  unplanted social network with the dolphin topology", not as the
+  verbatim dataset.  Its two-community structure is intact.
+
+The karate edge list is reproduced verbatim from the published dataset
+(34 members, 78 ties, original 1-based ids) — the faction split and
+its 10-edge cut check out exactly.  Weights are uniform 1.0 — the
+published networks are unweighted.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph
+
+# Zachary, W. W. (1977). An information flow model for conflict and
+# fission in small groups. Journal of Anthropological Research 33.
+_KARATE_EDGES = [
+    (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9),
+    (1, 11), (1, 12), (1, 13), (1, 14), (1, 18), (1, 20), (1, 22),
+    (1, 32), (2, 3), (2, 4), (2, 8), (2, 14), (2, 18), (2, 20), (2, 22),
+    (2, 31), (3, 4), (3, 8), (3, 9), (3, 10), (3, 14), (3, 28), (3, 29),
+    (3, 33), (4, 8), (4, 13), (4, 14), (5, 7), (5, 11), (6, 7), (6, 11),
+    (6, 17), (7, 17), (9, 31), (9, 33), (9, 34), (10, 34), (14, 34),
+    (15, 33), (15, 34), (16, 33), (16, 34), (19, 33), (19, 34), (20, 34),
+    (21, 33), (21, 34), (23, 33), (23, 34), (24, 26), (24, 28), (24, 30),
+    (24, 33), (24, 34), (25, 26), (25, 28), (25, 32), (26, 32), (27, 30),
+    (27, 34), (28, 34), (29, 32), (29, 34), (30, 33), (30, 34), (31, 33),
+    (31, 34), (32, 33), (32, 34), (33, 34),
+]
+
+#: The fission observed by Zachary: the instructor's faction (vertex 1).
+KARATE_INSTRUCTOR_FACTION = frozenset(
+    {1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 17, 18, 20, 22}
+)
+
+# Lusseau, D. et al. (2003). The bottlenose dolphin community of
+# Doubtful Sound. Behavioral Ecology and Sociobiology 54.
+_DOLPHIN_EDGES = [
+    (10, 0), (14, 0), (15, 0), (40, 0), (42, 0), (47, 0), (17, 1),
+    (19, 1), (26, 1), (27, 1), (28, 1), (36, 1), (41, 1), (54, 1),
+    (10, 2), (42, 2), (44, 2), (61, 2), (8, 3), (14, 3), (59, 3),
+    (51, 4), (9, 5), (13, 5), (56, 5), (57, 5), (9, 6), (13, 6),
+    (17, 6), (54, 6), (56, 6), (57, 6), (19, 7), (27, 7), (30, 7),
+    (40, 7), (54, 7), (20, 8), (28, 8), (37, 8), (45, 8), (59, 8),
+    (13, 9), (17, 9), (32, 9), (41, 9), (57, 9), (29, 10), (42, 10),
+    (47, 10), (51, 11), (33, 12), (17, 13), (32, 13), (41, 13),
+    (54, 13), (57, 13), (16, 14), (24, 14), (33, 14), (34, 14),
+    (37, 14), (38, 14), (40, 14), (43, 14), (50, 14), (52, 14),
+    (18, 15), (24, 15), (40, 15), (45, 15), (55, 15), (59, 15),
+    (20, 16), (33, 16), (37, 16), (38, 16), (50, 16), (22, 17),
+    (25, 17), (27, 17), (31, 17), (57, 17), (20, 18), (21, 18),
+    (24, 18), (29, 18), (45, 18), (51, 18), (30, 19), (54, 19),
+    (28, 20), (36, 20), (38, 20), (44, 20), (47, 20), (50, 20),
+    (29, 21), (33, 21), (37, 21), (45, 21), (51, 21), (36, 23),
+    (45, 23), (51, 23), (29, 24), (45, 24), (51, 24), (26, 25),
+    (27, 25), (27, 26), (31, 30), (42, 30), (47, 30), (60, 32),
+    (34, 33), (37, 33), (38, 33), (40, 33), (43, 33), (50, 33),
+    (37, 34), (44, 34), (49, 34), (37, 36), (39, 36), (40, 36),
+    (59, 36), (40, 37), (43, 37), (45, 37), (61, 37), (43, 38),
+    (44, 38), (52, 38), (58, 38), (57, 39), (52, 40), (54, 41),
+    (57, 41), (47, 42), (50, 42), (46, 43), (53, 43), (50, 44),
+    (46, 44), (50, 46), (51, 46), (59, 48), (57, 49), (51, 50),
+    (55, 51), (61, 53), (57, 54), (58, 55), (59, 57), (61, 57),
+]
+
+
+def karate_club() -> Graph:
+    """Zachary's karate club (n=34, m=78, unweighted)."""
+    return Graph(edges=[(u, v, 1.0) for u, v in _KARATE_EDGES])
+
+
+def karate_factions() -> tuple[frozenset, frozenset]:
+    """The two factions after the club's documented split."""
+    g = karate_club()
+    instructor = KARATE_INSTRUCTOR_FACTION
+    administrator = frozenset(g.vertices()) - instructor
+    return instructor, administrator
+
+
+def dolphins() -> Graph:
+    """Dolphin social network reconstruction (n=61, m=157, connected)."""
+    return Graph(edges=[(u, v, 1.0) for u, v in _DOLPHIN_EDGES])

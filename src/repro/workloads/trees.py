@@ -1,0 +1,133 @@
+"""Tree generators for the decomposition experiments (E4).
+
+The generalized low-depth decomposition's interesting regimes:
+
+* **paths** — one giant heavy path; the binarized-path machinery does
+  all the work and height should be ``~ log2 n``;
+* **stars** — all light edges; height stays O(1) per meta level;
+* **caterpillars / brooms** — mixtures exercising the interaction of
+  heavy paths with light leaves;
+* **balanced binary trees** — every root-to-leaf path alternates heavy
+  and light edges, the ``O(log^2 n)`` regime;
+* **random recursive trees** — the average case.
+
+All return ``(vertices, edges)`` pairs with integer vertices.
+"""
+
+from __future__ import annotations
+
+import random
+
+TreeSpec = tuple[list[int], list[tuple[int, int]]]
+
+
+def path_tree(n: int) -> TreeSpec:
+    """A path 0-1-2-...-(n-1)."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    return list(range(n)), [(i, i + 1) for i in range(n - 1)]
+
+
+def star_tree(n: int) -> TreeSpec:
+    """A star with hub 0."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    return list(range(n)), [(0, i) for i in range(1, n)]
+
+
+def caterpillar(n: int, *, legs_every: int = 2) -> TreeSpec:
+    """A spine path with a leaf hung off every ``legs_every``-th vertex."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    spine_len = max(2, n // 2)
+    vertices = [0]
+    edges = []
+    for i in range(1, spine_len):
+        vertices.append(i)
+        edges.append((i - 1, i))
+    nxt = spine_len
+    i = 0
+    while nxt < n:
+        if i % legs_every == 0:
+            edges.append((i % spine_len, nxt))
+            vertices.append(nxt)
+            nxt += 1
+        i += 1
+    return vertices, edges
+
+
+def broom(n: int) -> TreeSpec:
+    """A path of n/2 vertices ending in a star of n/2 leaves."""
+    if n < 4:
+        raise ValueError("need n >= 4")
+    half = n // 2
+    vertices = list(range(n))
+    edges = [(i, i + 1) for i in range(half - 1)]
+    edges += [(half - 1, j) for j in range(half, n)]
+    return vertices, edges
+
+
+def balanced_binary(depth: int) -> TreeSpec:
+    """Complete binary tree of the given depth (root = 0)."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    vertices = list(range(n))
+    edges = [(v, (v - 1) // 2) for v in range(1, n)]
+    return vertices, edges
+
+
+def random_tree(n: int, *, seed: int = 0, attach_bias: float = 0.0) -> TreeSpec:
+    """Random recursive tree; ``attach_bias > 0`` skews towards recency
+    (longer paths), ``< 0`` towards the root (bushier)."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    rng = random.Random(seed)
+    vertices = list(range(n))
+    edges = []
+    for v in range(1, n):
+        if attach_bias > 0 and rng.random() < attach_bias:
+            u = v - 1
+        elif attach_bias < 0 and rng.random() < -attach_bias:
+            u = 0
+        else:
+            u = rng.randrange(v)
+        edges.append((u, v))
+    return vertices, edges
+
+
+def paper_figure1_tree() -> TreeSpec:
+    """The example tree of the paper's Figures 1–2 (reverse-engineered).
+
+    Figure 1 shows a tree whose heavy-light decomposition produces the
+    heavy paths contracted into the ten meta-vertices of Figure 2.  The
+    exact instance is not fully specified by the figure; this tree is
+    chosen so that its heavy-light decomposition has the same *shape*:
+    a main heavy path from the root, two branching heavy paths, and
+    isolated light leaves — ten meta-vertices in total.  Used by the
+    Figure-1/2 reproduction (analysis.figures) and its tests.
+    """
+    # Root 0 with a long heavy spine; side branches sized so the spine
+    # stays heavy at every junction.  Ten heavy paths in total, matching
+    # Figure 2's ten meta vertices.
+    edges = [
+        (0, 1),  # spine
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (1, 6),  # light branch -> small heavy path
+        (6, 7),
+        (2, 8),  # light leaf
+        (3, 9),  # light branch -> heavy path of two
+        (9, 10),
+        (10, 11),
+        (6, 12),  # light leaf off the branch
+        (4, 13),  # light leaf
+        (9, 14),  # light leaf
+        (2, 15),  # light leaves padding the meta-vertex count to ten
+        (3, 16),
+        (9, 17),
+    ]
+    vertices = sorted({v for e in edges for v in e})
+    return vertices, edges

@@ -1,0 +1,78 @@
+"""Tests for the AMPC model configuration (budget derivation)."""
+
+import math
+
+import pytest
+
+from repro.ampc import AMPCConfig
+
+
+class TestConfigValidation:
+    def test_eps_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(n_input=100, eps=0.0)
+
+    def test_eps_one_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(n_input=100, eps=1.0)
+
+    def test_eps_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(n_input=100, eps=1.5)
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(n_input=0)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            AMPCConfig(n_input=10, m_input=-1)
+
+
+class TestBudgets:
+    def test_local_memory_scales_with_input_size(self):
+        # budget is over N = n + m (the model's input size)
+        a = AMPCConfig(n_input=10_000, eps=0.5, m_input=6_000, local_constant=8)
+        assert a.local_memory_words == 8 * math.ceil(16_000**0.5)
+
+    def test_local_memory_floor_for_tiny_inputs(self):
+        a = AMPCConfig(n_input=2, eps=0.5)
+        assert a.local_memory_words >= 64
+
+    def test_local_memory_sublinear(self):
+        # fully scalable: machines strictly smaller than the input
+        for n in [10_000, 100_000]:
+            a = AMPCConfig(n_input=n, eps=0.5)
+            assert a.local_memory_words < n
+
+    def test_machines_scale_complementarily(self):
+        a = AMPCConfig(n_input=10_000, eps=0.5, m_input=10_000)
+        # P = Theta((n+m)^(1-eps))
+        assert a.num_machines == math.ceil(20_000**0.5)
+
+    def test_total_space_includes_log_squared(self):
+        a = AMPCConfig(n_input=1024, eps=0.5, m_input=0, total_constant=1)
+        assert a.total_space_words >= 1024 * 10 * 10  # log2(1024)=10
+
+    def test_rounds_per_primitive_is_ceil_inverse_eps(self):
+        assert AMPCConfig(n_input=10, eps=0.5).rounds_per_primitive == 2
+        assert AMPCConfig(n_input=10, eps=0.25).rounds_per_primitive == 4
+        assert AMPCConfig(n_input=10, eps=0.34).rounds_per_primitive == 3
+
+    def test_m_defaults_to_n(self):
+        a = AMPCConfig(n_input=77)
+        assert a.m == 77
+
+    def test_scaled_keeps_eps_and_constants(self):
+        a = AMPCConfig(n_input=1000, eps=0.3, local_constant=5, total_constant=7)
+        b = a.scaled(100, 250)
+        assert b.eps == 0.3
+        assert b.local_constant == 5
+        assert b.total_constant == 7
+        assert b.n_input == 100
+        assert b.m_input == 250
+
+    def test_smaller_eps_means_smaller_machines(self):
+        big = AMPCConfig(n_input=100_000, eps=0.8)
+        small = AMPCConfig(n_input=100_000, eps=0.2)
+        assert small.local_memory_words < big.local_memory_words

@@ -1,0 +1,116 @@
+"""Tests for round/memory ledger semantics."""
+
+import pytest
+
+from repro.ampc import LedgerEntry, RoundLedger
+
+
+class TestEntries:
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            LedgerEntry(rounds=-1, reason="x", kind="measured")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LedgerEntry(rounds=1, reason="x", kind="guessed")
+
+    def test_charge_requires_citation(self):
+        with pytest.raises(ValueError):
+            LedgerEntry(rounds=1, reason="", kind="charged")
+
+
+class TestAggregation:
+    def test_rounds_sum(self):
+        led = RoundLedger()
+        led.measure(2, "a")
+        led.charge(3, "Lemma X")
+        assert led.rounds == 5
+        assert led.measured_rounds == 2
+        assert led.charged_rounds == 3
+
+    def test_local_peak_is_max(self):
+        led = RoundLedger()
+        led.measure(1, "a", local_peak=10)
+        led.measure(1, "b", local_peak=7)
+        assert led.local_peak == 10
+
+    def test_total_peak_is_max(self):
+        led = RoundLedger()
+        led.measure(1, "a", total_peak=100)
+        led.charge(1, "Lemma", total_peak=250)
+        assert led.total_peak == 250
+
+    def test_queries_sum(self):
+        led = RoundLedger()
+        led.measure(1, "a", queries=5)
+        led.measure(1, "b", queries=7)
+        assert led.queries == 12
+
+    def test_empty_ledger_zeroes(self):
+        led = RoundLedger()
+        assert led.rounds == 0
+        assert led.local_peak == 0
+        assert led.total_peak == 0
+
+
+class TestParallelAbsorption:
+    def test_parallel_rounds_take_max(self):
+        parent = RoundLedger()
+        a, b = RoundLedger(), RoundLedger()
+        a.measure(3, "sibling a")
+        b.measure(7, "sibling b")
+        parent.absorb_parallel([a, b], "copies")
+        assert parent.rounds == 7
+
+    def test_parallel_total_peaks_sum(self):
+        parent = RoundLedger()
+        a, b = RoundLedger(), RoundLedger()
+        a.measure(1, "a", total_peak=100)
+        b.measure(1, "b", total_peak=50)
+        parent.absorb_parallel([a, b], "copies")
+        assert parent.total_peak == 150
+
+    def test_parallel_local_peaks_max(self):
+        parent = RoundLedger()
+        a, b = RoundLedger(), RoundLedger()
+        a.measure(1, "a", local_peak=10)
+        b.measure(1, "b", local_peak=40)
+        parent.absorb_parallel([a, b], "copies")
+        assert parent.local_peak == 40
+
+    def test_empty_group_is_noop(self):
+        parent = RoundLedger()
+        parent.absorb_parallel([], "nothing")
+        assert parent.rounds == 0
+
+    def test_mixed_kinds_labelled_charged(self):
+        parent = RoundLedger()
+        a, b = RoundLedger(), RoundLedger()
+        a.measure(1, "a")
+        b.charge(1, "Lemma Y")
+        parent.absorb_parallel([a, b], "copies")
+        assert parent.entries[0].kind == "charged"
+
+    def test_sequential_absorb_extends(self):
+        parent = RoundLedger()
+        child = RoundLedger()
+        child.measure(4, "child work")
+        parent.absorb(child)
+        assert parent.rounds == 4
+
+
+class TestReporting:
+    def test_report_contains_totals_and_reasons(self):
+        led = RoundLedger()
+        led.measure(2, "sample sort", local_peak=11, total_peak=22)
+        led.charge(1, "Lemma 3: decomposition")
+        text = led.report()
+        assert "sample sort" in text
+        assert "Lemma 3" in text
+        assert "3" in text  # total rounds
+
+    def test_citations_lists_charged_reasons_only(self):
+        led = RoundLedger()
+        led.measure(1, "measured thing")
+        led.charge(1, "Lemma 13: intervals")
+        assert led.citations() == ["Lemma 13: intervals"]

@@ -1,0 +1,114 @@
+"""Tests for theory envelopes, tables, and figure reproduction."""
+
+import math
+
+import pytest
+
+from repro.analysis import theory
+from repro.analysis.figures import (
+    figure3_instance,
+    render_all_figures,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+)
+from repro.analysis.tables import render_kv, render_table
+
+
+class TestTheory:
+    def test_envelopes_monotone_in_n(self):
+        xs = [theory.loglog_rounds_envelope(n, 0.5) for n in (16, 256, 65536)]
+        assert xs == sorted(xs)
+
+    def test_mpc_prediction_dominates_ampc(self):
+        for n in (256, 4096, 10**6):
+            assert theory.mpc_rounds_prediction(n) > theory.loglog(n) * 5
+
+    def test_decomposition_envelope(self):
+        assert theory.decomposition_height_envelope(1024) == 11 * 11
+
+    def test_lemma1_bound(self):
+        assert theory.karger_preservation_lower_bound(2.0) == 0.25
+        with pytest.raises(ValueError):
+            theory.karger_preservation_lower_bound(0.5)
+
+    def test_lemma2_bound_stronger_than_lemma1(self):
+        for t in (2.0, 4.0, 8.0):
+            assert theory.singleton_aware_lower_bound(
+                t, 0.5
+            ) > theory.karger_preservation_lower_bound(t)
+
+    def test_approx_bounds(self):
+        assert theory.mincut_approx_bound(0.5) == 2.5
+        assert theory.kcut_approx_bound(0.5) == 4.5
+        assert theory.sv_approx_bound(4) == 1.5
+
+    def test_fit_recovers_line(self):
+        fit = theory.fit_against([1.0, 2.0, 3.0], [3.0, 5.0, 7.0])
+        assert abs(fit.scale - 2.0) < 1e-9
+        assert abs(fit.intercept - 1.0) < 1e-9
+        assert fit.residual < 1e-9
+        assert abs(fit.predict(4.0) - 9.0) < 1e-9
+
+    def test_fit_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            theory.fit_against([1.0], [1.0])
+        with pytest.raises(ValueError):
+            theory.fit_against([2.0, 2.0], [1.0, 3.0])
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table("T", ["a", "bb"], [[1, 2.5], [10, 0.125]])
+        assert "T" in out
+        assert "bb" in out
+        assert "0.125" in out
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [[1, 2]])
+
+    def test_bool_formatting(self):
+        out = render_table("T", ["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_render_kv(self):
+        out = render_kv("meta", [("n", 100), ("eps", 0.5)])
+        assert "n" in out and "100" in out
+
+
+class TestFigures:
+    def test_figure1_mentions_heavy_paths(self):
+        out = render_figure1()
+        assert "heavy path" in out.lower()
+        assert "P0:" in out
+
+    def test_figure2_has_ten_meta_vertices(self):
+        out = render_figure2()
+        assert "meta vertices: 10" in out
+
+    def test_figure3_reports_intervals(self):
+        out = render_figure3()
+        assert "ldr_time" in out
+        assert "interval [" in out
+
+    def test_figure3_instance_times_are_path_positions(self):
+        g, keys, v = figure3_instance()
+        # tree edges carry times 1..6 along the path
+        for t, (a, b) in enumerate(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], start=1
+        ):
+            assert keys.of(a, b) == t
+
+    def test_figure3_intervals_within_ldr_domain(self):
+        out = render_figure3()
+        # every rendered interval must sit inside [0, ldr_time]
+        import re
+
+        ldr = int(re.search(r"ldr_time\(\d+\) = (\d+)", out).group(1))
+        for a, b in re.findall(r"interval \[(\d+), (\d+)\]", out):
+            assert 0 <= int(a) <= int(b) <= ldr
+
+    def test_render_all(self):
+        out = render_all_figures()
+        assert "Figure 1" in out and "Figure 2" in out and "Figure 3" in out

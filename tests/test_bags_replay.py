@@ -1,0 +1,92 @@
+"""Tests for the naive contraction-replay oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import draw_contraction_keys, replay_min_singleton
+from repro.core.bags import boundary_profile
+from repro.graph import Graph
+from repro.workloads import barbell, cycle, erdos_renyi, planted_cut
+
+
+class TestReplay:
+    def test_cycle_min_singleton_is_two(self):
+        g = cycle(10)
+        keys = draw_contraction_keys(g, seed=0)
+        res = replay_min_singleton(g, keys)
+        assert res.min_singleton_weight == 2.0
+
+    def test_barbell_finds_bridge(self):
+        inst = barbell(12, bridge_weight=0.5)
+        keys = draw_contraction_keys(inst.graph, seed=1)
+        res = replay_min_singleton(inst.graph, keys)
+        # the bridge cut is a bag boundary whenever one clique fully
+        # contracts before crossing — overwhelmingly likely; at minimum
+        # the replay can never be *below* the true min cut
+        assert res.min_singleton_weight >= inst.planted_weight - 1e-9
+
+    def test_replay_never_below_min_degree_bound(self):
+        g = erdos_renyi(20, 0.3, weighted=True, seed=2)
+        keys = draw_contraction_keys(g, seed=2)
+        res = replay_min_singleton(g, keys)
+        from repro.baselines import exact_min_cut_weight
+
+        assert res.min_singleton_weight >= exact_min_cut_weight(g) - 1e-9
+
+    def test_at_most_min_degree(self):
+        g = erdos_renyi(20, 0.3, weighted=True, seed=3)
+        keys = draw_contraction_keys(g, seed=3)
+        res = replay_min_singleton(g, keys)
+        min_deg = min(g.degree(v) for v in g.vertices())
+        assert res.min_singleton_weight <= min_deg + 1e-9
+
+    def test_triangle_min_is_lightest_boundary(self):
+        # degrees: deg(0)=6, deg(1)=6, deg(2)=10; two-vertex bags have
+        # boundaries {0,1}->10, {1,2}->6, {0,2}->6.  Whatever the
+        # contraction order, the minimum over all bags is 6.
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 5.0), (2, 0, 5.0)])
+        for seed in range(6):
+            keys = draw_contraction_keys(g, seed=seed)
+            res = replay_min_singleton(g, keys)
+            assert res.min_singleton_weight == 6.0
+
+    def test_trace_starts_at_time_zero(self):
+        g = cycle(6)
+        keys = draw_contraction_keys(g, seed=5)
+        res = replay_min_singleton(g, keys)
+        assert res.trace[0][0] == 0
+
+    def test_needs_two_vertices(self):
+        g = Graph(vertices=[0])
+        with pytest.raises(ValueError):
+            replay_min_singleton(g, draw_contraction_keys(g))
+
+
+class TestBoundaryProfile:
+    def test_profile_starts_at_degree(self):
+        g = cycle(8)
+        keys = draw_contraction_keys(g, seed=6)
+        prof = boundary_profile(g, keys, 0)
+        assert prof[0] == (0, 2.0)
+
+    def test_profile_ends_at_zero(self):
+        g = cycle(8)
+        keys = draw_contraction_keys(g, seed=7)
+        prof = boundary_profile(g, keys, 0)
+        assert prof[-1][1] == 0.0  # bag = V at the last tree key
+
+    def test_profile_matches_replay_minimum(self):
+        """min over vertices of the profile minimum (excluding the full
+        bag) equals the replay result."""
+        g = erdos_renyi(10, 0.4, weighted=True, seed=8)
+        keys = draw_contraction_keys(g, seed=8)
+        res = replay_min_singleton(g, keys)
+        best = float("inf")
+        for v in g.vertices():
+            for t, w in boundary_profile(g, keys, v):
+                from repro.core import bag_at
+
+                if len(bag_at(g, keys, v, t)) < g.num_vertices:
+                    best = min(best, w)
+        assert abs(best - res.min_singleton_weight) < 1e-9

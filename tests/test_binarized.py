@@ -1,0 +1,143 @@
+"""Tests for binarized paths (Definition 5, Observations 3-5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import AlmostCompleteBinaryTree, binarize_path
+
+
+class TestAlmostCompleteBinaryTree:
+    def test_observation3_node_count(self):
+        for L in [1, 2, 3, 5, 8, 13, 100]:
+            t = AlmostCompleteBinaryTree(L)
+            assert t.num_nodes == 2 * L - 1
+
+    def test_observation3_max_depth(self):
+        for L in [1, 2, 3, 4, 7, 16, 100]:
+            t = AlmostCompleteBinaryTree(L)
+            assert t.max_depth == math.floor(math.log2(2 * L - 1)) + 1
+
+    def test_parent_child_inverse(self):
+        t = AlmostCompleteBinaryTree(10)
+        for i in range(2, t.num_nodes + 1):
+            p = t.parent(i)
+            assert i in (t.left(p), t.right(p))
+
+    def test_root_has_no_parent(self):
+        t = AlmostCompleteBinaryTree(5)
+        assert t.parent(1) is None
+
+    def test_leaf_detection(self):
+        t = AlmostCompleteBinaryTree(6)  # 11 nodes, leaves are 6..11
+        leaves = [i for i in range(1, 12) if t.is_leaf(i)]
+        assert leaves == [6, 7, 8, 9, 10, 11]
+        assert len(leaves) == 6
+
+    def test_left_right_child_flags(self):
+        t = AlmostCompleteBinaryTree(4)
+        assert t.is_left_child(2)
+        assert t.is_right_child(3)
+        assert not t.is_left_child(1)
+        assert not t.is_right_child(1)
+
+    def test_depth_root_is_one(self):
+        t = AlmostCompleteBinaryTree(8)
+        assert t.depth(1) == 1
+        assert t.depth(2) == 2
+        assert t.depth(15) == 4
+
+    def test_out_of_range_rejected(self):
+        t = AlmostCompleteBinaryTree(3)
+        with pytest.raises(ValueError):
+            t.depth(0)
+        with pytest.raises(ValueError):
+            t.depth(6)
+
+    def test_leaves_preorder_matches_full_preorder(self):
+        for L in [1, 2, 3, 5, 6, 11, 16]:
+            t = AlmostCompleteBinaryTree(L)
+            ref = [i for i in t.preorder() if t.is_leaf(i)]
+            assert t.leaves_preorder() == ref
+
+    def test_lca(self):
+        t = AlmostCompleteBinaryTree(8)  # complete, 15 nodes
+        assert t.lca(8, 9) == 4
+        assert t.lca(8, 11) == 2
+        assert t.lca(8, 15) == 1
+        assert t.lca(4, 9) == 4
+
+    def test_leftmost_leaf(self):
+        t = AlmostCompleteBinaryTree(8)
+        assert t.leftmost_leaf(1) == 8
+        assert t.leftmost_leaf(3) == 12
+        assert t.leftmost_leaf(9) == 9
+
+
+class TestObservation4:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 60))
+    def test_lca_ancestry_ordering(self, L):
+        """For path positions a < b < c: lca(a,c) is an ancestor of (or
+        equals) lca(a,b) — Observation 4."""
+        bp = binarize_path(list(range(L)))
+        t = bp.tree
+        import random
+
+        rng = random.Random(L)
+        for _ in range(20):
+            a, b, c = sorted(rng.sample(range(L), 3))
+            la = bp.leaf_of[a]
+            lb = bp.leaf_of[b]
+            lc = bp.leaf_of[c]
+            v = t.lca(la, lb)
+            v2 = t.lca(la, lc)
+            # v2 must be an ancestor of v or equal
+            x = v
+            seen = {x}
+            while t.parent(x) is not None:
+                x = t.parent(x)
+                seen.add(x)
+            assert v2 in seen
+
+
+class TestBinarizedPath:
+    def test_preorder_agreement(self):
+        for L in [1, 2, 3, 7, 12, 33]:
+            bp = binarize_path([f"v{i}" for i in range(L)])
+            bp.validate()
+
+    def test_leaf_of_inverse_vertex_of(self):
+        bp = binarize_path(list(range(9)))
+        for v, leaf in bp.leaf_of.items():
+            assert bp.vertex_of[leaf] == v
+
+    def test_label_anchor_singleton(self):
+        bp = binarize_path(["only"])
+        assert bp.label_anchor("only") == 1
+        assert bp.anchor_depth("only") == 1
+
+    def test_label_anchor_of_right_child_is_parent(self):
+        bp = binarize_path(list(range(2)))  # 3 nodes: leaves 2, 3
+        # leaf 3 is a right child; its anchor is the root (depth 1)
+        v3 = bp.vertex_of[3]
+        assert bp.label_anchor(v3) == 1
+        # leaf 2 is a left child; climbing reaches the root: anchor = leaf
+        v2 = bp.vertex_of[2]
+        assert bp.label_anchor(v2) == 2
+
+    def test_anchor_depths_at_most_leaf_depth(self):
+        bp = binarize_path(list(range(21)))
+        for v in bp.path:
+            assert bp.anchor_depth(v) <= bp.leaf_depth(v)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 80))
+    def test_property_anchors_unique_per_internal_node(self, L):
+        """Each internal node labels exactly one leaf (the labeling's
+        injectivity that Lemma 7's Case-3 proof uses)."""
+        bp = binarize_path(list(range(L)))
+        anchors = [bp.label_anchor(v) for v in bp.path]
+        assert len(set(anchors)) == len(anchors)

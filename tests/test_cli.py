@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.graph import save_graph
+from repro.workloads import cycle, path_tree, planted_cut, planted_kcut
+from repro.graph import Graph
+
+
+@pytest.fixture
+def planted_file(tmp_path):
+    inst = planted_cut(32, seed=1)
+    path = tmp_path / "planted.txt"
+    save_graph(inst.graph, path)
+    return path, inst
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    vs, es = path_tree(20)
+    g = Graph(vertices=vs, edges=[(u, v, 1.0) for u, v in es])
+    path = tmp_path / "tree.txt"
+    save_graph(g, path)
+    return path
+
+
+class TestMincut:
+    def test_basic_run(self, planted_file, capsys):
+        path, inst = planted_file
+        assert main(["mincut", str(path), "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cut weight:" in out
+        assert "AMPC rounds:" in out
+
+    def test_verify_flag(self, planted_file, capsys):
+        path, _ = planted_file
+        assert main(["mincut", str(path), "--trials", "2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "exact (Stoer-Wagner):" in out
+        assert "ratio:" in out
+
+    def test_ledger_flag(self, planted_file, capsys):
+        path, _ = planted_file
+        assert main(["mincut", str(path), "--trials", "1", "--ledger"]) == 0
+        out = capsys.readouterr().out
+        assert "reason" in out
+
+
+class TestKcut:
+    def test_basic_run(self, tmp_path, capsys):
+        inst = planted_kcut(24, 3, seed=2)
+        path = tmp_path / "k.txt"
+        save_graph(inst.graph, path)
+        assert main(["kcut", str(path), "3"]) == 0
+        out = capsys.readouterr().out
+        assert "k-cut weight:" in out
+        assert "part 0:" in out
+
+
+class TestDecompose:
+    def test_tree_accepted(self, tree_file, capsys):
+        assert main(["decompose", str(tree_file), "--process"]) == 0
+        out = capsys.readouterr().out
+        assert "height=" in out
+        assert "T_1:" in out
+
+    def test_non_tree_rejected(self, tmp_path, capsys):
+        path = tmp_path / "cycle.txt"
+        save_graph(cycle(6), path)
+        assert main(["decompose", str(path)]) == 2
+        assert "must be a tree" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_fast_generation(self, tmp_path, capsys):
+        out_path = tmp_path / "EXP.md"
+        assert main(["experiments", "--output", str(out_path), "--fast"]) == 0
+        text = out_path.read_text()
+        assert "E1" in text and "E7" in text and "Figure 1" in text
+        assert "Claim." in text
+
+
+class TestAlgorithmSwitch:
+    def test_matula(self, planted_file, capsys):
+        path, _ = planted_file
+        assert main(["mincut", str(path), "--algorithm", "matula", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio:" in out
+        assert "AMPC rounds" not in out
+
+    def test_exact(self, planted_file, capsys):
+        path, inst = planted_file
+        assert main(["mincut", str(path), "--algorithm", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert f"cut weight: {inst.planted_weight}" in out
+
+    def test_karger_stein(self, planted_file, capsys):
+        path, _ = planted_file
+        assert main(["mincut", str(path), "--algorithm", "karger-stein"]) == 0
+        assert "cut weight:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self, planted_file):
+        path, _ = planted_file
+        with pytest.raises(SystemExit):
+            main(["mincut", str(path), "--algorithm", "bogus"])
+
+
+class TestFormatsAndSparsify:
+    def test_convert_roundtrip(self, planted_file, tmp_path, capsys):
+        path, inst = planted_file
+        dimacs = tmp_path / "g.dimacs"
+        metis = tmp_path / "g.metis"
+        assert main(["convert", str(path), str(dimacs)]) == 0
+        assert main(["convert", str(dimacs), str(metis)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("converted") == 2
+        from repro.graph import load_metis
+
+        g = load_metis(metis)
+        assert g.num_edges == inst.graph.num_edges
+
+    def test_mincut_reads_dimacs(self, planted_file, tmp_path, capsys):
+        path, _ = planted_file
+        dimacs = tmp_path / "g.dimacs"
+        assert main(["convert", str(path), str(dimacs)]) == 0
+        assert main(["mincut", str(dimacs), "--algorithm", "exact"]) == 0
+        assert "cut weight:" in capsys.readouterr().out
+
+    def test_sparsify_preserves_exact_weight(self, planted_file, tmp_path, capsys):
+        path, inst = planted_file
+        out_path = tmp_path / "sp.txt"
+        assert main(["sparsify", str(path), str(out_path)]) == 0
+        assert main(["mincut", str(out_path), "--algorithm", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert f"cut weight: {inst.planted_weight}" in out
+
+    def test_kcut_metrics_flag(self, tmp_path, capsys):
+        inst = planted_kcut(24, 3, seed=2)
+        path = tmp_path / "k.txt"
+        save_graph(inst.graph, path)
+        assert main(["kcut", str(path), "3", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "ncut=" in out and "Q=" in out

@@ -1,0 +1,151 @@
+"""Tests for the contraction process and quotient extraction."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bag_at, contract_to_size, draw_contraction_keys, mst_of_keys
+from repro.core.contraction import bag_boundary_weight
+from repro.graph import Graph
+from repro.workloads import cycle, erdos_renyi, grid
+
+
+class TestMST:
+    def test_mst_is_spanning(self):
+        g = erdos_renyi(25, 0.3, seed=1)
+        keys = draw_contraction_keys(g, seed=0)
+        mst = mst_of_keys(g, keys)
+        assert len(mst) == g.num_vertices - 1
+
+    def test_mst_matches_networkx_under_keys(self):
+        g = erdos_renyi(20, 0.4, seed=2)
+        keys = draw_contraction_keys(g, seed=1)
+        mine = sorted(
+            (min(u, v), max(u, v)) for _, u, v in mst_of_keys(g, keys)
+        )
+        H = nx.Graph()
+        for u, v, _ in g.edges():
+            H.add_edge(u, v, weight=keys.of(u, v))
+        ref = sorted(
+            (min(u, v), max(u, v)) for u, v in nx.minimum_spanning_tree(H).edges()
+        )
+        assert mine == ref
+
+    def test_mst_keys_ascending(self):
+        g = erdos_renyi(20, 0.4, seed=3)
+        keys = draw_contraction_keys(g, seed=2)
+        ks = [k for k, _, _ in mst_of_keys(g, keys)]
+        assert ks == sorted(ks)
+
+
+class TestContractToSize:
+    def test_reaches_target(self):
+        g = erdos_renyi(30, 0.3, seed=4)
+        keys = draw_contraction_keys(g, seed=3)
+        q, blocks = contract_to_size(g, keys, 10)
+        assert q.num_vertices == 10
+        assert sum(len(b) for b in blocks.values()) == 30
+
+    def test_no_contraction_if_already_small(self):
+        g = cycle(5)
+        keys = draw_contraction_keys(g)
+        q, blocks = contract_to_size(g, keys, 10)
+        assert q.num_vertices == 5
+        assert all(len(b) == 1 for b in blocks.values())
+
+    def test_blocks_are_key_connected(self):
+        """Each block must be connected via edges of key below the last
+        contracted key (it is a bag)."""
+        g = grid(5, 5)
+        keys = draw_contraction_keys(g, seed=5)
+        q, blocks = contract_to_size(g, keys, 7)
+        for rep, members in blocks.items():
+            sub_nodes = set(members)
+            H = nx.Graph()
+            H.add_nodes_from(sub_nodes)
+            for u, v, _ in g.edges():
+                if u in sub_nodes and v in sub_nodes:
+                    H.add_edge(u, v)
+            assert nx.is_connected(H)
+
+    def test_weights_preserved_in_quotient(self):
+        g = erdos_renyi(20, 0.4, weighted=True, seed=6)
+        keys = draw_contraction_keys(g, seed=4)
+        q, blocks = contract_to_size(g, keys, 6)
+        # total crossing weight of the quotient = total weight minus
+        # intra-block weight
+        intra = sum(
+            w
+            for u, v, w in g.edges()
+            if any(u in set(b) and v in set(b) for b in blocks.values())
+        )
+        assert abs(q.total_weight() - (g.total_weight() - intra)) < 1e-9
+
+    def test_invalid_target_rejected(self):
+        g = cycle(5)
+        keys = draw_contraction_keys(g)
+        with pytest.raises(ValueError):
+            contract_to_size(g, keys, 0)
+
+    def test_contract_to_two_gives_cut(self):
+        g = cycle(12)
+        keys = draw_contraction_keys(g, seed=7)
+        q, blocks = contract_to_size(g, keys, 2)
+        assert q.num_vertices == 2
+        # on a cycle every 2-block partition crosses exactly 2 edges
+        assert q.total_weight() == 2.0
+
+
+class TestBags:
+    def test_bag_at_zero_is_singleton(self):
+        g = cycle(8)
+        keys = draw_contraction_keys(g, seed=8)
+        assert bag_at(g, keys, 3, 0) == frozenset([3])
+
+    def test_bag_grows_monotonically(self):
+        g = erdos_renyi(15, 0.4, seed=9)
+        keys = draw_contraction_keys(g, seed=5)
+        times = [0] + [k for k, _, _ in mst_of_keys(g, keys)]
+        prev = frozenset()
+        for t in times:
+            bag = bag_at(g, keys, 0, t)
+            assert prev <= bag
+            prev = bag
+
+    def test_bag_at_max_key_is_everything(self):
+        g = erdos_renyi(15, 0.4, seed=10)
+        keys = draw_contraction_keys(g, seed=6)
+        assert bag_at(g, keys, 0, keys.max_key) == frozenset(g.vertices())
+
+    def test_boundary_weight_of_proper_bag(self):
+        g = cycle(6)
+        keys = draw_contraction_keys(g, seed=11)
+        bag = bag_at(g, keys, 0, 0)
+        assert bag_boundary_weight(g, bag) == 2.0
+
+    def test_boundary_weight_of_full_bag_is_zero(self):
+        g = cycle(6)
+        keys = draw_contraction_keys(g, seed=12)
+        bag = bag_at(g, keys, 0, keys.max_key)
+        assert bag_boundary_weight(g, bag) == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100))
+    def test_property_bags_equal_quotient_blocks(self, seed):
+        """bag(v, t) must equal v's block after contracting keys <= t."""
+        g = erdos_renyi(12, 0.35, seed=seed % 7)
+        keys = draw_contraction_keys(g, seed=seed)
+        mst = mst_of_keys(g, keys)
+        t = mst[len(mst) // 2][0]  # a mid-process time
+        from repro.graph import DSU
+
+        dsu = DSU(g.vertices())
+        for k, u, v in mst:
+            if k <= t:
+                dsu.union(u, v)
+        for v in g.vertices():
+            block = frozenset(
+                x for x in g.vertices() if dsu.find(x) == dsu.find(v)
+            )
+            assert bag_at(g, keys, v, t) == block

@@ -1,0 +1,129 @@
+"""Seeding and determinism guarantees across every stochastic entry point.
+
+Reproducibility is a user-facing contract: the same ``seed`` must give
+bit-identical results everywhere randomness enters (contraction keys,
+Karger runs, Algorithm 1, APX-SPLIT, workload generators), and the
+deterministic algorithms must not consume randomness at all.  A
+regression here silently invalidates every recorded experiment.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ampc_min_cut, apx_split_kcut
+from repro.baselines import (
+    karger_single_run,
+    karger_stein_min_cut,
+    matula_min_cut,
+    stoer_wagner_min_cut,
+)
+from repro.core import draw_contraction_keys, draw_uniform_keys
+from repro.workloads import erdos_renyi, planted_cut, planted_kcut, random_tree
+
+
+def _edge_order(graph, keys):
+    return sorted(
+        ((u, v) for u, v, _ in graph.edges()), key=lambda e: keys.of(*e)
+    )
+
+
+class TestSameSeedSameResult:
+    def test_contraction_keys(self):
+        g = erdos_renyi(40, 0.2, weighted=True, seed=7)
+        assert _edge_order(g, draw_contraction_keys(g, seed=3)) == _edge_order(
+            g, draw_contraction_keys(g, seed=3)
+        )
+
+    def test_uniform_keys(self):
+        g = erdos_renyi(40, 0.2, weighted=True, seed=7)
+        assert _edge_order(g, draw_uniform_keys(g, seed=3)) == _edge_order(
+            g, draw_uniform_keys(g, seed=3)
+        )
+
+    def test_karger_run(self):
+        g = erdos_renyi(30, 0.25, seed=2)
+        assert karger_single_run(g, seed=5).side == karger_single_run(
+            g, seed=5
+        ).side
+
+    def test_karger_stein(self):
+        g = erdos_renyi(30, 0.25, seed=2)
+        assert (
+            karger_stein_min_cut(g, seed=4).weight
+            == karger_stein_min_cut(g, seed=4).weight
+        )
+
+    def test_algorithm1(self):
+        inst = planted_cut(48, seed=6)
+        a = ampc_min_cut(inst.graph, seed=11, max_copies=2)
+        b = ampc_min_cut(inst.graph, seed=11, max_copies=2)
+        assert a.cut.side == b.cut.side
+        assert a.ledger.rounds == b.ledger.rounds
+
+    def test_apx_split(self):
+        inst = planted_kcut(24, 3, seed=6)
+        a = apx_split_kcut(inst.graph, 3, seed=2)
+        b = apx_split_kcut(inst.graph, 3, seed=2)
+        assert set(a.kcut.parts) == set(b.kcut.parts)
+
+    def test_generators(self):
+        g1 = erdos_renyi(30, 0.3, weighted=True, seed=9)
+        g2 = erdos_renyi(30, 0.3, weighted=True, seed=9)
+        assert sorted(g1.edges(), key=str) == sorted(g2.edges(), key=str)
+        t1 = random_tree(40, seed=9)
+        t2 = random_tree(40, seed=9)
+        assert t1 == t2
+
+
+class TestDifferentSeedsDiffer:
+    def test_contraction_keys_vary(self):
+        g = erdos_renyi(40, 0.3, seed=1)
+        orders = {
+            tuple(_edge_order(g, draw_contraction_keys(g, seed=s)))
+            for s in range(6)
+        }
+        assert len(orders) > 1
+
+    def test_planted_instances_vary(self):
+        a = planted_cut(48, seed=1).graph
+        b = planted_cut(48, seed=2).graph
+        assert sorted(a.edges(), key=str) != sorted(b.edges(), key=str)
+
+
+class TestDeterministicAlgorithmsIgnoreSeeds:
+    def test_stoer_wagner_is_pure(self):
+        g = erdos_renyi(24, 0.3, weighted=True, seed=4)
+        assert (
+            stoer_wagner_min_cut(g).weight == stoer_wagner_min_cut(g).weight
+        )
+
+    def test_matula_is_pure(self):
+        g = erdos_renyi(24, 0.3, weighted=True, seed=4)
+        a = matula_min_cut(g, eps=0.3)
+        b = matula_min_cut(g, eps=0.3)
+        assert a.cut.side == b.cut.side and a.stages == b.stages
+
+    def test_global_random_state_untouched(self):
+        # library calls must never bleed into the global RNG
+        import random
+
+        g = planted_cut(32, seed=3).graph
+        random.seed(1234)
+        before = random.random()
+        random.seed(1234)
+        ampc_min_cut(g, seed=5, max_copies=2)
+        matula_min_cut(g)
+        draw_contraction_keys(g, seed=8)
+        after = random.random()
+        assert before == after
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(8, 40))
+def test_property_keys_reproducible(seed, n):
+    g = erdos_renyi(n, 0.3, weighted=True, seed=seed % 17)
+    k1 = draw_contraction_keys(g, seed=seed)
+    k2 = draw_contraction_keys(g, seed=seed)
+    for u, v, _ in g.edges():
+        assert k1.of(u, v) == k2.of(u, v)

@@ -1,0 +1,81 @@
+"""Smoke tests: every example script runs end to end and prints what it
+promises.  Examples are the public face of the API — breaking them is a
+release blocker, so they are part of the suite."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "AMPC-MinCut found weight" in out
+        assert "approximation ratio" in out
+        assert "AMPC rounds" in out
+
+    def test_community_split(self):
+        out = run_example("community_split.py")
+        assert "APX-SPLIT k-cut weight" in out
+        assert "Saran-Vazirani" in out
+
+    def test_network_reliability(self):
+        out = run_example("network_reliability.py")
+        assert "bottleneck capacity found" in out
+        assert "degraded pod" in out
+
+    def test_decomposition_explorer(self):
+        out = run_example("decomposition_explorer.py")
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "splitting process" in out
+        assert "T_1:" in out
+
+    def test_round_complexity_demo(self):
+        out = run_example("round_complexity_demo.py")
+        assert "ampc_rounds" in out
+        assert "mpc_rounds" in out
+
+    def test_image_segmentation(self):
+        out = run_example("image_segmentation.py")
+        assert "min s-t cut (Dinic)" in out
+        assert "min s-t cut (push-relabel)" in out
+        assert "segmented object:" in out
+        assert "#" in out  # the rendered mask
+
+    def test_sparsification(self):
+        out = run_example("sparsification.py")
+        assert "certificate:" in out
+        assert "exact min cut (Stoer-Wagner)" in out
+        assert "Matula deterministic" in out
+        assert "total-space high-water" in out
+
+    def test_allpairs_bottleneck(self):
+        out = run_example("allpairs_bottleneck.py")
+        assert "Gomory-Hu tree" in out
+        assert "all-pairs bottleneck matrix" in out
+        assert "weakest pair" in out
+        assert "APX-SPLIT found" in out
+
+    def test_karate_communities(self):
+        out = run_example("karate_communities.py")
+        assert "documented fission" in out
+        assert "global min cut" in out
+        assert "GH bound" in out
+        assert "modularity" in out

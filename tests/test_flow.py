@@ -1,0 +1,224 @@
+"""Tests for Dinic max-flow and Gomory–Hu trees."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import DinicSolver, gomory_hu_tree, min_st_cut
+from repro.graph import Graph
+from repro.workloads import cycle, erdos_renyi, grid
+
+
+class TestDinic:
+    def test_two_vertices(self):
+        g = Graph(edges=[(0, 1, 5.0)])
+        res = min_st_cut(g, 0, 1)
+        assert res.value == 5.0
+        assert res.source_side == frozenset([0])
+
+    def test_path_bottleneck(self):
+        g = Graph(edges=[(0, 1, 5.0), (1, 2, 2.0), (2, 3, 9.0)])
+        assert min_st_cut(g, 0, 3).value == 2.0
+
+    def test_cycle_flow_is_two_arcs(self):
+        g = cycle(8)
+        assert min_st_cut(g, 0, 4).value == 2.0
+
+    def test_same_source_sink_rejected(self):
+        with pytest.raises(ValueError):
+            min_st_cut(cycle(4), 1, 1)
+
+    def test_disconnected_pair_zero_flow(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        res = min_st_cut(g, 0, 2)
+        assert res.value == 0.0
+        assert res.source_side == frozenset([0, 1])
+
+    def test_source_side_is_min_cut(self):
+        g = erdos_renyi(12, 0.4, weighted=True, seed=1)
+        res = min_st_cut(g, 0, 11)
+        assert abs(g.cut_weight(res.source_side) - res.value) < 1e-9
+
+    def test_solver_reusable(self):
+        g = grid(3, 3)
+        solver = DinicSolver(g)
+        a = solver.max_flow(0, 8).value
+        b = solver.max_flow(0, 8).value
+        assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 16), st.integers(0, 300))
+    def test_property_matches_networkx(self, n, seed):
+        g = erdos_renyi(n, 0.4, weighted=True, seed=seed)
+        H = nx.Graph()
+        H.add_nodes_from(g.vertices())
+        for u, v, w in g.edges():
+            H.add_edge(u, v, capacity=w)
+        s, t = 0, n - 1
+        ref = nx.maximum_flow_value(H, s, t)
+        assert abs(min_st_cut(g, s, t).value - ref) < 1e-9
+
+
+class TestGomoryHu:
+    def test_definition8_property_exhaustive(self):
+        g = erdos_renyi(9, 0.5, weighted=True, seed=2)
+        tree = gomory_hu_tree(g)
+        vs = g.vertices()
+        for i in range(len(vs)):
+            for j in range(i + 1, len(vs)):
+                direct = min_st_cut(g, vs[i], vs[j]).value
+                assert abs(tree.min_cut_between(vs[i], vs[j]) - direct) < 1e-9
+
+    def test_tree_has_n_minus_one_edges(self):
+        g = erdos_renyi(10, 0.4, seed=3)
+        tree = gomory_hu_tree(g)
+        assert len(tree.edges) == 9
+
+    def test_global_min_cut_is_lightest_edge(self):
+        from repro.baselines import exact_min_cut_weight
+
+        g = erdos_renyi(12, 0.4, weighted=True, seed=4)
+        tree = gomory_hu_tree(g)
+        assert abs(tree.min_cut_value() - exact_min_cut_weight(g)) < 1e-9
+
+    def test_rejects_disconnected(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            gomory_hu_tree(g)
+
+    def test_edges_by_weight_sorted(self):
+        g = erdos_renyi(10, 0.5, weighted=True, seed=5)
+        tree = gomory_hu_tree(g)
+        ws = [e.weight for e in tree.edges_by_weight()]
+        assert ws == sorted(ws)
+
+    def test_kcut_upper_bound_at_least_mincut(self):
+        g = erdos_renyi(10, 0.5, weighted=True, seed=6)
+        tree = gomory_hu_tree(g)
+        assert tree.kcut_upper_bound(2) >= tree.min_cut_value() - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 100))
+    def test_property_definition8(self, n, seed):
+        g = erdos_renyi(n, 0.5, weighted=True, seed=seed)
+        tree = gomory_hu_tree(g)
+        vs = g.vertices()
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(min(10, n)):
+            s, t = rng.sample(vs, 2)
+            direct = min_st_cut(g, s, t).value
+            assert abs(tree.min_cut_between(s, t) - direct) < 1e-9
+
+
+class TestContractedGomoryHu:
+    """The original 1961 construction vs Gusfield's variant."""
+
+    def _random_connected(self, n, p, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = Graph(vertices=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < p:
+                    g.add_edge(u, v, rng.randint(1, 9))
+        for u in range(n):
+            if not g.has_edge(u, (u + 1) % n):
+                g.add_edge(u, (u + 1) % n, rng.randint(1, 9))
+        return g
+
+    def test_pairwise_values_match_gusfield(self):
+        from repro.flow import gomory_hu_tree, gomory_hu_tree_contracted
+
+        g = self._random_connected(9, 0.5, seed=31)
+        t1 = gomory_hu_tree(g)
+        t2 = gomory_hu_tree_contracted(g)
+        for s in range(9):
+            for t in range(s + 1, 9):
+                assert t2.min_cut_between(s, t) == pytest.approx(
+                    t1.min_cut_between(s, t)
+                )
+
+    def test_edge_sides_are_cuts_of_stated_weight(self):
+        from repro.flow import gomory_hu_tree_contracted
+
+        g = self._random_connected(10, 0.4, seed=8)
+        tree = gomory_hu_tree_contracted(g)
+        for e in tree.edges:
+            assert g.cut_weight(e.child_side) == pytest.approx(e.weight)
+            assert (e.child in e.child_side) != (e.parent in e.child_side)
+
+    def test_tree_has_n_minus_1_edges(self):
+        from repro.flow import gomory_hu_tree_contracted
+
+        g = self._random_connected(12, 0.3, seed=2)
+        assert len(gomory_hu_tree_contracted(g).edges) == 11
+
+    def test_global_min_cut_matches_stoer_wagner(self):
+        from repro.baselines import exact_min_cut_weight
+        from repro.flow import gomory_hu_tree_contracted
+
+        g = self._random_connected(11, 0.45, seed=5)
+        assert gomory_hu_tree_contracted(g).min_cut_value() == pytest.approx(
+            exact_min_cut_weight(g)
+        )
+
+    def test_push_relabel_engine(self):
+        from repro.flow import gomory_hu_tree_contracted
+
+        g = self._random_connected(7, 0.6, seed=9)
+        t1 = gomory_hu_tree_contracted(g, engine="dinic")
+        t2 = gomory_hu_tree_contracted(g, engine="push_relabel")
+        for s in range(7):
+            for t in range(s + 1, 7):
+                assert t1.min_cut_between(s, t) == pytest.approx(
+                    t2.min_cut_between(s, t)
+                )
+
+    def test_rejects_disconnected(self):
+        from repro.flow import gomory_hu_tree_contracted
+
+        with pytest.raises(ValueError):
+            gomory_hu_tree_contracted(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_kcut_upper_bound_usable(self):
+        from repro.baselines import exact_min_kcut_weight
+        from repro.flow import gomory_hu_tree_contracted
+
+        g = self._random_connected(8, 0.5, seed=13)
+        tree = gomory_hu_tree_contracted(g)
+        exact = exact_min_kcut_weight(g, 3)
+        assert exact <= tree.kcut_upper_bound(3) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=9),
+    p=st.floats(min_value=0.25, max_value=0.9),
+    seed=st.integers(0, 400),
+)
+def test_property_gh_constructions_agree(n, p, seed):
+    import random
+
+    from repro.flow import gomory_hu_tree, gomory_hu_tree_contracted, min_st_cut
+
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v, rng.randint(1, 9))
+    for u in range(n - 1):
+        if not g.has_edge(u, u + 1):
+            g.add_edge(u, u + 1, 1.0)
+    t1 = gomory_hu_tree(g)
+    t2 = gomory_hu_tree_contracted(g)
+    rng2 = random.Random(seed + 1)
+    for _ in range(min(6, n * (n - 1) // 2)):
+        s, t = rng2.sample(range(n), 2)
+        direct = min_st_cut(g, s, t).value
+        assert t1.min_cut_between(s, t) == pytest.approx(direct)
+        assert t2.min_cut_between(s, t) == pytest.approx(direct)

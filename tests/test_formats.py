@@ -1,0 +1,179 @@
+"""DIMACS and METIS format round-trips and malformed-input rejection."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graph.formats import (
+    load_dimacs,
+    load_metis,
+    read_dimacs,
+    read_metis,
+    save_dimacs,
+    save_metis,
+    write_dimacs,
+    write_metis,
+)
+
+
+def _random_graph(n: int, p: float, seed: int, *, weighted: bool) -> Graph:
+    rng = random.Random(seed)
+    g = Graph(vertices=range(1, n + 1))
+    for u in range(1, n + 1):
+        for v in range(u + 1, n + 1):
+            if rng.random() < p:
+                g.add_edge(u, v, float(rng.randint(1, 9)) if weighted else 1.0)
+    return g
+
+
+def _same_graph(a: Graph, b: Graph) -> bool:
+    if set(a.vertices()) != set(b.vertices()):
+        return False
+    ea = {tuple(sorted((u, v), key=str)): w for u, v, w in a.edges()}
+    eb = {tuple(sorted((u, v), key=str)): w for u, v, w in b.edges()}
+    return ea == eb
+
+
+class TestDimacs:
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_roundtrip(self, weighted, tmp_path):
+        g = _random_graph(12, 0.4, seed=3, weighted=weighted)
+        path = tmp_path / "g.dimacs"
+        save_dimacs(g, path)
+        assert _same_graph(g, load_dimacs(path))
+
+    def test_reads_unweighted_edge_lines(self):
+        g = read_dimacs(io.StringIO("p edge 3 2\ne 1 2\ne 2 3\n"))
+        assert g.num_edges == 2 and g.weight(1, 2) == 1.0
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "c hello\n\np cut 2 1\nc mid\ne 1 2 5\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.weight(1, 2) == 5.0
+
+    def test_self_loops_skipped(self):
+        g = read_dimacs(io.StringIO("p edge 2 2\ne 1 1 4\ne 1 2 1\n"))
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_merge_by_sum(self):
+        g = read_dimacs(io.StringIO("p edge 2 2\ne 1 2 3\ne 2 1 4\n"))
+        assert g.weight(1, 2) == 7.0
+
+    def test_isolated_vertices_materialised(self):
+        g = read_dimacs(io.StringIO("p edge 5 1\ne 1 2\n"))
+        assert g.num_vertices == 5
+
+    def test_missing_problem_line_rejected(self):
+        with pytest.raises(ValueError, match="problem line"):
+            read_dimacs(io.StringIO("e 1 2\n"))
+
+    def test_second_problem_line_rejected(self):
+        with pytest.raises(ValueError, match="second problem"):
+            read_dimacs(io.StringIO("p edge 2 1\np edge 2 1\n"))
+
+    def test_vertex_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            read_dimacs(io.StringIO("p edge 2 1\ne 1 3\n"))
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            read_dimacs(io.StringIO("p edge 2 1\nx 1 2\n"))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO(""))
+
+    def test_writer_emits_problem_line(self):
+        buf = io.StringIO()
+        write_dimacs(Graph(edges=[(1, 2, 2.0)]), buf, problem="max")
+        assert "p max 2 1" in buf.getvalue()
+
+
+class TestMetis:
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_roundtrip(self, weighted, tmp_path):
+        g = _random_graph(10, 0.5, seed=8, weighted=weighted)
+        path = tmp_path / "g.metis"
+        save_metis(g, path)
+        assert _same_graph(g, load_metis(path))
+
+    def test_unweighted_header_has_no_fmt(self):
+        buf = io.StringIO()
+        write_metis(Graph(edges=[(1, 2), (2, 3)]), buf)
+        assert buf.getvalue().splitlines()[0] == "3 2"
+
+    def test_weighted_header_declares_fmt(self):
+        buf = io.StringIO()
+        write_metis(Graph(edges=[(1, 2, 3.0)]), buf)
+        assert buf.getvalue().splitlines()[0] == "2 1 001"
+
+    def test_reads_percent_comments(self):
+        g = read_metis(io.StringIO("% c\n3 2\n2\n1 3\n2\n"))
+        assert g.num_edges == 2
+
+    def test_isolated_trailing_vertices_allowed(self):
+        g = read_metis(io.StringIO("3 1\n2\n1\n"))
+        assert g.num_vertices == 3 and g.num_edges == 1
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="declared"):
+            read_metis(io.StringIO("3 5\n2\n1 3\n2\n"))
+
+    def test_vertex_weights_rejected(self):
+        with pytest.raises(ValueError, match="not supported"):
+            read_metis(io.StringIO("2 1 011\n1 2 5\n1 1 5\n"))
+
+    def test_asymmetric_weights_rejected(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            read_metis(io.StringIO("2 1 001\n2 5\n1 6\n"))
+
+    def test_neighbour_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            read_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError, match="adjacency lines"):
+            read_metis(io.StringIO("2 1\n2\n1\n1\n"))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_metis(io.StringIO("%only comments\n"))
+
+    def test_self_loop_in_row_skipped(self):
+        g = read_metis(io.StringIO("2 1\n1 2\n1\n"))
+        assert g.num_edges == 1
+
+
+class TestCrossFormat:
+    def test_dimacs_to_metis_preserves_cuts(self, tmp_path):
+        g = _random_graph(9, 0.5, seed=4, weighted=True)
+        d, m = tmp_path / "x.dimacs", tmp_path / "x.metis"
+        save_dimacs(g, d)
+        g2 = load_dimacs(d)
+        save_metis(g2, m)
+        g3 = load_metis(m)
+        side = [1, 2, 3]
+        assert g3.cut_weight(side) == pytest.approx(g.cut_weight(side))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    p=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(0, 300),
+    weighted=st.booleans(),
+)
+def test_property_roundtrips(n, p, seed, weighted):
+    g = _random_graph(n, p, seed=seed, weighted=weighted)
+    buf = io.StringIO()
+    write_dimacs(g, buf)
+    buf.seek(0)
+    assert _same_graph(g, read_dimacs(buf))
+    buf = io.StringIO()
+    write_metis(g, buf)
+    buf.seek(0)
+    assert _same_graph(g, read_metis(buf))

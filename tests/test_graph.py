@@ -1,0 +1,135 @@
+"""Tests for the weighted graph substrate."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_add_vertices_and_edges(self):
+        g = Graph(vertices=[1, 2, 3], edges=[(1, 2), (2, 3, 5.0)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.weight(2, 3) == 5.0
+        assert g.weight(1, 2) == 1.0
+
+    def test_parallel_edges_merge_weights(self):
+        g = Graph()
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("b", "a", 3.0)
+        assert g.num_edges == 1
+        assert g.weight("a", "b") == 5.0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, 0.0)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, -3.0)
+
+    def test_edge_registers_vertices(self):
+        g = Graph()
+        g.add_edge(7, 8)
+        assert set(g.vertices()) == {7, 8}
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2, 4.0)])
+        assert g.remove_edge(2, 1) == 4.0
+        assert g.num_edges == 0
+
+
+class TestQueries:
+    def test_degree_is_weighted(self):
+        g = Graph(edges=[(0, 1, 2.0), (0, 2, 3.0), (1, 2, 10.0)])
+        assert g.degree(0) == 5.0
+
+    def test_neighbors(self):
+        g = Graph(edges=[(0, 1), (0, 2), (3, 4)])
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert g.neighbors(4) == [3]
+
+    def test_adjacency_symmetric(self):
+        g = Graph(edges=[(0, 1, 2.5)])
+        adj = g.adjacency()
+        assert adj[0][1] == 2.5
+        assert adj[1][0] == 2.5
+
+    def test_total_weight(self):
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.total_weight() == 5.0
+
+    def test_edge_arrays_roundtrip(self):
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        us, vs, ws = g.edge_arrays()
+        assert len(us) == len(vs) == len(ws) == 2
+        assert sorted(ws) == [2.0, 3.0]
+
+
+class TestCutWeights:
+    def test_cut_weight_simple(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 4.0)])
+        assert g.cut_weight({0}) == 5.0
+        assert g.cut_weight({0, 1}) == 6.0
+
+    def test_cut_weight_empty_crossing(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        assert g.cut_weight({0, 1}) == 0.0
+
+    def test_partition_cut_weight(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)])
+        # parts {0,1},{2},{3}: crossing edges (1,2)=2,(2,3)=3,(3,0)=4
+        assert g.partition_cut_weight([{0, 1}, {2}, {3}]) == 9.0
+
+    def test_partition_must_cover(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            g.partition_cut_weight([{0}, {1}])
+
+
+class TestStructureOps:
+    def test_components(self):
+        g = Graph(vertices=[0, 1, 2, 3, 4], edges=[(0, 1), (2, 3)])
+        comps = g.components()
+        assert sorted(map(len, comps)) == [1, 2, 2]
+
+    def test_induced_subgraph(self):
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0), (0, 2, 4.0)])
+        sub = g.induced_subgraph([0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.weight(0, 1) == 2.0
+
+    def test_quotient_merges_parallel_edges(self):
+        g = Graph(edges=[(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 3, 4.0)])
+        rep = {0: 0, 1: 0, 2: 2, 3: 2}
+        q, blocks = g.quotient(rep)
+        assert q.num_vertices == 2
+        # crossing edges (0,2)+(1,2) merge: 2+3 = 5; (2,3) is internal
+        assert q.weight(0, 2) == 5.0
+        assert sorted(blocks[0]) == [0, 1]
+        assert sorted(blocks[2]) == [2, 3]
+
+    def test_quotient_drops_self_loops(self):
+        g = Graph(edges=[(0, 1, 1.0)])
+        q, _ = g.quotient({0: 0, 1: 0})
+        assert q.num_edges == 0
+
+    def test_without_edges(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 2.0)])
+        h = g.without_edges([(1, 0)])
+        assert h.num_edges == 1
+        assert h.has_edge(1, 2)
+        assert not h.has_edge(0, 1)
+        assert g.num_edges == 2  # original untouched
+
+    def test_copy_independent(self):
+        g = Graph(edges=[(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2

@@ -1,0 +1,156 @@
+"""Tests for cut containers, DSU, and edge-list serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Cut,
+    DSU,
+    Graph,
+    KCut,
+    kcut_weight,
+    lift_cut,
+    min_singleton_cut,
+    read_edgelist,
+    singleton_cut_weight,
+    write_edgelist,
+)
+
+
+def triangle():
+    return Graph(edges=[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 4.0)])
+
+
+class TestCut:
+    def test_of_evaluates_weight(self):
+        c = Cut.of(triangle(), [0])
+        assert c.weight == 5.0
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            Cut.of(triangle(), [])
+
+    def test_rejects_full_side(self):
+        with pytest.raises(ValueError):
+            Cut.of(triangle(), [0, 1, 2])
+
+    def test_validate_detects_mismatch(self):
+        c = Cut(side=frozenset([0]), weight=999.0)
+        with pytest.raises(ValueError):
+            c.validate(triangle())
+
+    def test_validate_passes_correct(self):
+        Cut.of(triangle(), [1]).validate(triangle())
+
+
+class TestKCut:
+    def test_of_evaluates_partition(self):
+        kc = KCut.of(triangle(), [{0}, {1}, {2}])
+        assert kc.weight == 7.0
+        assert kc.k == 3
+
+    def test_rejects_non_partition(self):
+        with pytest.raises(ValueError):
+            KCut.of(triangle(), [{0}, {1}])
+        with pytest.raises(ValueError):
+            KCut.of(triangle(), [{0, 1}, {1, 2}])
+
+    def test_rejects_empty_part(self):
+        with pytest.raises(ValueError):
+            KCut.of(triangle(), [{0, 1, 2}, set()])
+
+
+class TestHelpers:
+    def test_singleton_cut_weight_is_degree(self):
+        assert singleton_cut_weight(triangle(), 0) == 5.0
+
+    def test_min_singleton(self):
+        c = min_singleton_cut(triangle())
+        assert c.weight == 3.0  # vertex 1: edges 1+2
+        assert c.side == frozenset([1])
+
+    def test_kcut_weight_convention(self):
+        assert kcut_weight(triangle(), [{0}, {1}, {2}]) == 7.0
+
+    def test_lift_cut(self):
+        blocks = {0: [0, 1], 2: [2, 3]}
+        assert lift_cut(blocks, [0]) == frozenset([0, 1])
+
+
+class TestDSU:
+    def test_union_find_basics(self):
+        d = DSU(range(5))
+        assert d.num_sets == 5
+        assert d.union(0, 1)
+        assert not d.union(1, 0)
+        assert d.connected(0, 1)
+        assert not d.connected(0, 2)
+        assert d.num_sets == 4
+
+    def test_set_size(self):
+        d = DSU(range(4))
+        d.union(0, 1)
+        d.union(1, 2)
+        assert d.set_size(2) == 3
+        assert d.set_size(3) == 1
+
+    def test_groups(self):
+        d = DSU("abcd")
+        d.union("a", "b")
+        groups = d.groups()
+        assert sorted(map(sorted, groups.values())) == [["a", "b"], ["c"], ["d"]]
+
+    def test_add_idempotent(self):
+        d = DSU()
+        d.add(1)
+        d.add(1)
+        assert len(d) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30))))
+    def test_property_matches_naive_partition(self, unions):
+        d = DSU(range(31))
+        naive = {i: {i} for i in range(31)}
+        for a, b in unions:
+            d.union(a, b)
+            sa = next(s for s in naive.values() if a in s)
+            sb = next(s for s in naive.values() if b in s)
+            if sa is not sb:
+                merged = sa | sb
+                for x in merged:
+                    naive[x] = merged
+        for a in range(31):
+            for b in range(a + 1, 31):
+                assert d.connected(a, b) == (b in naive[a])
+
+
+class TestIO:
+    def test_roundtrip(self):
+        g = Graph(vertices=[0, 1, 2, 9], edges=[(0, 1, 2.5), (1, 2, 1.0)])
+        buf = io.StringIO()
+        write_edgelist(g, buf)
+        buf.seek(0)
+        h = read_edgelist(buf)
+        assert set(h.vertices()) == set(g.vertices())
+        assert sorted((min(u, v), max(u, v), w) for u, v, w in h.edges()) == sorted(
+            (min(u, v), max(u, v), w) for u, v, w in g.edges()
+        )
+
+    def test_string_vertices_roundtrip(self):
+        g = Graph(edges=[("alpha", "beta", 3.0)])
+        buf = io.StringIO()
+        write_edgelist(g, buf)
+        buf.seek(0)
+        h = read_edgelist(buf)
+        assert h.weight("alpha", "beta") == 3.0
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            read_edgelist(io.StringIO(""))
+
+    def test_vertex_count_mismatch_detected(self):
+        with pytest.raises(ValueError):
+            read_edgelist(io.StringIO("3\nv 0\nv 1\n"))

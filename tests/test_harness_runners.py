@@ -1,0 +1,79 @@
+"""Integration tests for the experiment runners added with E12–E15.
+
+The benches run these at full size; here they run at the smallest
+meaningful scale so the *invariants* (not the timings) are covered by
+the plain test suite — a broken runner should fail `pytest tests/`,
+not only the benchmark session.
+"""
+
+import pytest
+
+from repro.analysis.harness import (
+    run_classic_datasets,
+    run_model_separation,
+    run_quality_grid,
+    run_sparsification_ablation,
+)
+
+
+class TestSparsificationRunner:
+    def test_certificate_never_moves_the_min_cut(self):
+        report = run_sparsification_ablation(sizes=[48, 64])
+        assert len(report.rows) == 2
+        for n, m, m_cert, exact, exact_cert, w, w_cert, sp, sp_cert in report.rows:
+            assert exact == exact_cert
+            assert m_cert <= m
+            assert sp_cert <= sp
+        assert not report.notes
+
+    def test_report_renders(self):
+        report = run_sparsification_ablation(sizes=[48])
+        text = report.render()
+        assert "E12" in text and "m_cert" in text
+
+
+class TestQualityGridRunner:
+    def test_matula_rows_deterministically_bounded(self):
+        report = run_quality_grid(trials=1)
+        assert len(report.rows) == 4
+        for name, n, exact, matula, m_ratio, ampc, a_ratio in report.rows:
+            assert exact - 1e-9 <= matula <= 2.5 * exact + 1e-9
+            assert ampc >= exact - 1e-9
+        assert not report.notes
+
+    def test_eps_threaded_through(self):
+        report = run_quality_grid(eps=0.9, trials=1)
+        assert "0.90" in report.experiment
+
+
+class TestModelSeparationRunner:
+    def test_shapes(self):
+        # NOTE 32 -> 128, not adjacent sizes: at tiny n the machines are
+        # smaller too, so relay trees are *deeper* and rounds/iteration
+        # higher — monotonicity in n holds at fixed machine capacity or
+        # across larger gaps (the bench asserts 32/128/512).
+        report = run_model_separation(sizes=[32, 128])
+        rows = {(r[0], r[1]): r for r in report.rows}
+        # reduce at parity (both tiny)
+        assert rows[("reduce", 32)][3] <= 8
+        # AMPC flat across sizes for the separated workloads
+        assert rows[("listrank", 32)][2] == rows[("listrank", 128)][2]
+        assert rows[("1v2cycle", 32)][2] == rows[("1v2cycle", 128)][2]
+        # MPC grows
+        assert rows[("listrank", 128)][3] >= rows[("listrank", 32)][3]
+        assert rows[("1v2cycle", 128)][3] > rows[("1v2cycle", 32)][3]
+
+    def test_charged_row_documented(self):
+        report = run_model_separation(sizes=[32])
+        assert any("charged" in note for note in report.notes)
+
+
+class TestClassicRunner:
+    def test_both_datasets_present_and_bounded(self):
+        report = run_classic_datasets()
+        names = [r[0] for r in report.rows]
+        assert names == ["karate", "dolphins"]
+        for name, n, m, exact, ampc, matula, kcut2, gh2 in report.rows:
+            assert exact - 1e-9 <= ampc <= 2.5 * exact + 1e-9
+            assert kcut2 >= exact - 1e-9
+        assert not report.notes

@@ -1,0 +1,102 @@
+"""Tests for heavy-light decomposition (Definitions 2-3, Observations 1-2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import heavy_light_decomposition, root_tree
+from repro.workloads import (
+    balanced_binary,
+    broom,
+    caterpillar,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+
+def hl_of(spec):
+    vs, es = spec
+    return heavy_light_decomposition(root_tree(vs, es))
+
+
+class TestHeavyEdges:
+    def test_every_internal_vertex_has_heavy_child(self):
+        # Observation 2 under the Sleator-Tarjan definition
+        hl = hl_of(random_tree(100, seed=1))
+        for v in hl.tree.parent:
+            if hl.tree.children[v]:
+                assert v in hl.heavy_child
+
+    def test_heavy_child_has_max_subtree(self):
+        hl = hl_of(random_tree(100, seed=2))
+        for v, h in hl.heavy_child.items():
+            best = max(hl.tree.subtree_size[c] for c in hl.tree.children[v])
+            assert hl.tree.subtree_size[h] == best
+
+    def test_path_is_single_heavy_path(self):
+        hl = hl_of(path_tree(50))
+        assert len(hl.paths) == 1
+        assert hl.paths[0] == list(range(50))
+
+    def test_star_heavy_path_is_one_edge(self):
+        hl = hl_of(star_tree(10))
+        # hub + its heavy child form one path; other leaves are singletons
+        assert sorted(map(len, hl.paths)) == [1] * 8 + [2]
+
+
+class TestPartition:
+    def test_paths_partition_vertices(self):
+        for spec in [
+            path_tree(30),
+            star_tree(30),
+            caterpillar(30),
+            broom(30),
+            balanced_binary(4),
+            random_tree(77, seed=3),
+        ]:
+            hl = hl_of(spec)
+            hl.validate()  # includes partition + contiguity checks
+
+    def test_paths_listed_top_down(self):
+        hl = hl_of(random_tree(60, seed=4))
+        for path in hl.paths:
+            for a, b in zip(path, path[1:]):
+                assert hl.tree.depth[b] == hl.tree.depth[a] + 1
+
+    def test_position_and_path_of_consistent(self):
+        hl = hl_of(random_tree(60, seed=5))
+        for m, path in enumerate(hl.paths):
+            for i, v in enumerate(path):
+                assert hl.path_of[v] == m
+                assert hl.position[v] == i
+                assert hl.path_head(v) == path[0]
+
+
+class TestObservation1:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 200), st.integers(0, 50))
+    def test_light_edges_bounded_by_log(self, n, seed):
+        vs, es = random_tree(n, seed=seed)
+        hl = heavy_light_decomposition(root_tree(vs, es))
+        bound = math.floor(math.log2(n))
+        for v in vs:
+            assert hl.light_edges_to_root(v) <= bound
+
+    def test_heavy_paths_to_root_bounded(self):
+        vs, es = random_tree(150, seed=6)
+        hl = heavy_light_decomposition(root_tree(vs, es))
+        bound = math.floor(math.log2(150)) + 1
+        for v in vs:
+            assert hl.heavy_paths_to_root(v) <= bound
+
+    def test_balanced_binary_hits_log_regime(self):
+        vs, es = balanced_binary(6)  # 127 vertices
+        hl = heavy_light_decomposition(root_tree(vs, es))
+        # Siblings tie on subtree size, so the heavy path always takes
+        # the first child; the *max-id* leaf (rightmost) therefore
+        # crosses a light edge at every level — the true log regime.
+        rightmost = max(vs)
+        assert hl.light_edges_to_root(rightmost) == 6

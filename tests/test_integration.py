@@ -1,0 +1,113 @@
+"""Integration tests: full pipelines and the experiment harness."""
+
+import math
+
+import pytest
+
+from repro import (
+    AMPCConfig,
+    RoundLedger,
+    ampc_min_cut,
+    ampc_min_cut_boosted,
+    apx_split_kcut,
+    smallest_singleton_cut,
+)
+from repro.analysis import harness
+from repro.baselines import exact_min_cut_weight, gn_mpc_min_cut
+from repro.workloads import planted_cut, planted_kcut
+
+
+class TestEndToEnd:
+    def test_full_mincut_pipeline_on_planted(self):
+        inst = planted_cut(128, seed=42)
+        res = ampc_min_cut(inst.graph, seed=42)
+        res.cut.validate(inst.graph)
+        # planted instances are easy: one run typically nails the optimum
+        assert res.weight <= (2 + 0.5) * inst.planted_weight + 1e-9
+
+    def test_mincut_vs_mpc_same_result_fewer_rounds(self):
+        inst = planted_cut(96, seed=7)
+        ampc = ampc_min_cut(inst.graph, seed=7, max_copies=2)
+        mpc = gn_mpc_min_cut(inst.graph, seed=7, max_copies=2)
+        assert abs(ampc.weight - mpc.weight) < 1e-9
+        assert ampc.ledger.rounds < mpc.ledger.rounds
+
+    def test_kcut_pipeline_on_planted(self):
+        inst = planted_kcut(48, 4, seed=9)
+        res = apx_split_kcut(inst.graph, 4, seed=9)
+        assert res.kcut.k == 4
+        assert res.weight <= (4 + 0.5) * inst.planted_weight + 1e-9
+
+    def test_boosting_reduces_weight_variance(self):
+        inst = planted_cut(64, seed=3)
+        singles = [
+            ampc_min_cut(inst.graph, seed=s, max_copies=2).weight
+            for s in range(3)
+        ]
+        boosted = ampc_min_cut_boosted(inst.graph, trials=3, seed=0).weight
+        assert boosted <= min(singles) + 1e-9 or boosted <= max(singles)
+
+    def test_charged_entries_all_cite_sources(self):
+        inst = planted_cut(64, seed=5)
+        res = ampc_min_cut(inst.graph, seed=5)
+        for entry in res.ledger.entries:
+            if entry.kind == "charged":
+                assert any(
+                    ref in entry.reason
+                    for ref in (
+                        "Lemma",
+                        "Theorem",
+                        "Algorithm",
+                        "Behnezhad",
+                        "parallel",
+                        "boosting",
+                        "witness",
+                        "APX-SPLIT",
+                    )
+                ), entry.reason
+
+
+class TestHarness:
+    def test_e1_report_shape(self):
+        rep = harness.run_rounds_scaling([32, 64], seed=1)
+        assert len(rep.rows) == 2
+        for row in rep.rows:
+            n, ampc_rounds, mpc_rounds, speedup, _, envelope = row
+            assert ampc_rounds <= envelope
+            assert speedup > 1.0
+
+    def test_e2_ratios_within_bound(self):
+        rep = harness.run_approx_quality(seed=2, trials=2)
+        for row in rep.rows:
+            ratio, bound = row[4], row[5]
+            assert ratio <= bound + 1e-9
+
+    def test_e3_exactness(self):
+        rep = harness.run_singleton_verification([16, 32], seed=3)
+        assert all(row[4] for row in rep.rows)  # equal column
+        rounds = {row[5] for row in rep.rows}
+        assert len(rounds) == 1
+
+    def test_e4_heights(self):
+        rep = harness.run_low_depth_heights([64], seed=4)
+        for row in rep.rows:
+            assert row[2] <= row[3]  # height <= envelope
+
+    def test_e5_kcut(self):
+        rep = harness.run_kcut_quality([2, 3], seed=5)
+        for row in rep.rows:
+            assert row[3] <= row[6] * row[2] + 1e-9  # apx <= bound*planted
+
+    def test_e6_memory(self):
+        rep = harness.run_memory_budgets([32, 64], seed=6)
+        assert all(row[6] for row in rep.rows)  # within column
+
+    def test_e9_mpc_corollary(self):
+        rep = harness.run_mpc_corollary(seed=9)
+        for row in rep.rows:
+            assert row[3] > row[2]  # mpc rounds > ampc rounds
+
+    def test_reports_render(self):
+        rep = harness.run_singleton_verification([16], seed=10)
+        text = rep.render()
+        assert "E3" in text

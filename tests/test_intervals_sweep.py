@@ -1,0 +1,167 @@
+"""Tests for edge time intervals (Lemmas 12-13) and the sweep (Lemma 14)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.core import draw_contraction_keys, mst_of_keys
+from repro.core.intervals import TimeInterval, edge_intervals
+from repro.core.ldr import build_level_structure
+from repro.core.sweep import min_interval_overlap, min_interval_overlap_ampc
+from repro.core import bag_at
+from repro.graph import Graph
+from repro.trees import low_depth_decomposition
+from repro.workloads import erdos_renyi
+
+CFG = AMPCConfig(n_input=200, eps=0.5)
+
+
+def setup(g, seed=0):
+    keys = draw_contraction_keys(g, seed=seed)
+    mst = mst_of_keys(g, keys)
+    decomp = low_depth_decomposition(g.vertices(), [(u, v) for _, u, v in mst])
+    max_key = max(k for k, _, _ in mst)
+    return keys, decomp, max_key
+
+
+class TestTimeInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(start=5, end=4, weight=1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(start=-1, end=4, weight=1.0)
+
+
+class TestLemma12and13:
+    def test_intervals_match_crossing_semantics(self):
+        """For every leader r and interval [a,b] of edge e: e crosses
+        bag(r, t) for t in [a, b] and not at a-1 / b+1 (within domain).
+        This is the Lemma 12+13 semantics checked against Definition 6.
+        """
+        rng = random.Random(0)
+        for trial in range(6):
+            g = erdos_renyi(12, 0.4, weighted=True, seed=trial)
+            keys, decomp, max_key = setup(g, trial)
+            for level in range(1, decomp.height + 1):
+                struct = build_level_structure(
+                    decomp, keys, level, max_tree_key=max_key
+                )
+                if not struct.ldr_time:
+                    continue
+                grouped = edge_intervals(g, struct)
+                for r, ivs in grouped.items():
+                    ldr = struct.ldr_time[r]
+                    # total coverage at sampled t == boundary weight
+                    for t in sorted({0, ldr, ldr // 2, max(0, ldr - 1)}):
+                        bag = bag_at(g, keys, r, t)
+                        boundary = g.cut_weight(bag) if len(bag) < g.num_vertices else 0.0
+                        covered = sum(
+                            iv.weight for iv in ivs if iv.start <= t <= iv.end
+                        )
+                        assert abs(covered - boundary) < 1e-9, (
+                            trial, level, r, t, covered, boundary
+                        )
+
+    def test_intervals_clipped_to_domain(self):
+        g = erdos_renyi(15, 0.35, seed=9)
+        keys, decomp, max_key = setup(g, 9)
+        for level in range(1, decomp.height + 1):
+            struct = build_level_structure(decomp, keys, level, max_tree_key=max_key)
+            for r, ivs in edge_intervals(g, struct).items():
+                for iv in ivs:
+                    assert 0 <= iv.start <= iv.end <= struct.ldr_time[r]
+
+    def test_leader_degree_covered_at_zero(self):
+        """Delta bag(r, 0) = weighted degree of r (Observation sanity)."""
+        g = erdos_renyi(14, 0.4, weighted=True, seed=10)
+        keys, decomp, max_key = setup(g, 10)
+        for level in range(1, decomp.height + 1):
+            struct = build_level_structure(decomp, keys, level, max_tree_key=max_key)
+            for r, ivs in edge_intervals(g, struct).items():
+                at_zero = sum(iv.weight for iv in ivs if iv.start == 0)
+                assert abs(at_zero - g.degree(r)) < 1e-9
+
+
+class TestSweep:
+    def test_simple_overlap(self):
+        ivs = [
+            TimeInterval(0, 5, 1.0),
+            TimeInterval(2, 3, 1.0),
+            TimeInterval(4, 8, 1.0),
+        ]
+        w, t = min_interval_overlap(ivs, 8)
+        assert w == 1.0
+        assert t in (0, 6)
+
+    def test_min_at_leading_gap(self):
+        ivs = [TimeInterval(3, 5, 2.0)]
+        w, t = min_interval_overlap(ivs, 5)
+        assert (w, t) == (0.0, 0)
+
+    def test_empty_intervals(self):
+        assert min_interval_overlap([], 10) == (0.0, 0)
+
+    def test_weighted_overlap(self):
+        ivs = [TimeInterval(0, 4, 2.5), TimeInterval(2, 4, 1.0)]
+        w, t = min_interval_overlap(ivs, 4)
+        assert w == 2.5
+        assert t == 0
+
+    def test_negative_domain_rejected(self):
+        with pytest.raises(ValueError):
+            min_interval_overlap([], -1)
+
+    def test_argmin_is_smallest_t(self):
+        ivs = [TimeInterval(0, 2, 1.0), TimeInterval(1, 4, 1.0)]
+        w, t = min_interval_overlap(ivs, 4)
+        assert (w, t) == (1.0, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(1, 5)),
+            max_size=25,
+        ),
+        st.integers(0, 40),
+    )
+    def test_property_matches_bruteforce(self, raw, domain):
+        ivs = [
+            TimeInterval(min(a, b), max(a, b), float(w))
+            for a, b, w in raw
+            if min(a, b) <= domain
+        ]
+        ivs = [
+            TimeInterval(iv.start, min(iv.end, domain), iv.weight) for iv in ivs
+        ]
+        got_w, got_t = min_interval_overlap(ivs, domain)
+        brute = [
+            sum(iv.weight for iv in ivs if iv.start <= t <= iv.end)
+            for t in range(domain + 1)
+        ]
+        assert abs(got_w - min(brute)) < 1e-9
+        assert brute[got_t] == min(brute)
+
+
+class TestSweepAMPC:
+    def test_matches_host_sweep(self):
+        rng = random.Random(1)
+        for trial in range(5):
+            ivs = [
+                TimeInterval(a, a + rng.randint(0, 10), float(rng.randint(1, 4)))
+                for a in (rng.randint(0, 20) for _ in range(15))
+            ]
+            domain = max(iv.end for iv in ivs)
+            host_w, _ = min_interval_overlap(ivs, domain)
+            dist_w = min_interval_overlap_ampc(CFG, ivs, domain)
+            assert abs(host_w - dist_w) < 1e-9
+
+    def test_measured_rounds_recorded(self):
+        led = RoundLedger()
+        ivs = [TimeInterval(i, i + 3, 1.0) for i in range(30)]
+        min_interval_overlap_ampc(CFG, ivs, 40, ledger=led)
+        assert led.measured_rounds >= 6  # sort + prefix pipelines

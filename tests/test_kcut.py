@@ -1,0 +1,101 @@
+"""Tests for Algorithm 4 — APX-SPLIT (Theorem 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import exact_min_kcut_weight, sv_split_kcut
+from repro.core import apx_split_kcut
+from repro.graph import Graph
+from repro.workloads import cycle, erdos_renyi, planted_kcut
+
+
+class TestValidity:
+    def test_partition_has_k_parts(self):
+        inst = planted_kcut(24, 3, seed=1)
+        res = apx_split_kcut(inst.graph, 3, seed=1)
+        assert res.kcut.k == 3
+        union = set().union(*res.kcut.parts)
+        assert union == set(inst.graph.vertices())
+
+    def test_k_equals_one_is_trivial(self):
+        g = cycle(8)
+        res = apx_split_kcut(g, 1)
+        assert res.kcut.k == 1
+        assert res.weight == 0.0
+        assert res.iterations == 0
+
+    def test_k_equals_n_isolates_everything(self):
+        g = cycle(6)
+        res = apx_split_kcut(g, 6, seed=2)
+        assert res.kcut.k == 6
+        assert res.weight == g.total_weight()
+
+    def test_invalid_k_rejected(self):
+        g = cycle(5)
+        with pytest.raises(ValueError):
+            apx_split_kcut(g, 0)
+        with pytest.raises(ValueError):
+            apx_split_kcut(g, 6)
+
+    def test_cut_edge_sets_recorded_per_iteration(self):
+        inst = planted_kcut(24, 3, seed=3)
+        res = apx_split_kcut(inst.graph, 3, seed=3)
+        assert len(res.cut_edge_sets) == res.iterations
+        assert res.iterations <= 2  # at most k-1
+
+
+class TestApproximation:
+    def test_within_4plus_eps_of_planted(self):
+        for k in (2, 3, 4):
+            inst = planted_kcut(12 * k, k, seed=k)
+            res = apx_split_kcut(inst.graph, k, seed=k)
+            assert res.weight <= (4 + 0.5) * inst.planted_weight + 1e-9
+
+    def test_within_4plus_eps_of_exact_small(self):
+        for seed in range(4):
+            g = erdos_renyi(9, 0.5, weighted=True, seed=seed)
+            exact = exact_min_kcut_weight(g, 3)
+            res = apx_split_kcut(g, 3, seed=seed)
+            assert res.weight <= (4 + 0.5) * exact + 1e-9
+
+    def test_never_below_exact(self):
+        for seed in range(4):
+            g = erdos_renyi(9, 0.5, weighted=True, seed=100 + seed)
+            exact = exact_min_kcut_weight(g, 3)
+            res = apx_split_kcut(g, 3, seed=seed)
+            assert res.weight >= exact - 1e-9
+
+    def test_matches_sv_when_exact_cuts_used(self):
+        """With exact_below covering the whole graph, APX-SPLIT *is*
+        Saran–Vazirani SPLIT."""
+        g = erdos_renyi(12, 0.45, weighted=True, seed=5)
+        ours = apx_split_kcut(g, 4, exact_below=100)
+        sv = sv_split_kcut(g, 4)
+        assert abs(ours.weight - sv.weight) < 1e-9
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(6, 11), st.integers(2, 4), st.integers(0, 50))
+    def test_property_4plus_eps(self, n, k, seed):
+        if k > n:
+            return
+        g = erdos_renyi(n, 0.5, weighted=True, seed=seed)
+        exact = exact_min_kcut_weight(g, k)
+        res = apx_split_kcut(g, k, seed=seed)
+        assert exact - 1e-9 <= res.weight <= (4 + 0.5) * exact + 1e-9
+
+
+class TestRounds:
+    def test_rounds_linear_in_k(self):
+        inst2 = planted_kcut(32, 2, seed=6)
+        inst4 = planted_kcut(32, 4, seed=6)
+        r2 = apx_split_kcut(inst2.graph, 2, seed=6).ledger.rounds
+        r4 = apx_split_kcut(inst4.graph, 4, seed=6).ledger.rounds
+        assert r4 <= 4 * r2  # O(k log log n): ~linear in k
+        assert r4 > r2
+
+    def test_iterations_bounded_by_k_minus_one(self):
+        for k in (2, 3, 5):
+            inst = planted_kcut(10 * k, k, seed=k)
+            res = apx_split_kcut(inst.graph, k, seed=k)
+            assert res.iterations <= k - 1

@@ -1,0 +1,121 @@
+"""Tests for exact k-cut, Saran–Vazirani, and the MPC cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import sv_approx_bound
+from repro.baselines import (
+    exact_min_kcut,
+    exact_min_kcut_weight,
+    gn_mpc_kcut_rounds,
+    gn_mpc_min_cut,
+    gn_mpc_rounds,
+    mpc_level_rounds,
+    sv_gomory_hu_kcut,
+    sv_split_kcut,
+)
+from repro.core import ampc_min_cut, schedule_for
+from repro.graph import Graph
+from repro.workloads import cycle, erdos_renyi, planted_cut, planted_kcut
+
+
+class TestExactKCut:
+    def test_triangle_2cut(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 4.0)])
+        kc = exact_min_kcut(g, 2)
+        assert kc.weight == 3.0  # isolate vertex 1
+
+    def test_k_equals_n(self):
+        g = cycle(5)
+        assert exact_min_kcut_weight(g, 5) == 5.0
+
+    def test_k_equals_one(self):
+        g = cycle(5)
+        assert exact_min_kcut_weight(g, 1) == 0.0
+
+    def test_blowup_guard(self):
+        with pytest.raises(ValueError):
+            exact_min_kcut(cycle(20), 3)
+
+    def test_monotone_in_k(self):
+        g = erdos_renyi(8, 0.5, weighted=True, seed=1)
+        ws = [exact_min_kcut_weight(g, k) for k in range(1, 6)]
+        assert ws == sorted(ws)
+
+    def test_cycle_kcut_is_k_edges(self):
+        # cutting a unit cycle into k arcs costs exactly k
+        g = cycle(8)
+        for k in (2, 3, 4):
+            assert exact_min_kcut_weight(g, k) == float(k)
+
+
+class TestSaranVazirani:
+    def test_split_within_2_minus_2k(self):
+        for seed in range(4):
+            g = erdos_renyi(9, 0.5, weighted=True, seed=seed)
+            for k in (2, 3):
+                exact = exact_min_kcut_weight(g, k)
+                sv = sv_split_kcut(g, k)
+                assert sv.weight <= sv_approx_bound(k) * exact + 1e-9
+
+    def test_gomory_hu_variant_within_2_minus_2k(self):
+        for seed in range(4):
+            g = erdos_renyi(9, 0.5, weighted=True, seed=10 + seed)
+            for k in (2, 3):
+                exact = exact_min_kcut_weight(g, k)
+                sv = sv_gomory_hu_kcut(g, k)
+                assert sv.weight <= sv_approx_bound(k) * exact + 1e-9
+
+    def test_split_k2_is_exact_min_cut(self):
+        from repro.baselines import exact_min_cut_weight
+
+        g = erdos_renyi(12, 0.4, weighted=True, seed=3)
+        sv = sv_split_kcut(g, 2)
+        assert abs(sv.weight - exact_min_cut_weight(g)) < 1e-9
+
+    def test_partition_shape(self):
+        inst = planted_kcut(20, 4, seed=4)
+        sv = sv_split_kcut(inst.graph, 4)
+        assert sv.k == 4
+
+
+class TestMPCCostModel:
+    def test_level_rounds_logarithmic(self):
+        assert mpc_level_rounds(1024) >= 2 * 10
+        assert mpc_level_rounds(2) >= 2
+
+    def test_total_rounds_sum_levels(self):
+        s = schedule_for(1000, eps=0.5)
+        assert gn_mpc_rounds(s) == sum(
+            mpc_level_rounds(l.instance_size) for l in s.levels
+        ) + 1
+
+    def test_mpc_cut_equals_ampc_cut(self):
+        g = planted_cut(48, seed=5).graph
+        a = ampc_min_cut(g, seed=5)
+        m = gn_mpc_min_cut(g, seed=5)
+        assert abs(a.weight - m.weight) < 1e-9
+
+    def test_mpc_rounds_exceed_ampc(self):
+        g = planted_cut(128, seed=6).graph
+        a = ampc_min_cut(g, seed=6, max_copies=2)
+        m = gn_mpc_min_cut(g, seed=6, max_copies=2)
+        assert m.ledger.rounds > a.ledger.rounds
+
+    def test_gap_widens_with_n(self):
+        """The log n factor: MPC/AMPC round ratio must grow with n."""
+        ratios = []
+        for n in (64, 1024):
+            s = schedule_for(n, eps=0.5)
+            from repro.analysis.theory import loglog_rounds_envelope
+
+            ratios.append(gn_mpc_rounds(s) / loglog_rounds_envelope(n, 0.5))
+        assert ratios[1] > ratios[0]
+
+    def test_kcut_rounds_linear_in_k(self):
+        r2 = gn_mpc_kcut_rounds(100, 2)
+        r5 = gn_mpc_kcut_rounds(100, 5)
+        assert r5 == 4 * r2  # (k-1) iterations each of equal cost

@@ -1,0 +1,143 @@
+"""Tests for contraction-key drawing (Section 4.1 semantics)."""
+
+import collections
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import draw_contraction_keys
+from repro.graph import Graph
+from repro.workloads import cycle, erdos_renyi
+
+
+class TestContract:
+    def test_keys_unique(self):
+        g = erdos_renyi(30, 0.3, seed=1)
+        keys = draw_contraction_keys(g, seed=0)
+        values = [k for (u, v), k in keys.key.items() if u < v]
+        assert len(set(values)) == len(values)
+
+    def test_keys_symmetric(self):
+        g = cycle(10)
+        keys = draw_contraction_keys(g)
+        for u, v, _ in g.edges():
+            assert keys.of(u, v) == keys.of(v, u)
+
+    def test_keys_within_key_space(self):
+        g = erdos_renyi(20, 0.4, seed=2)
+        keys = draw_contraction_keys(g)
+        assert keys.key_space == 20**3
+        assert all(1 <= k <= keys.key_space for k in keys.key.values())
+
+    def test_edges_by_key_ascending_and_complete(self):
+        g = erdos_renyi(15, 0.4, seed=3)
+        keys = draw_contraction_keys(g)
+        listed = keys.edges_by_key()
+        assert len(listed) == g.num_edges
+        ks = [k for k, _, _ in listed]
+        assert ks == sorted(ks)
+
+    def test_deterministic_per_seed(self):
+        g = cycle(12)
+        assert draw_contraction_keys(g, seed=5).key == draw_contraction_keys(g, seed=5).key
+
+    def test_different_seeds_differ(self):
+        g = erdos_renyi(20, 0.3, seed=4)
+        a = draw_contraction_keys(g, seed=1).edges_by_key()
+        b = draw_contraction_keys(g, seed=2).edges_by_key()
+        assert [e[1:] for e in a] != [e[1:] for e in b]
+
+    def test_empty_graph(self):
+        g = Graph(vertices=[0, 1])
+        keys = draw_contraction_keys(g)
+        assert keys.key == {}
+        assert keys.max_key == 0
+
+
+class TestWeightBias:
+    def test_heavy_edges_contract_earlier_on_average(self):
+        """Exponential clocks: a weight-100 edge should beat a weight-1
+        edge in the contraction order the vast majority of draws."""
+        g = Graph(edges=[("a", "b", 100.0), ("c", "d", 1.0)])
+        wins = 0
+        trials = 300
+        for s in range(trials):
+            keys = draw_contraction_keys(g, seed=s)
+            if keys.of("a", "b") < keys.of("c", "d"):
+                wins += 1
+        # P(heavy first) = 100/101 ~ 0.99
+        assert wins / trials > 0.93
+
+    def test_uniform_for_equal_weights(self):
+        g = Graph(edges=[("a", "b", 5.0), ("c", "d", 5.0)])
+        wins = 0
+        trials = 400
+        for s in range(trials):
+            keys = draw_contraction_keys(g, seed=s)
+            if keys.of("a", "b") < keys.of("c", "d"):
+                wins += 1
+        assert 0.4 < wins / trials < 0.6
+
+
+class TestUniformKeys:
+    """The A4 ablation arm: weight-oblivious uniform keys."""
+
+    def test_unique_and_in_key_space(self):
+        from repro.core import draw_uniform_keys
+        from repro.workloads import erdos_renyi
+
+        g = erdos_renyi(24, 0.3, weighted=True, seed=3)
+        keys = draw_uniform_keys(g, seed=1)
+        uniq = {keys.of(u, v) for u, v, _ in g.edges()}
+        assert len(uniq) == g.num_edges
+        assert all(1 <= k <= keys.key_space for k in uniq)
+
+    def test_orientation_symmetric(self):
+        from repro.core import draw_uniform_keys
+        from repro.graph import Graph
+
+        g = Graph(edges=[(0, 1, 5.0), (1, 2, 1.0)])
+        keys = draw_uniform_keys(g, seed=2)
+        assert keys.of(0, 1) == keys.of(1, 0)
+
+    def test_weight_oblivious(self):
+        # same seed, same topology, different weights => same order
+        from repro.core import draw_uniform_keys
+        from repro.graph import Graph
+
+        edges = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        g1 = Graph(edges=[(u, v, 1.0) for u, v in edges])
+        g2 = Graph(edges=[(u, v, float(1 + 7 * ((u + v) % 3))) for u, v in edges])
+        k1 = draw_uniform_keys(g1, seed=9)
+        k2 = draw_uniform_keys(g2, seed=9)
+        order1 = sorted(edges, key=lambda e: k1.of(*e))
+        order2 = sorted(edges, key=lambda e: k2.of(*e))
+        assert order1 == order2
+
+    def test_clocks_bias_towards_heavy_edges(self):
+        # statistical: the heavy edge is contracted first far more often
+        # under clocks than under uniform keys
+        from repro.core import draw_contraction_keys, draw_uniform_keys
+        from repro.graph import Graph
+
+        g = Graph(edges=[(0, 1, 50.0), (1, 2, 1.0), (2, 3, 1.0)])
+        first_clock = sum(
+            min(
+                ((u, v) for u, v, _ in g.edges()),
+                key=lambda e: draw_contraction_keys(g, seed=t).of(*e),
+            )
+            == (0, 1)
+            for t in range(80)
+        )
+        first_uniform = sum(
+            min(
+                ((u, v) for u, v, _ in g.edges()),
+                key=lambda e: draw_uniform_keys(g, seed=t).of(*e),
+            )
+            == (0, 1)
+            for t in range(80)
+        )
+        assert first_clock > 60      # ~ 50/52 of the time
+        assert first_uniform < 45    # ~ 1/3 of the time

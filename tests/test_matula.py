@@ -1,0 +1,123 @@
+"""Matula's deterministic (2+eps) min cut vs the exact oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.matula import matula_min_cut, matula_min_cut_weight
+from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+from repro.graph import Graph
+from repro.workloads import cycle, erdos_renyi, planted_cut, wheel
+
+
+def _random_connected(n: int, p: float, wmax: int, seed: int) -> Graph:
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v, rng.randint(1, wmax))
+    for u in range(n):
+        v = (u + 1) % n
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, rng.randint(1, wmax))
+    return g
+
+
+class TestValidity:
+    def test_returns_a_real_cut(self):
+        g = _random_connected(12, 0.4, 5, seed=0)
+        res = matula_min_cut(g)
+        res.cut.validate(g)
+        assert res.weight == pytest.approx(g.cut_weight(res.cut.side))
+
+    def test_two_vertices(self):
+        g = Graph(edges=[(0, 1, 7.0)])
+        assert matula_min_cut_weight(g) == pytest.approx(7.0)
+
+    def test_triangle(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        assert matula_min_cut_weight(g, eps=0.1) == pytest.approx(2.0)
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            matula_min_cut(Graph(vertices=[0]))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            matula_min_cut(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_nonpositive_eps_rejected(self):
+        with pytest.raises(ValueError):
+            matula_min_cut(Graph(edges=[(0, 1)]), eps=0.0)
+
+    def test_star_finds_leaf(self):
+        g = Graph(edges=[("c", i, 1.0) for i in range(8)])
+        res = matula_min_cut(g, eps=0.1)
+        assert res.weight == pytest.approx(1.0)
+
+    def test_path_finds_unit_cut(self):
+        g = Graph(edges=[(i, i + 1, float(10 - i)) for i in range(9)])
+        # min cut of a path = lightest edge
+        assert matula_min_cut_weight(g, eps=0.25) <= (2.25) * 1.0 + 1e-9
+
+    def test_stages_reported(self):
+        g = erdos_renyi(30, 0.3, seed=1)
+        res = matula_min_cut(g)
+        assert res.stages >= 1
+
+
+class TestApproximationRatio:
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ratio_within_bound_random(self, eps, seed):
+        g = _random_connected(14, 0.45, 6, seed=seed)
+        exact = stoer_wagner_min_cut(g).weight
+        approx = matula_min_cut_weight(g, eps=eps)
+        assert exact - 1e-9 <= approx <= (2.0 + eps) * exact + 1e-9
+
+    def test_deterministic(self):
+        g = _random_connected(16, 0.4, 4, seed=8)
+        assert matula_min_cut_weight(g) == matula_min_cut_weight(g)
+
+    def test_planted_instance(self):
+        inst = planted_cut(n=60, cross_edges=2, seed=3)
+        approx = matula_min_cut_weight(inst.graph, eps=0.5)
+        exact = stoer_wagner_min_cut(inst.graph).weight
+        assert approx <= 2.5 * exact + 1e-9
+
+    def test_cycle_exactish(self):
+        g = cycle(20)
+        # cycle min cut = 2; any singleton has degree 2, so Matula is exact
+        assert matula_min_cut_weight(g, eps=0.5) == pytest.approx(2.0)
+
+    def test_wheel(self):
+        g = wheel(12)
+        exact = stoer_wagner_min_cut(g).weight
+        assert matula_min_cut_weight(g, eps=0.5) <= 2.5 * exact + 1e-9
+
+    def test_tight_eps_close_to_exact_on_regular(self):
+        # On a cycle with heavy chords the bound still holds for tiny eps.
+        g = cycle(16)
+        g.add_edge(0, 8, 5.0)
+        g.add_edge(4, 12, 5.0)
+        exact = stoer_wagner_min_cut(g).weight
+        assert matula_min_cut_weight(g, eps=0.05) <= 2.05 * exact + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    p=st.floats(min_value=0.2, max_value=0.9),
+    wmax=st.integers(min_value=1, max_value=8),
+    eps=st.floats(min_value=0.05, max_value=2.0),
+    seed=st.integers(0, 1000),
+)
+def test_property_matula_sandwich(n, p, wmax, eps, seed):
+    g = _random_connected(n, p, wmax, seed=seed)
+    exact = stoer_wagner_min_cut(g).weight
+    approx = matula_min_cut(g, eps=eps)
+    approx.cut.validate(g)
+    assert exact - 1e-9 <= approx.weight <= (2.0 + eps) * exact + 1e-9

@@ -1,0 +1,76 @@
+"""Tests for meta-tree construction (Definition 4, Lemma 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import build_meta_tree, heavy_light_decomposition, root_tree
+from repro.workloads import (
+    paper_figure1_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+
+def meta_of(spec):
+    vs, es = spec
+    hl = heavy_light_decomposition(root_tree(vs, es))
+    return build_meta_tree(hl)
+
+
+class TestShape:
+    def test_path_contracts_to_single_meta_vertex(self):
+        mt = meta_of(path_tree(40))
+        assert mt.num_meta_vertices == 1
+        assert mt.parent[mt.root] is None
+
+    def test_star_contracts_to_hub_plus_leaves(self):
+        mt = meta_of(star_tree(10))
+        assert mt.num_meta_vertices == 9
+        root_path = mt.meta_path(mt.root)
+        assert len(root_path) == 2  # hub + heavy child
+
+    def test_paper_tree_has_ten_meta_vertices(self):
+        mt = meta_of(paper_figure1_tree())
+        assert mt.num_meta_vertices == 10  # matches Figure 2
+
+    def test_validate_on_random_trees(self):
+        for seed in range(5):
+            mt = meta_of(random_tree(60, seed=seed))
+            mt.validate()
+
+
+class TestStructure:
+    def test_meta_edges_correspond_to_light_edges(self):
+        vs, es = random_tree(80, seed=7)
+        hl = heavy_light_decomposition(root_tree(vs, es))
+        mt = build_meta_tree(hl)
+        light_count = sum(
+            1
+            for v, p in hl.tree.edges()
+            if not hl.is_heavy_edge(v, p)
+        )
+        meta_edge_count = sum(1 for m, p in mt.parent.items() if p is not None)
+        assert meta_edge_count == light_count
+
+    def test_attach_vertex_lies_on_parent_path(self):
+        vs, es = random_tree(80, seed=8)
+        hl = heavy_light_decomposition(root_tree(vs, es))
+        mt = build_meta_tree(hl)
+        for m, p in mt.parent.items():
+            if p is None:
+                continue
+            assert mt.attach[m] in hl.paths[p]
+
+    def test_meta_depth_root_is_one(self):
+        mt = meta_of(random_tree(40, seed=9))
+        assert mt.depth[mt.root] == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 100), st.integers(0, 30))
+    def test_property_meta_vertices_equal_heavy_paths(self, n, seed):
+        vs, es = random_tree(n, seed=seed)
+        hl = heavy_light_decomposition(root_tree(vs, es))
+        mt = build_meta_tree(hl)
+        assert mt.num_meta_vertices == len(hl.paths)
+        mt.validate()

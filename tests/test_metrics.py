@@ -1,0 +1,162 @@
+"""Partition metrics: hand-checked values, invariants, validation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    balance,
+    conductance,
+    expansion,
+    modularity,
+    normalized_cut_value,
+    partition_summary,
+    volume,
+)
+from repro.graph import Graph
+from repro.workloads import cycle, planted_kcut
+
+
+def _k4() -> Graph:
+    return Graph(
+        edges=[(u, v, 1.0) for u in range(4) for v in range(u + 1, 4)]
+    )
+
+
+class TestVolumeConductance:
+    def test_volume_counts_degrees(self):
+        g = _k4()
+        assert volume(g, [0, 1]) == pytest.approx(6.0)
+
+    def test_conductance_k4_half_split(self):
+        g = _k4()
+        # cut = 4, min volume = 6
+        assert conductance(g, [0, 1]) == pytest.approx(4.0 / 6.0)
+
+    def test_conductance_symmetric(self):
+        g = _k4()
+        assert conductance(g, [0]) == pytest.approx(conductance(g, [1, 2, 3]))
+
+    def test_conductance_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            conductance(_k4(), [])
+
+    def test_conductance_full_side_rejected(self):
+        with pytest.raises(ValueError):
+            conductance(_k4(), range(4))
+
+    def test_conductance_zero_volume_rejected(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            conductance(g, [2])
+
+    def test_expansion_k4(self):
+        assert expansion(_k4(), [0]) == pytest.approx(3.0)
+
+    def test_conductance_in_unit_interval_on_cycle(self):
+        g = cycle(12)
+        for size in (1, 3, 6):
+            assert 0.0 <= conductance(g, range(size)) <= 1.0
+
+
+class TestNormalizedCut:
+    def test_two_triangles_bridge(self):
+        g = Graph(
+            edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        )
+        parts = [{0, 1, 2}, {3, 4, 5}]
+        # each side: cut 1, volume 7
+        assert normalized_cut_value(g, parts) == pytest.approx(2.0 / 7.0)
+
+    def test_singleton_parts_sum_degrees_over_degrees(self):
+        g = _k4()
+        val = normalized_cut_value(g, [{v} for v in range(4)])
+        assert val == pytest.approx(4.0)
+
+    def test_non_cover_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cut_value(_k4(), [{0, 1}])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cut_value(_k4(), [{0, 1}, {1, 2, 3}])
+
+    def test_empty_part_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cut_value(_k4(), [{0, 1, 2, 3}, set()])
+
+
+class TestModularity:
+    def test_single_part_zero(self):
+        # Q of the trivial partition is 0 by construction.
+        g = _k4()
+        assert modularity(g, [set(range(4))]) == pytest.approx(0.0)
+
+    def test_two_cliques_with_bridge_positive(self):
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(u + 4, v + 4) for u, v in edges]
+        g = Graph(edges=edges)
+        g.add_edge(0, 4, 1.0)
+        q = modularity(g, [set(range(4)), set(range(4, 8))])
+        assert q > 0.3
+
+    def test_anti_community_negative(self):
+        # complete bipartite split along the bipartition: all edges cross
+        g = Graph(edges=[(u, v + 3) for u in range(3) for v in range(3)])
+        q = modularity(g, [{0, 1, 2}, {3, 4, 5}])
+        assert q < 0
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError):
+            modularity(Graph(vertices=[0, 1]), [{0}, {1}])
+
+    def test_planted_communities_score_high(self):
+        inst = planted_kcut(30, 3, seed=2)
+        q_planted = modularity(inst.graph, inst.parts)
+        q_random = modularity(
+            inst.graph,
+            [
+                [v for i, v in enumerate(inst.graph.vertices()) if i % 3 == r]
+                for r in range(3)
+            ],
+        )
+        assert q_planted > q_random
+
+
+class TestBalanceSummary:
+    def test_balanced_partition(self):
+        assert balance([{0, 1}, {2, 3}]) == pytest.approx(0.5)
+
+    def test_skewed_partition(self):
+        assert balance([{0, 1, 2}, {3}]) == pytest.approx(0.75)
+
+    def test_empty_part_rejected(self):
+        with pytest.raises(ValueError):
+            balance([{0}, set()])
+
+    def test_summary_fields_consistent(self):
+        inst = planted_kcut(24, 3, seed=5)
+        s = partition_summary(inst.graph, inst.parts)
+        assert s.k == 3
+        assert s.cut_weight == pytest.approx(
+            inst.graph.partition_cut_weight(inst.parts)
+        )
+        assert 1.0 / 3.0 <= s.balance <= 1.0
+        assert "k=3" in s.render()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    split=st.integers(min_value=1, max_value=8),
+)
+def test_property_cycle_metrics(n, split):
+    """On a cycle, any contiguous arc cuts exactly 2 edges."""
+    split = min(split, n - 1)
+    g = cycle(n)
+    side = list(range(split))
+    assert g.cut_weight(side) == pytest.approx(2.0)
+    assert conductance(g, side) == pytest.approx(2.0 / (2.0 * min(split, n - split)))
+    assert expansion(g, side) == pytest.approx(2.0 / min(split, n - split))

@@ -1,0 +1,115 @@
+"""Tests for Algorithm 1 — AMPC-MinCut (Theorem 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import exact_min_cut_weight
+from repro.core import ampc_min_cut, ampc_min_cut_boosted
+from repro.graph import Graph
+from repro.workloads import (
+    barbell,
+    cycle,
+    erdos_renyi,
+    grid,
+    planted_cut,
+    wheel,
+)
+
+
+class TestValidity:
+    def test_returns_valid_cut(self):
+        g = planted_cut(48, seed=1).graph
+        res = ampc_min_cut(g, seed=1)
+        res.cut.validate(g)
+        assert 0 < len(res.cut.side) < g.num_vertices
+
+    def test_rejects_disconnected(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            ampc_min_cut(g)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ampc_min_cut(Graph(vertices=[0]))
+
+    def test_never_below_exact(self):
+        for seed in range(4):
+            g = erdos_renyi(24, 0.3, weighted=True, seed=seed)
+            res = ampc_min_cut(g, seed=seed)
+            assert res.weight >= exact_min_cut_weight(g) - 1e-9
+
+    def test_two_vertex_graph(self):
+        g = Graph(edges=[(0, 1, 3.5)])
+        res = ampc_min_cut(g)
+        assert res.weight == 3.5
+
+
+class TestApproximation:
+    def test_within_bound_on_planted(self):
+        # The (2+eps) guarantee is w.h.p.: boost over trials as the
+        # paper does (a single run may miss on an unlucky key draw).
+        for seed in range(5):
+            inst = planted_cut(64, seed=seed)
+            exact = exact_min_cut_weight(inst.graph)
+            res = ampc_min_cut_boosted(inst.graph, trials=4, seed=seed)
+            assert res.weight <= (2 + 0.5) * exact + 1e-9
+
+    def test_cycle_exact(self):
+        g = cycle(32)
+        res = ampc_min_cut(g, seed=3)
+        assert res.weight <= (2 + 0.5) * 2.0
+
+    def test_barbell_finds_light_bridge(self):
+        inst = barbell(16, bridge_weight=0.25)
+        res = ampc_min_cut(inst.graph, seed=4)
+        assert res.weight <= (2 + 0.5) * 0.25 + 1e-9
+
+    def test_boosted_usually_exact_on_planted(self):
+        inst = planted_cut(48, seed=7)
+        exact = exact_min_cut_weight(inst.graph)
+        res = ampc_min_cut_boosted(inst.graph, trials=4, seed=7)
+        assert res.weight <= (2 + 0.5) * exact + 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(6, 30), st.integers(0, 100))
+    def test_property_2plus_eps_on_random(self, n, seed):
+        g = erdos_renyi(n, 0.4, weighted=True, seed=seed)
+        exact = exact_min_cut_weight(g)
+        res = ampc_min_cut_boosted(g, trials=3, seed=seed)
+        assert res.weight <= (2 + 0.5) * exact + 1e-9
+
+
+class TestRounds:
+    def test_rounds_within_theorem1_envelope(self):
+        from repro.analysis.theory import loglog_rounds_envelope
+
+        for n in [32, 64, 128, 256]:
+            g = planted_cut(n, seed=n).graph
+            res = ampc_min_cut(g, seed=n, max_copies=2)
+            assert res.ledger.rounds <= loglog_rounds_envelope(n, 0.5)
+
+    def test_rounds_grow_sublogarithmically(self):
+        r_small = ampc_min_cut(
+            planted_cut(32, seed=1).graph, seed=1, max_copies=2
+        ).ledger.rounds
+        r_big = ampc_min_cut(
+            planted_cut(512, seed=1).graph, seed=1, max_copies=2
+        ).ledger.rounds
+        # n grew 16x (log factor 16/5 > 3); rounds must grow far slower
+        assert r_big <= r_small * 2.5
+
+    def test_parallel_copies_do_not_multiply_rounds(self):
+        g = planted_cut(64, seed=2).graph
+        r2 = ampc_min_cut(g, seed=2, max_copies=2).ledger.rounds
+        r3 = ampc_min_cut(g, seed=2, max_copies=3).ledger.rounds
+        # copies run in parallel: rounds should be (nearly) unaffected
+        assert r3 <= r2 * 1.3
+
+    def test_counters_populated(self):
+        res = ampc_min_cut(planted_cut(64, seed=3).graph, seed=3)
+        assert res.base_solves >= 1
+        assert res.singleton_runs >= 1
+        assert res.schedule.depth >= 1

@@ -1,0 +1,271 @@
+"""MPC runtime + primitives: correctness, round shapes, model limits."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.ampc.errors import MemoryLimitExceeded
+from repro.mpc import (
+    MPCRuntime,
+    mpc_connectivity,
+    mpc_list_rank,
+    mpc_reduce,
+)
+
+CFG = AMPCConfig(n_input=256, eps=0.5)
+
+
+class TestRuntime:
+    def test_round_delivers_messages_next_round(self):
+        rt = MPCRuntime(CFG)
+        rt.seed({"a": "ping", "b": None})
+
+        def send_once(ctx):
+            if ctx.machine_id == "a" and ctx.state == "ping":
+                ctx.send("b", 42)
+                ctx.state = "sent"
+
+        rt.round(send_once, "send")
+        assert rt.state_of("b") is None  # not yet delivered mid-round
+
+        def receive(ctx):
+            if ctx.machine_id == "b" and ctx.inbox:
+                ctx.state = ctx.inbox[0]
+
+        rt.round(receive, "receive")
+        assert rt.state_of("b") == 42
+
+    def test_no_read_primitive_exists(self):
+        # The defining restriction: an MPC context has no read().
+        from repro.mpc.runtime import MPCMachineContext
+
+        assert not hasattr(MPCMachineContext, "read")
+
+    def test_sending_to_fresh_machine_materialises_it(self):
+        rt = MPCRuntime(CFG)
+        rt.seed({"a": 1})
+        rt.round(lambda ctx: ctx.send("new", "hi"), "spawn")
+        assert "new" in rt.states()
+
+    def test_state_overflow_rejected(self):
+        rt = MPCRuntime(CFG)
+        rt.seed({"a": list(range(10_000))})
+        with pytest.raises(MemoryLimitExceeded):
+            rt.round(lambda ctx: None, "boom")
+
+    def test_outbox_overflow_rejected(self):
+        rt = MPCRuntime(CFG)
+        rt.seed({"a": 1})
+
+        def flood(ctx):
+            for i in range(10_000):
+                ctx.send("b", i)
+
+        with pytest.raises(MemoryLimitExceeded):
+            rt.round(flood, "flood")
+
+    def test_inbox_overflow_rejected(self):
+        # Fan-in past the local budget must be caught at the boundary.
+        rt = MPCRuntime(CFG)
+        n_senders = CFG.local_memory_words + 8
+        rt.seed({("s", i): 1 for i in range(n_senders)})
+
+        def all_to_one(ctx):
+            if ctx.machine_id[0] == "s":
+                ctx.send("hot", ctx.machine_id[1])
+
+        with pytest.raises(MemoryLimitExceeded):
+            rt.round(all_to_one, "hotspot")
+
+    def test_rounds_counted_in_ledger(self):
+        led = RoundLedger()
+        rt = MPCRuntime(CFG, ledger=led)
+        rt.seed({"a": 1})
+        rt.round(lambda ctx: None, "r1")
+        rt.round(lambda ctx: None, "r2")
+        assert led.rounds == 2 and rt.rounds_run == 2
+
+    def test_run_until_max_rounds_guard(self):
+        rt = MPCRuntime(CFG)
+        rt.seed({"a": 1})
+        with pytest.raises(RuntimeError, match="converge"):
+            rt.run_until(lambda ctx: None, lambda s: False, "nope", max_rounds=3)
+
+
+class TestReduce:
+    def test_min(self):
+        rng = random.Random(0)
+        xs = [rng.randint(-999, 999) for _ in range(300)]
+        assert mpc_reduce(CFG, xs, min) == min(xs)
+
+    def test_sum(self):
+        assert mpc_reduce(CFG, [1] * 257, lambda a, b: a + b) == 257
+
+    def test_single_value(self):
+        assert mpc_reduce(CFG, [7], max) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mpc_reduce(CFG, [], min)
+
+    def test_constant_rounds_in_n(self):
+        # The control row of E14: reduce is cheap in BOTH models.
+        rounds = []
+        for n in (64, 256, 1024):
+            led = RoundLedger()
+            mpc_reduce(AMPCConfig(n_input=n, eps=0.5), list(range(n)), min, ledger=led)
+            rounds.append(led.rounds)
+        assert max(rounds) <= 8
+
+    def test_respects_op(self):
+        xs = list(range(40))
+        assert mpc_reduce(CFG, xs, lambda a, b: max(a, b)) == 39
+
+
+class TestListRank:
+    def test_simple_chain(self):
+        n = 50
+        succ = {i: i + 1 for i in range(n - 1)}
+        succ[n - 1] = None
+        ranks = mpc_list_rank(CFG, succ)
+        assert ranks == {i: n - 1 - i for i in range(n)}
+
+    def test_multiple_chains(self):
+        succ = {0: 1, 1: None, 10: 11, 11: 12, 12: None}
+        ranks = mpc_list_rank(CFG, succ)
+        assert ranks == {0: 1, 1: 0, 10: 2, 11: 1, 12: 0}
+
+    def test_singleton(self):
+        assert mpc_list_rank(CFG, {5: None}) == {5: 0}
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="acyclic"):
+            mpc_list_rank(CFG, {0: 1, 1: 2, 2: 0})
+
+    def test_rounds_logarithmic(self):
+        # ~3 rounds per doubling: rounds grow with log2 n, not n.
+        measured = {}
+        for n in (16, 256):
+            led = RoundLedger()
+            succ = {i: i + 1 for i in range(n - 1)}
+            succ[n - 1] = None
+            mpc_list_rank(AMPCConfig(n_input=n, eps=0.5), succ, ledger=led)
+            measured[n] = led.rounds
+        assert measured[256] > measured[16]  # genuinely grows...
+        assert measured[256] <= 3 * (math.log2(256) + 2)  # ...but only log-fast
+
+    def test_shuffled_ids(self):
+        rng = random.Random(3)
+        ids = list(range(100, 160))
+        rng.shuffle(ids)
+        succ = {ids[i]: ids[i + 1] for i in range(len(ids) - 1)}
+        succ[ids[-1]] = None
+        ranks = mpc_list_rank(CFG, succ)
+        assert ranks[ids[0]] == len(ids) - 1 and ranks[ids[-1]] == 0
+
+
+def _oracle_components(verts, edges):
+    parent = {v: v for v in verts}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    return {v: find(v) for v in verts}
+
+
+class TestConnectivity:
+    def _check(self, verts, edges, labels):
+        ref = _oracle_components(list(verts), edges)
+        for u in verts:
+            for v in verts:
+                assert (labels[u] == labels[v]) == (ref[u] == ref[v])
+
+    def test_two_cycles(self):
+        n = 24
+        verts = list(range(2 * n))
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        edges += [(n + i, n + (i + 1) % n) for i in range(n)]
+        labels = mpc_connectivity(CFG, verts, edges)
+        self._check(verts, edges, labels)
+
+    def test_one_cycle(self):
+        n = 48
+        verts = list(range(n))
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        labels = mpc_connectivity(CFG, verts, edges)
+        assert len(set(labels.values())) == 1
+
+    def test_star_hot_root_within_memory(self):
+        # Θ(n) fan-in at the root must flow through the relay trees
+        # without tripping the O(n^eps) budget.
+        n = 80
+        verts = list(range(n))
+        edges = [(0, i) for i in range(1, n)]
+        labels = mpc_connectivity(CFG, verts, edges)
+        assert len(set(labels.values())) == 1
+
+    def test_edgeless(self):
+        labels = mpc_connectivity(CFG, list(range(9)), [])
+        assert len(set(labels.values())) == 9
+
+    def test_label_is_minimum_of_component(self):
+        verts = list(range(10))
+        edges = [(3, 7), (7, 9), (1, 2)]
+        labels = mpc_connectivity(CFG, verts, edges)
+        assert labels[9] == 3 and labels[2] == 1 and labels[0] == 0
+
+    def test_rounds_grow_logarithmically_on_cycles(self):
+        measured = {}
+        for n in (16, 256):
+            verts = list(range(n))
+            edges = [(i, (i + 1) % n) for i in range(n)]
+            led = RoundLedger()
+            mpc_connectivity(AMPCConfig(n_input=n, eps=0.5), verts, edges, ledger=led)
+            measured[n] = led.rounds
+        assert measured[256] > measured[16]
+        # rounds/iteration is constant; iterations are O(log n)
+        assert measured[256] <= measured[16] * (math.log2(256) / math.log2(16)) * 2.5
+
+    def test_self_loop_ignored(self):
+        labels = mpc_connectivity(CFG, [0, 1], [(0, 0), (0, 1)])
+        assert labels[0] == labels[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    p=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(0, 200),
+)
+def test_property_connectivity_matches_dsu(n, p, seed):
+    rng = random.Random(seed)
+    verts = list(range(n))
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < p
+    ]
+    labels = mpc_connectivity(CFG, verts, edges)
+    ref = _oracle_components(verts, edges)
+    for u in verts:
+        for v in verts:
+            assert (labels[u] == labels[v]) == (ref[u] == ref[v])
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=1, max_value=120), seed=st.integers(0, 100))
+def test_property_list_rank_matches_position(n, seed):
+    rng = random.Random(seed)
+    ids = list(range(n))
+    rng.shuffle(ids)
+    succ = {ids[i]: ids[i + 1] for i in range(n - 1)}
+    succ[ids[-1]] = None
+    ranks = mpc_list_rank(CFG, succ)
+    assert all(ranks[ids[i]] == n - 1 - i for i in range(n))

@@ -1,0 +1,93 @@
+"""Tests for connectivity and MST primitives."""
+
+import random
+
+import pytest
+import networkx as nx
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.ampc.primitives import (
+    ampc_forest_components,
+    ampc_graph_components,
+    ampc_minimum_spanning_forest,
+)
+
+CFG = AMPCConfig(n_input=200, eps=0.5)
+
+
+class TestForestComponents:
+    def test_separates_trees(self):
+        comp = ampc_forest_components(
+            CFG, list(range(7)), [(0, 1), (1, 2), (4, 5)]
+        )
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[4] == comp[5]
+        assert len({comp[0], comp[4], comp[3], comp[6]}) == 4
+
+    def test_single_tree(self):
+        comp = ampc_forest_components(CFG, [0, 1, 2], [(0, 1), (1, 2)])
+        assert len(set(comp.values())) == 1
+
+
+class TestGraphComponents:
+    def test_handles_cycles(self):
+        comp = ampc_graph_components(
+            CFG, list(range(6)), [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]
+        )
+        assert comp[0] == comp[2]
+        assert comp[3] == comp[4]
+        assert comp[5] not in (comp[0], comp[3])
+
+    def test_charges_rounds(self):
+        led = RoundLedger()
+        ampc_graph_components(CFG, [0, 1], [(0, 1)], ledger=led)
+        assert led.charged_rounds == CFG.rounds_per_primitive
+        assert any("Behnezhad" in c for c in led.citations())
+
+    def test_matches_networkx(self):
+        G = nx.gnm_random_graph(40, 30, seed=7)
+        comp = ampc_graph_components(CFG, list(G.nodes), list(G.edges))
+        for ref_comp in nx.connected_components(G):
+            reps = {comp[v] for v in ref_comp}
+            assert len(reps) == 1
+
+
+class TestMST:
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError):
+            ampc_minimum_spanning_forest(
+                CFG, [0, 1, 2], [(0, 1, 5), (1, 2, 5)]
+            )
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(0)
+        for trial in range(5):
+            G = nx.gnm_random_graph(30, 70, seed=trial)
+            keyed = [(u, v, i + 1) for i, (u, v) in enumerate(G.edges())]
+            rng.shuffle(keyed)
+            mine = ampc_minimum_spanning_forest(CFG, list(G.nodes), keyed)
+            H = nx.Graph()
+            H.add_nodes_from(G.nodes)
+            H.add_weighted_edges_from(keyed)
+            ref = nx.minimum_spanning_forest = nx.minimum_spanning_tree(H)
+            assert sorted((min(u, v), max(u, v)) for u, v, _ in mine) == sorted(
+                (min(u, v), max(u, v)) for u, v in ref.edges()
+            )
+
+    def test_forest_on_disconnected_graph(self):
+        edges = [(0, 1, 1), (1, 2, 2), (3, 4, 3)]
+        mine = ampc_minimum_spanning_forest(CFG, [0, 1, 2, 3, 4], edges)
+        assert len(mine) == 3  # spanning forest: n - #components
+
+    def test_output_sorted_by_key(self):
+        edges = [(0, 1, 9), (1, 2, 3), (2, 3, 7), (0, 3, 1)]
+        mine = ampc_minimum_spanning_forest(CFG, [0, 1, 2, 3], edges)
+        ks = [k for _, _, k in mine]
+        assert ks == sorted(ks)
+
+    def test_measured_and_charged_rounds(self):
+        led = RoundLedger()
+        edges = [(i, i + 1, i + 1) for i in range(99)]
+        ampc_minimum_spanning_forest(CFG, list(range(100)), edges, ledger=led)
+        assert led.measured_rounds >= 5  # the sort
+        assert led.charged_rounds >= 1  # the consolidation

@@ -1,0 +1,148 @@
+"""Tests for Euler-tour forest rooting (Lemma 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.ampc.primitives import ampc_root_forest
+
+CFG = AMPCConfig(n_input=300, eps=0.5)
+
+
+def random_tree_edges(n, seed=0):
+    rng = random.Random(seed)
+    return [(i, rng.randrange(i)) for i in range(1, n)]
+
+
+class TestSingleTree:
+    def test_path(self):
+        n = 50
+        edges = [(i, i + 1) for i in range(n - 1)]
+        rf = ampc_root_forest(CFG, list(range(n)), edges)
+        assert rf.parent[0] is None
+        for v in range(1, n):
+            assert rf.parent[v] == v - 1
+            assert rf.depth[v] == v + 1
+            assert rf.subtree_size[v] == n - v
+        assert rf.preorder == {v: v for v in range(n)}
+
+    def test_star(self):
+        n = 60
+        edges = [(0, i) for i in range(1, n)]
+        rf = ampc_root_forest(CFG, list(range(n)), edges)
+        assert rf.parent[0] is None
+        assert rf.subtree_size[0] == n
+        for v in range(1, n):
+            assert rf.parent[v] == 0
+            assert rf.depth[v] == 2
+            assert rf.subtree_size[v] == 1
+
+    def test_random_tree_consistency(self):
+        n = 150
+        rf = ampc_root_forest(CFG, list(range(n)), random_tree_edges(n, seed=3))
+        assert rf.parent[0] is None and rf.depth[0] == 1
+        for v in range(1, n):
+            assert rf.depth[v] == rf.depth[rf.parent[v]] + 1
+        # sum of subtree sizes equals sum of depths (both count
+        # ancestor-descendant pairs including self)
+        assert sum(rf.subtree_size.values()) == sum(rf.depth.values())
+
+    def test_preorder_is_valid_dfs_order(self):
+        n = 120
+        rf = ampc_root_forest(CFG, list(range(n)), random_tree_edges(n, seed=5))
+        children = {v: [] for v in range(n)}
+        for v, p in rf.parent.items():
+            if p is not None:
+                children[p].append(v)
+        # contiguous subtree ranges characterise preorders
+        def subtree(v):
+            out, stack = [v], [v]
+            while stack:
+                x = stack.pop()
+                for c in children[x]:
+                    out.append(c)
+                    stack.append(c)
+            return out
+
+        for v in range(0, n, 7):
+            pres = sorted(rf.preorder[u] for u in subtree(v))
+            assert pres == list(range(pres[0], pres[0] + len(pres)))
+            assert pres[0] == rf.preorder[v]
+
+    def test_explicit_root_choice(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        rf = ampc_root_forest(CFG, [0, 1, 2, 3], edges, roots={0: 3})
+        assert rf.parent[3] is None
+        assert rf.parent[0] == 1
+
+
+class TestForest:
+    def test_two_components(self):
+        edges = [(0, 1), (1, 2), (10, 11)]
+        rf = ampc_root_forest(CFG, [0, 1, 2, 10, 11], edges)
+        assert rf.root_of[2] == 0
+        assert rf.root_of[11] == 10
+        assert rf.parent[10] is None
+
+    def test_isolated_vertices(self):
+        rf = ampc_root_forest(CFG, [5, 6, 7], [])
+        for v in [5, 6, 7]:
+            assert rf.parent[v] is None
+            assert rf.depth[v] == 1
+            assert rf.subtree_size[v] == 1
+
+    def test_mixed_forest(self):
+        edges = [(0, 1), (2, 3), (3, 4)]
+        rf = ampc_root_forest(CFG, [0, 1, 2, 3, 4, 9], edges)
+        assert rf.subtree_size[0] == 2
+        assert rf.subtree_size[2] == 3
+        assert rf.subtree_size[9] == 1
+
+
+class TestModelCosts:
+    def test_rounds_constant_across_sizes(self):
+        rounds = []
+        for n in [40, 160, 300]:
+            led = RoundLedger()
+            cfg = AMPCConfig(n_input=n, eps=0.5)
+            ampc_root_forest(
+                cfg, list(range(n)), random_tree_edges(n, seed=n), ledger=led
+            )
+            rounds.append(led.rounds)
+        # list ranking may add one contraction level as n grows, but
+        # rounds must stay far below log2(n)
+        assert max(rounds) <= 24
+        assert max(rounds) - min(rounds) <= 10
+
+    def test_deep_path_does_not_blow_rounds(self):
+        n = 300
+        led = RoundLedger()
+        edges = [(i, i + 1) for i in range(n - 1)]
+        ampc_root_forest(CFG, list(range(n)), edges, ledger=led)
+        assert led.rounds <= 24  # depth n tree, still constant rounds
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 120), st.integers(0, 100))
+def test_property_rooting_matches_bfs(n, seed):
+    edges = random_tree_edges(n, seed=seed)
+    rf = ampc_root_forest(CFG, list(range(n)), edges)
+    # BFS reference from vertex 0
+    adj = {v: [] for v in range(n)}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    import collections
+
+    depth = {0: 1}
+    q = collections.deque([0])
+    while q:
+        v = q.popleft()
+        for u in adj[v]:
+            if u not in depth:
+                depth[u] = depth[v] + 1
+                q.append(u)
+    assert rf.depth == depth

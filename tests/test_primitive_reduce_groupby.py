@@ -1,0 +1,102 @@
+"""Tests for reduce trees, broadcast, and group-by."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.ampc.primitives import ampc_broadcast, ampc_group_by, ampc_reduce
+
+CFG = AMPCConfig(n_input=400, eps=0.5)
+
+
+class TestReduce:
+    def test_min(self):
+        rng = random.Random(0)
+        xs = [rng.randint(-500, 500) for _ in range(400)]
+        assert ampc_reduce(CFG, xs, min) == min(xs)
+
+    def test_max(self):
+        xs = list(range(123))
+        assert ampc_reduce(CFG, xs, max) == 122
+
+    def test_sum_via_lambda(self):
+        xs = [1] * 257
+        assert ampc_reduce(CFG, xs, lambda a, b: a + b) == 257
+
+    def test_single_element(self):
+        assert ampc_reduce(CFG, [99], min) == 99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ampc_reduce(CFG, [], min)
+
+    def test_tuple_argmin(self):
+        xs = [(3, "c"), (1, "a"), (2, "b")] * 30
+        assert ampc_reduce(CFG, xs, min) == (1, "a")
+
+    def test_rounds_logarithmic_in_chunks(self):
+        led = RoundLedger()
+        cfg = AMPCConfig(n_input=2000, eps=0.5)
+        ampc_reduce(cfg, list(range(2000)), min, ledger=led)
+        assert led.rounds <= 4  # chunk fold + shallow fan-in
+
+
+class TestBroadcast:
+    def test_all_receive_value(self):
+        assert ampc_broadcast(CFG, {"cfg": 1}, 20) == [{"cfg": 1}] * 20
+
+    def test_single_round(self):
+        led = RoundLedger()
+        ampc_broadcast(CFG, 7, 50, ledger=led)
+        assert led.rounds == 1
+
+    def test_zero_receivers(self):
+        assert ampc_broadcast(CFG, 7, 0) == []
+
+
+class TestGroupBy:
+    def test_groups_by_key(self):
+        pairs = [(i % 3, i) for i in range(90)]
+        groups = ampc_group_by(CFG, pairs)
+        assert set(groups.keys()) == {0, 1, 2}
+        assert groups[1] == list(range(1, 90, 3))
+
+    def test_input_order_preserved_within_group(self):
+        pairs = [("a", 3), ("b", 1), ("a", 2), ("a", 5), ("b", 0)]
+        groups = ampc_group_by(CFG, pairs)
+        assert groups["a"] == [3, 2, 5]
+        assert groups["b"] == [1, 0]
+
+    def test_empty_input(self):
+        assert ampc_group_by(CFG, []) == {}
+
+    def test_single_group(self):
+        pairs = [(0, i) for i in range(100)]
+        assert ampc_group_by(CFG, pairs)[0] == list(range(100))
+
+    def test_groups_with_tuple_keys(self):
+        pairs = [((i % 2, i % 3), i) for i in range(60)]
+        groups = ampc_group_by(CFG, pairs)
+        assert len(groups) == 6
+
+    def test_two_rounds(self):
+        led = RoundLedger()
+        ampc_group_by(CFG, [(i % 5, i) for i in range(100)], ledger=led)
+        assert led.rounds == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(-50, 50)), max_size=200
+    )
+)
+def test_property_groupby_partition(pairs):
+    groups = ampc_group_by(CFG, pairs)
+    rebuilt = [(k, v) for k, vs in groups.items() for v in vs]
+    assert sorted(rebuilt) == sorted(pairs)
+    for k, vs in groups.items():
+        assert vs == [v for kk, v in pairs if kk == k]

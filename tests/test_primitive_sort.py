@@ -1,0 +1,102 @@
+"""Tests for the distributed sample sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.ampc.primitives import ampc_sort
+
+CFG = AMPCConfig(n_input=400, eps=0.5)
+
+
+class TestCorrectness:
+    def test_sorts_random_ints(self):
+        rng = random.Random(0)
+        xs = [rng.randint(-1000, 1000) for _ in range(400)]
+        assert ampc_sort(CFG, xs) == sorted(xs)
+
+    def test_sorts_with_duplicates(self):
+        xs = [3, 1, 3, 1, 2] * 80
+        assert ampc_sort(CFG, xs) == sorted(xs)
+
+    def test_sorts_already_sorted(self):
+        xs = list(range(300))
+        assert ampc_sort(CFG, xs) == xs
+
+    def test_sorts_reverse_sorted(self):
+        xs = list(range(300, 0, -1))
+        assert ampc_sort(CFG, xs) == sorted(xs)
+
+    def test_sorts_all_equal(self):
+        assert ampc_sort(CFG, [7] * 200) == [7] * 200
+
+    def test_key_function(self):
+        xs = [(i % 7, i) for i in range(200)]
+        out = ampc_sort(CFG, xs, key=lambda p: p[0])
+        assert [k for k, _ in out] == sorted(k for k, _ in xs)
+
+    def test_stability_irrelevant_but_multiset_preserved(self):
+        rng = random.Random(1)
+        xs = [rng.randint(0, 5) for _ in range(333)]
+        assert sorted(ampc_sort(CFG, xs)) == sorted(xs)
+
+    def test_empty(self):
+        assert ampc_sort(CFG, []) == []
+
+    def test_singleton(self):
+        assert ampc_sort(CFG, [42]) == [42]
+
+    def test_tuples_sort_by_natural_order(self):
+        rng = random.Random(2)
+        xs = [(rng.randint(0, 9), rng.randint(0, 9)) for _ in range(250)]
+        assert ampc_sort(CFG, xs) == sorted(xs)
+
+
+class TestModelCosts:
+    def test_constant_rounds(self):
+        led = RoundLedger()
+        ampc_sort(CFG, list(range(400, 0, -1)), ledger=led)
+        # five PSRS rounds + at most O(1/eps) merge-tree levels
+        assert 5 <= led.rounds <= 8
+
+    def test_rounds_independent_of_n(self):
+        rounds = []
+        for n in [64, 256, 1024]:
+            cfg = AMPCConfig(n_input=n, eps=0.5)
+            led = RoundLedger()
+            ampc_sort(cfg, list(range(n, 0, -1)), ledger=led)
+            rounds.append(led.rounds)
+        assert max(rounds) - min(rounds) <= 1  # constant, not log n
+
+    def test_local_memory_within_budget(self):
+        cfg = AMPCConfig(n_input=2000, eps=0.5)
+        led = RoundLedger()
+        rng = random.Random(3)
+        ampc_sort(cfg, [rng.random() for _ in range(2000)], ledger=led)
+        assert led.local_peak <= cfg.local_memory_words
+
+    def test_queries_recorded(self):
+        led = RoundLedger()
+        ampc_sort(CFG, list(range(100)), ledger=led)
+        assert led.queries > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=300))
+def test_property_matches_builtin_sort(xs):
+    assert ampc_sort(CFG, xs) == sorted(xs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.text(max_size=3)), max_size=150
+    )
+)
+def test_property_key_sort_permutation(xs):
+    out = ampc_sort(CFG, xs, key=lambda p: p[0])
+    assert sorted(map(repr, out)) == sorted(map(repr, xs))
+    assert [p[0] for p in out] == sorted(p[0] for p in xs)

@@ -1,0 +1,122 @@
+"""Push–relabel engine: vs Dinic, vs networkx, and inside Gomory–Hu."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    PushRelabelSolver,
+    gomory_hu_tree,
+    min_st_cut,
+    min_st_cut_push_relabel,
+)
+from repro.graph import Graph
+
+
+def _random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v, rng.randint(1, 9))
+    return g
+
+
+class TestBasics:
+    def test_single_edge(self):
+        g = Graph(edges=[(0, 1, 5.0)])
+        res = min_st_cut_push_relabel(g, 0, 1)
+        assert res.value == pytest.approx(5.0)
+        assert res.source_side == frozenset({0})
+
+    def test_path_bottleneck(self):
+        g = Graph(edges=[(0, 1, 9.0), (1, 2, 2.0), (2, 3, 7.0)])
+        assert min_st_cut_push_relabel(g, 0, 3).value == pytest.approx(2.0)
+
+    def test_parallel_paths_add(self):
+        g = Graph(edges=[(0, 1, 3.0), (1, 3, 3.0), (0, 2, 4.0), (2, 3, 4.0)])
+        assert min_st_cut_push_relabel(g, 0, 3).value == pytest.approx(7.0)
+
+    def test_disconnected_pair_zero(self):
+        g = Graph(edges=[(0, 1, 2.0), (2, 3, 2.0)])
+        res = min_st_cut_push_relabel(g, 0, 2)
+        assert res.value == 0.0
+        assert res.source_side == frozenset({0, 1})
+
+    def test_s_equals_t_rejected(self):
+        with pytest.raises(ValueError):
+            min_st_cut_push_relabel(Graph(edges=[(0, 1)]), 0, 0)
+
+    def test_source_side_is_a_min_cut(self):
+        g = _random_graph(10, 0.5, seed=4)
+        res = min_st_cut_push_relabel(g, 0, 9)
+        assert 0 in res.source_side and 9 not in res.source_side
+        assert g.cut_weight(res.source_side) == pytest.approx(res.value)
+
+    def test_solver_reusable_across_queries(self):
+        g = _random_graph(8, 0.6, seed=5)
+        solver = PushRelabelSolver(g)
+        first = solver.max_flow(0, 7).value
+        _ = solver.max_flow(3, 5)
+        assert solver.max_flow(0, 7).value == pytest.approx(first)
+
+    def test_fractional_capacities(self):
+        g = Graph(edges=[(0, 1, 0.5), (1, 2, 0.25)])
+        assert min_st_cut_push_relabel(g, 0, 2).value == pytest.approx(0.25)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dinic(self, seed):
+        g = _random_graph(11, 0.45, seed=seed)
+        rng = random.Random(seed + 100)
+        s, t = rng.sample(range(11), 2)
+        assert min_st_cut_push_relabel(g, s, t).value == pytest.approx(
+            min_st_cut(g, s, t).value
+        )
+
+    def test_matches_networkx(self):
+        g = _random_graph(12, 0.5, seed=77)
+        G = nx.Graph()
+        G.add_nodes_from(range(12))
+        for u, v, w in g.edges():
+            G.add_edge(u, v, capacity=w)
+        for s, t in [(0, 11), (3, 7), (5, 6)]:
+            assert min_st_cut_push_relabel(g, s, t).value == pytest.approx(
+                nx.maximum_flow_value(G, s, t)
+            )
+
+    def test_gomory_hu_engine_parity(self):
+        g = _random_graph(8, 0.6, seed=21)
+        assert len(g.components()) == 1
+        t1 = gomory_hu_tree(g, engine="dinic")
+        t2 = gomory_hu_tree(g, engine="push_relabel")
+        for s in range(8):
+            for t in range(s + 1, 8):
+                assert t1.min_cut_between(s, t) == pytest.approx(
+                    t2.min_cut_between(s, t)
+                )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            gomory_hu_tree(Graph(edges=[(0, 1)]), engine="bogus")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    p=st.floats(min_value=0.2, max_value=0.9),
+    seed=st.integers(0, 1000),
+)
+def test_property_engines_agree(n, p, seed):
+    g = _random_graph(n, p, seed=seed)
+    rng = random.Random(seed)
+    s, t = rng.sample(range(n), 2) if n > 1 else (0, 0)
+    d = min_st_cut(g, s, t)
+    pr = min_st_cut_push_relabel(g, s, t)
+    assert pr.value == pytest.approx(d.value)
+    assert g.cut_weight(pr.source_side) == pytest.approx(pr.value)

@@ -1,0 +1,90 @@
+"""Tests for heavy-path RMQ / tree path aggregation (Theorem 4)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import TreePathAggregator, root_tree
+from repro.workloads import balanced_binary, path_tree, random_tree, star_tree
+
+
+def build(spec, seed=0, mode="max"):
+    vs, es = spec
+    t = root_tree(vs, es)
+    rng = random.Random(seed)
+    w = {(c, p): rng.randint(1, 10_000) for c, p in t.edges()}
+    return t, w, TreePathAggregator(t, w, mode=mode)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "spec",
+        [path_tree(60), star_tree(40), balanced_binary(5), random_tree(90, seed=1)],
+        ids=["path", "star", "balanced", "random"],
+    )
+    def test_matches_naive_max(self, spec):
+        t, w, agg = build(spec, seed=3)
+        rng = random.Random(7)
+        vs = list(t.parent)
+        for _ in range(150):
+            u, v = rng.sample(vs, 2)
+            assert agg.path_aggregate(u, v) == agg.path_max_naive(u, v)
+
+    def test_min_mode(self):
+        t, w, agg = build(random_tree(70, seed=2), seed=4, mode="min")
+        rng = random.Random(8)
+        vs = list(t.parent)
+        for _ in range(100):
+            u, v = rng.sample(vs, 2)
+            assert agg.path_aggregate(u, v) == agg.path_max_naive(u, v)
+
+    def test_adjacent_pair_is_edge_weight(self):
+        t, w, agg = build(path_tree(10))
+        assert agg.path_aggregate(3, 4) == w[(4, 3)]
+
+    def test_same_vertex_rejected(self):
+        _, _, agg = build(path_tree(5))
+        with pytest.raises(ValueError):
+            agg.path_aggregate(2, 2)
+
+    def test_invalid_mode_rejected(self):
+        vs, es = path_tree(4)
+        t = root_tree(vs, es)
+        with pytest.raises(ValueError):
+            TreePathAggregator(t, {}, mode="sum")
+
+
+class TestQueryComplexity:
+    def test_segments_logarithmic(self):
+        # Theorem 4: O(log n) global-memory queries per path query
+        t, w, agg = build(random_tree(500, seed=5), seed=6)
+        rng = random.Random(9)
+        vs = list(t.parent)
+        queries = 400
+        for _ in range(queries):
+            u, v = rng.sample(vs, 2)
+            agg.path_aggregate(u, v)
+        per_query = agg.query_count / queries
+        assert per_query <= 3 * math.log2(500)
+
+    def test_path_graph_single_segment(self):
+        t, w, agg = build(path_tree(100))
+        agg.path_aggregate(10, 90)
+        assert agg.query_count == 1  # both on one heavy path
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 120), st.integers(0, 50), st.integers(0, 50))
+def test_property_differential_vs_naive(n, tree_seed, weight_seed):
+    vs, es = random_tree(n, seed=tree_seed)
+    t = root_tree(vs, es)
+    rng = random.Random(weight_seed)
+    w = {(c, p): rng.randint(1, 100) for c, p in t.edges()}
+    agg = TreePathAggregator(t, w)
+    sampler = random.Random(weight_seed + 1)
+    for _ in range(min(30, n)):
+        u, v = sampler.sample(vs, 2)
+        assert agg.path_aggregate(u, v) == agg.path_max_naive(u, v)

@@ -1,0 +1,104 @@
+"""Tests for rooted-tree construction (sequential + AMPC equivalence)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import root_tree, root_tree_ampc
+from repro.workloads import balanced_binary, path_tree, random_tree, star_tree
+
+
+class TestRootTree:
+    def test_path_shape(self):
+        vs, es = path_tree(10)
+        t = root_tree(vs, es)
+        t.validate()
+        assert t.root == 0
+        assert t.depth[9] == 10
+        assert t.subtree_size[0] == 10
+        assert t.children[3] == [4]
+
+    def test_star_shape(self):
+        vs, es = star_tree(8)
+        t = root_tree(vs, es)
+        t.validate()
+        assert t.root == 0
+        assert all(t.depth[v] == 2 for v in range(1, 8))
+        assert t.children[0] == list(range(1, 8))
+
+    def test_explicit_root(self):
+        vs, es = path_tree(5)
+        t = root_tree(vs, es, root=4)
+        assert t.root == 4
+        assert t.depth[0] == 5
+
+    def test_rejects_extra_edges(self):
+        with pytest.raises(ValueError):
+            root_tree([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            root_tree([0, 1, 2, 3], [(0, 1), (2, 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            root_tree([], [])
+
+    def test_single_vertex(self):
+        t = root_tree([7], [])
+        t.validate()
+        assert t.root == 7
+        assert t.subtree_size[7] == 1
+
+    def test_path_to_root(self):
+        vs, es = path_tree(6)
+        t = root_tree(vs, es)
+        assert t.path_to_root(5) == [5, 4, 3, 2, 1, 0]
+
+    def test_preorder_contiguity(self):
+        vs, es = random_tree(80, seed=2)
+        t = root_tree(vs, es)
+
+        def subtree(v):
+            out, stack = [v], [v]
+            while stack:
+                x = stack.pop()
+                out.extend(t.children[x])
+                stack.extend(t.children[x])
+            return out
+
+        for v in vs:
+            pres = sorted(t.preorder[u] for u in subtree(v))
+            assert pres == list(range(t.preorder[v], t.preorder[v] + len(pres)))
+
+    def test_is_leaf(self):
+        vs, es = star_tree(4)
+        t = root_tree(vs, es)
+        assert not t.is_leaf(0)
+        assert t.is_leaf(3)
+
+
+class TestAMPCEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(2, 60), st.integers(0, 20))
+    def test_parent_depth_size_match(self, n, seed):
+        vs, es = random_tree(n, seed=seed)
+        seq = root_tree(vs, es)
+        par = root_tree_ampc(vs, es)
+        assert seq.parent == par.parent
+        assert seq.depth == par.depth
+        assert seq.subtree_size == par.subtree_size
+
+    def test_balanced_tree_match(self):
+        vs, es = balanced_binary(4)
+        seq = root_tree(vs, es)
+        par = root_tree_ampc(vs, es)
+        assert seq.parent == par.parent
+        assert seq.subtree_size == par.subtree_size
+
+    def test_explicit_root_respected(self):
+        vs, es = path_tree(7)
+        par = root_tree_ampc(vs, es, root=6)
+        assert par.root == 6
+        assert par.parent[6] is None
+        assert par.depth[0] == 7

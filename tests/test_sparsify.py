@@ -1,0 +1,265 @@
+"""Nagamochi–Ibaraki certificates: scan, sandwich property, forests."""
+
+import math
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+from repro.graph import Graph
+from repro.graph.sparsify import (
+    ni_certificate,
+    ni_edge_starts,
+    ni_forest_partition,
+    sparsify_preserving_min_cut,
+)
+from repro.workloads import erdos_renyi, planted_cut
+
+
+def _random_connected(n: int, p: float, wmax: int, seed: int) -> Graph:
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v, rng.randint(1, wmax))
+    for u in range(n):  # cycle backbone keeps it connected
+        v = (u + 1) % n
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, rng.randint(1, wmax))
+    return g
+
+
+class TestScan:
+    def test_every_edge_gets_a_start(self):
+        g = _random_connected(12, 0.4, 5, seed=1)
+        scan = ni_edge_starts(g)
+        assert len(scan.starts) == g.num_edges
+        assert all(s >= 0 for s in scan.starts.values())
+
+    def test_order_is_a_permutation(self):
+        g = _random_connected(10, 0.3, 3, seed=2)
+        scan = ni_edge_starts(g)
+        assert sorted(scan.order, key=str) == sorted(g.vertices(), key=str)
+
+    def test_start_orientation_insensitive(self):
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        scan = ni_edge_starts(g)
+        assert scan.start(0, 1) == scan.start(1, 0)
+
+    def test_seed_vertex_scanned_first(self):
+        g = _random_connected(8, 0.5, 2, seed=3)
+        scan = ni_edge_starts(g, first=5)
+        assert scan.order[0] == 5
+
+    def test_unknown_seed_rejected(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            ni_edge_starts(g, first=99)
+
+    def test_empty_graph(self):
+        scan = ni_edge_starts(Graph())
+        assert scan.starts == {} and scan.order == []
+
+    def test_disconnected_graph_scans_all_components(self):
+        g = Graph(edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        scan = ni_edge_starts(g)
+        assert len(scan.order) == 4
+        assert len(scan.starts) == 2
+
+    def test_first_scanned_edge_starts_at_zero(self):
+        g = _random_connected(9, 0.4, 4, seed=4)
+        scan = ni_edge_starts(g)
+        u0, u1 = scan.order[0], scan.order[1]
+        assert scan.start(u0, u1) == 0.0
+
+    def test_intervals_have_edge_weight_width(self):
+        g = _random_connected(7, 0.6, 5, seed=5)
+        scan = ni_edge_starts(g)
+        for (u, v), lo, hi in scan.intervals(g):
+            assert hi - lo == pytest.approx(g.weight(u, v))
+
+    def test_attachment_is_cumulative_per_vertex(self):
+        # Edges assigned *to* the same far endpoint stack contiguously
+        # from zero: per-vertex interval union is [0, total assigned).
+        g = _random_connected(10, 0.5, 3, seed=6)
+        scan = ni_edge_starts(g)
+        # reconstruct assignment: edge (u, v) was assigned to whichever
+        # endpoint was scanned later
+        pos = {v: i for i, v in enumerate(scan.order)}
+        per_vertex: dict = {}
+        for u, v, w in g.edges():
+            far = u if pos[u] > pos[v] else v
+            per_vertex.setdefault(far, []).append((scan.start(u, v), w))
+        for intervals in per_vertex.values():
+            intervals.sort()
+            expect = 0.0
+            for lo, w in intervals:
+                assert lo == pytest.approx(expect)
+                expect = lo + w
+
+
+class TestCertificateSandwich:
+    """min(k, w(δS)) <= w_cert(δS) <= w(δS) for every cut — exhaustively."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exhaustive_small_weighted(self, seed):
+        n = 6 + (seed % 3)
+        g = _random_connected(n, 0.5, 5, seed=seed)
+        scan = ni_edge_starts(g)
+        lam = stoer_wagner_min_cut(g).weight
+        for k in (0.5, 1.0, lam, lam + 1.0, 3.0 * lam):
+            cert = ni_certificate(g, k, scan=scan)
+            for r in range(1, n // 2 + 1):
+                for side in combinations(range(n), r):
+                    w0 = g.cut_weight(side)
+                    w1 = cert.cut_weight(side)
+                    assert w1 <= w0 + 1e-9
+                    assert w1 >= min(k, w0) - 1e-9
+
+    def test_k_zero_drops_all_edges(self):
+        g = _random_connected(6, 0.5, 3, seed=9)
+        cert = ni_certificate(g, 0.0)
+        assert cert.num_edges == 0
+        assert cert.num_vertices == g.num_vertices
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ni_certificate(Graph(edges=[(0, 1)]), -1.0)
+
+    def test_huge_k_is_identity(self):
+        g = _random_connected(8, 0.5, 4, seed=10)
+        cert = ni_certificate(g, 10_000.0)
+        assert cert.num_edges == g.num_edges
+        for u, v, w in g.edges():
+            assert cert.weight(u, v) == pytest.approx(w)
+
+    def test_total_capacity_bounded_by_k_times_n_minus_1(self):
+        for seed in range(5):
+            g = _random_connected(12, 0.6, 7, seed=seed)
+            for k in (1.0, 2.5, 6.0):
+                cert = ni_certificate(g, k)
+                assert cert.total_weight() <= k * (g.num_vertices - 1) + 1e-9
+
+
+class TestForestPartition:
+    def test_each_level_is_a_forest(self):
+        g = _random_connected(14, 0.4, 1, seed=11)
+        forests = ni_forest_partition(g)
+        for forest in forests:
+            parent = {v: v for v in g.vertices()}
+
+            def find(x):
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for u, v in forest:
+                ru, rv = find(u), find(v)
+                assert ru != rv, "cycle within an NI forest level"
+                parent[ru] = rv
+
+    def test_partition_covers_all_edges_once(self):
+        g = _random_connected(10, 0.5, 1, seed=12)
+        forests = ni_forest_partition(g)
+        assert sum(len(f) for f in forests) == g.num_edges
+
+    def test_first_forest_spans_connected_graph(self):
+        g = _random_connected(9, 0.5, 1, seed=13)
+        f1 = ni_forest_partition(g)[0]
+        assert len(f1) == g.num_vertices - 1
+
+    def test_weighted_graph_rejected(self):
+        g = Graph(edges=[(0, 1, 2.0)])
+        with pytest.raises(ValueError):
+            ni_forest_partition(g)
+
+    def test_empty_graph_empty_partition(self):
+        assert ni_forest_partition(Graph(vertices=[0, 1])) == []
+
+    def test_forest_count_at_most_max_degree(self):
+        # Each forest level consumes >= 1 unit of some vertex's degree.
+        g = _random_connected(12, 0.5, 1, seed=14)
+        forests = ni_forest_partition(g)
+        max_deg = max(g.degree(v) for v in g.vertices())
+        assert len(forests) <= max_deg
+
+
+class TestSparsifyPreservingMinCut:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_cut_value_exact(self, seed):
+        g = _random_connected(10, 0.6, 4, seed=seed)
+        sp = sparsify_preserving_min_cut(g)
+        assert stoer_wagner_min_cut(sp).weight == pytest.approx(
+            stoer_wagner_min_cut(g).weight
+        )
+
+    def test_planted_cut_membership_preserved(self):
+        inst = planted_cut(n=40, cross_edges=3, seed=7)
+        sp = sparsify_preserving_min_cut(inst.graph)
+        assert sp.cut_weight(inst.planted_side) == pytest.approx(
+            inst.graph.cut_weight(inst.planted_side)
+        )
+
+    def test_dense_graph_shrinks(self):
+        g = erdos_renyi(n=40, p=0.8, seed=3)
+        sp = sparsify_preserving_min_cut(g)
+        assert sp.num_edges < g.num_edges
+        # capacity bound: delta * (n - 1)
+        delta = min(g.degree(v) for v in g.vertices())
+        assert sp.total_weight() <= delta * (g.num_vertices - 1) + 1e-9
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            sparsify_preserving_min_cut(Graph(edges=[(0, 1)]), slack=0.5)
+
+    def test_edgeless_graph_copied(self):
+        g = Graph(vertices=[0, 1, 2])
+        sp = sparsify_preserving_min_cut(g)
+        assert sp.num_vertices == 3 and sp.num_edges == 0
+
+    def test_extra_slack_keeps_more(self):
+        g = erdos_renyi(n=30, p=0.7, seed=5)
+        tight = sparsify_preserving_min_cut(g, slack=1.0)
+        loose = sparsify_preserving_min_cut(g, slack=2.0)
+        assert loose.total_weight() >= tight.total_weight() - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=9),
+    p=st.floats(min_value=0.2, max_value=0.9),
+    wmax=st.integers(min_value=1, max_value=6),
+    k=st.floats(min_value=0.0, max_value=12.0),
+    seed=st.integers(0, 500),
+)
+def test_property_certificate_sandwich(n, p, wmax, k, seed):
+    g = _random_connected(n, p, wmax, seed=seed)
+    cert = ni_certificate(g, k)
+    for r in range(1, n // 2 + 1):
+        for side in combinations(range(n), r):
+            w0 = g.cut_weight(side)
+            w1 = cert.cut_weight(side)
+            assert w1 <= w0 + 1e-9
+            assert w1 >= min(k, w0) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    p=st.floats(min_value=0.2, max_value=0.9),
+    seed=st.integers(0, 500),
+)
+def test_property_connectivity_witness(n, p, seed):
+    """r(e) + w(e) lower-bounds the endpoint connectivity λ(u, v)."""
+    from repro.flow import min_st_cut
+
+    g = _random_connected(n, p, 3, seed=seed)
+    scan = ni_edge_starts(g)
+    for (u, v), lo, hi in scan.intervals(g):
+        lam_uv = min_st_cut(g, u, v).value
+        assert lam_uv >= hi - 1e-9

@@ -1,0 +1,133 @@
+"""Tests for exact min cut and Karger baselines."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    contraction_preserves_cut,
+    exact_min_cut_weight,
+    karger_best_of,
+    karger_single_run,
+    karger_stein_boosted,
+    karger_stein_min_cut,
+    stoer_wagner_min_cut,
+)
+from repro.graph import Graph
+from repro.workloads import barbell, cycle, erdos_renyi, planted_cut, wheel
+
+
+class TestStoerWagner:
+    def test_cycle(self):
+        assert exact_min_cut_weight(cycle(11)) == 2.0
+
+    def test_barbell(self):
+        inst = barbell(12, bridge_weight=0.5)
+        cut = stoer_wagner_min_cut(inst.graph)
+        assert cut.weight == 0.5
+        assert cut.side in (inst.planted_side, frozenset(inst.graph.vertices()) - inst.planted_side)
+
+    def test_two_vertices(self):
+        g = Graph(edges=[(0, 1, 7.0)])
+        assert exact_min_cut_weight(g) == 7.0
+
+    def test_rejects_single_vertex(self):
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(Graph(vertices=[0]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 24), st.integers(0, 200))
+    def test_property_matches_networkx(self, n, seed):
+        g = erdos_renyi(n, 0.4, weighted=True, seed=seed)
+        H = nx.Graph()
+        for u, v, w in g.edges():
+            H.add_edge(u, v, weight=w)
+        ref, _ = nx.stoer_wagner(H)
+        assert abs(exact_min_cut_weight(g) - ref) < 1e-9
+
+    def test_returned_side_achieves_weight(self):
+        g = erdos_renyi(15, 0.4, weighted=True, seed=9)
+        cut = stoer_wagner_min_cut(g)
+        cut.validate(g)
+
+
+class TestKargerSingle:
+    def test_returns_valid_cut(self):
+        g = planted_cut(30, seed=1).graph
+        cut = karger_single_run(g, seed=1)
+        cut.validate(g)
+
+    def test_never_below_exact(self):
+        g = erdos_renyi(18, 0.35, weighted=True, seed=2)
+        exact = exact_min_cut_weight(g)
+        for s in range(10):
+            assert karger_single_run(g, seed=s).weight >= exact - 1e-9
+
+    def test_best_of_improves(self):
+        g = planted_cut(24, seed=3).graph
+        single = karger_single_run(g, seed=3).weight
+        best = karger_best_of(g, 20, seed=3).weight
+        assert best <= single
+
+    def test_best_of_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            karger_best_of(cycle(5), 0)
+
+
+class TestKargerStein:
+    def test_finds_exact_on_planted_with_boosting(self):
+        inst = planted_cut(32, seed=4)
+        exact = exact_min_cut_weight(inst.graph)
+        cut = karger_stein_boosted(inst.graph, trials=8, seed=4)
+        assert abs(cut.weight - exact) < 1e-9
+
+    def test_single_invocation_valid(self):
+        g = wheel(12)
+        cut = karger_stein_min_cut(g, seed=5)
+        cut.validate(g)
+        assert cut.weight >= exact_min_cut_weight(g) - 1e-9
+
+    def test_success_rate_beats_lemma_bound(self):
+        """Karger–Stein succeeds w.p. Omega(1/log n); empirically on a
+        small planted instance it should succeed much more often."""
+        inst = planted_cut(24, cross_edges=1, seed=6)
+        exact = exact_min_cut_weight(inst.graph)
+        hits = sum(
+            1
+            for s in range(20)
+            if abs(karger_stein_min_cut(inst.graph, seed=s).weight - exact) < 1e-9
+        )
+        assert hits >= 5  # >> 1/log2(24) ~ 0.22 per-trial bound
+
+
+class TestPreservation:
+    def test_preserved_when_no_crossing_contraction(self):
+        inst = barbell(10, bridge_weight=0.5)
+        # with one bridge, contracting to 2 blocks usually merges within
+        # cliques first; verify the predicate is consistent with blocks
+        ok = contraction_preserves_cut(
+            inst.graph, inst.planted_side, 2, seed=1
+        )
+        assert ok in (True, False)  # smoke: no crash, boolean
+
+    def test_target_n_means_trivially_preserved(self):
+        g = cycle(8)
+        side = frozenset(range(4))
+        assert contraction_preserves_cut(g, side, 8, seed=2)
+
+    def test_empirical_rate_dominates_lemma1(self):
+        from repro.analysis.theory import karger_preservation_lower_bound
+
+        inst = planted_cut(32, cross_edges=1, seed=7)
+        t = 2.0
+        target = int(32 / t)
+        trials = 60
+        hits = sum(
+            1
+            for s in range(trials)
+            if contraction_preserves_cut(
+                inst.graph, inst.planted_side, target, seed=s
+            )
+        )
+        assert hits / trials >= karger_preservation_lower_bound(t) * 0.8

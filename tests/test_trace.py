@@ -1,0 +1,128 @@
+"""Trace module: exports, phase grouping, timeline rendering."""
+
+import pytest
+
+from repro.ampc import AMPCConfig, RoundLedger
+from repro.ampc.trace import (
+    export_trace,
+    phase_of,
+    render_phase_table,
+    render_timeline,
+    summarize_phases,
+)
+
+
+def _ledger() -> RoundLedger:
+    led = RoundLedger()
+    led.measure(2, "sort: scatter", local_peak=40, total_peak=100, queries=8)
+    led.measure(1, "sort: merge", local_peak=64, total_peak=120, queries=4)
+    led.charge(3, "Lemma 4: rooting", local_peak=32, total_peak=90)
+    led.measure(1, "sweep: stab", local_peak=16, total_peak=80, queries=2)
+    return led
+
+
+class TestExport:
+    def test_one_dict_per_entry(self):
+        t = export_trace(_ledger())
+        assert len(t) == 4
+
+    def test_cumulative_rounds_monotone(self):
+        t = export_trace(_ledger())
+        cums = [e["cumulative_rounds"] for e in t]
+        assert cums == sorted(cums) and cums[-1] == 7
+
+    def test_fields_roundtrip(self):
+        t = export_trace(_ledger())
+        assert t[0]["reason"] == "sort: scatter"
+        assert t[2]["kind"] == "charged"
+        assert t[1]["local_peak"] == 64
+
+    def test_empty_ledger(self):
+        assert export_trace(RoundLedger()) == []
+
+
+class TestPhases:
+    def test_phase_of_splits_on_colon(self):
+        assert phase_of("list rank: contract level 2") == "list rank"
+        assert phase_of("no colon here") == "no colon here"
+        assert phase_of("  padded:  x") == "padded"
+
+    def test_grouping_preserves_first_appearance_order(self):
+        phases = [r["phase"] for r in summarize_phases(_ledger())]
+        assert phases == ["sort", "Lemma 4", "sweep"]
+
+    def test_subtotals(self):
+        rows = {r["phase"]: r for r in summarize_phases(_ledger())}
+        assert rows["sort"]["rounds"] == 3
+        assert rows["sort"]["entries"] == 2
+        assert rows["sort"]["queries"] == 12
+        assert rows["sort"]["local_peak"] == 64
+
+    def test_kind_mix_rendered(self):
+        rows = {r["phase"]: r for r in summarize_phases(_ledger())}
+        assert rows["Lemma 4"]["kinds"] == "charged"
+        assert rows["sort"]["kinds"] == "measured"
+
+
+class TestRendering:
+    def test_timeline_contains_header_and_bars(self):
+        out = render_timeline(_ledger())
+        assert "7 rounds" in out
+        assert "4 measured + 3 charged" in out
+        assert "|" in out and "#" in out
+
+    def test_timeline_marks_kind(self):
+        out = render_timeline(_ledger())
+        assert "[M]" in out and "[C]" in out
+
+    def test_timeline_elides_middle(self):
+        led = RoundLedger()
+        for i in range(40):
+            led.measure(1, f"step {i}: work", local_peak=8, total_peak=8)
+        out = render_timeline(led, max_entries=10)
+        assert "elided" in out
+        assert "step 0" in out and "step 39" in out
+        assert "step 20" not in out
+
+    def test_timeline_empty(self):
+        assert "(empty ledger)" in render_timeline(RoundLedger())
+
+    def test_phase_table_renders_rows(self):
+        out = render_phase_table(_ledger())
+        assert "sort" in out and "Lemma 4" in out and "sweep" in out
+        assert "rounds" in out
+
+    def test_phase_table_empty(self):
+        assert "(empty ledger)" in render_phase_table(RoundLedger())
+
+    def test_long_reasons_truncated(self):
+        led = RoundLedger()
+        led.measure(1, "x" * 300, local_peak=1, total_peak=1)
+        out = render_timeline(led, width=60)
+        assert max(len(line) for line in out.splitlines()) < 100
+
+
+class TestEndToEnd:
+    def test_algorithm1_trace(self):
+        from repro.core import ampc_min_cut
+        from repro.workloads import planted_cut
+
+        inst = planted_cut(48, seed=4)
+        res = ampc_min_cut(inst.graph, seed=4, max_copies=2)
+        t = export_trace(res.ledger)
+        assert t[-1]["cumulative_rounds"] == res.ledger.rounds
+        out = render_timeline(res.ledger, max_entries=8)
+        assert f"{res.ledger.rounds} rounds" in out
+
+    def test_cli_timeline_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graph import save_graph
+        from repro.workloads import planted_cut
+
+        inst = planted_cut(32, seed=1)
+        path = tmp_path / "g.txt"
+        save_graph(inst.graph, path)
+        assert main(["mincut", str(path), "--trials", "1", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "phase" in out

@@ -1,0 +1,86 @@
+"""Tests for Definition-1 checking and Lemma 10 boundary edges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import (
+    boundary_edges,
+    check_definition_1,
+    is_valid_decomposition,
+    level_components,
+    low_depth_decomposition,
+    root_tree,
+)
+from repro.workloads import path_tree, random_tree
+
+
+class TestChecker:
+    def test_accepts_valid_labeling(self):
+        vs, es = path_tree(4)
+        t = root_tree(vs, es)
+        # hand-made valid decomposition of a path 0-1-2-3:
+        # level 1 at vertex 1 splits {0} and {2,3}; level 2 at 2 ... etc
+        label = {0: 2, 1: 1, 2: 2, 3: 3}
+        check_definition_1(t, label)
+
+    def test_rejects_two_minima_in_component(self):
+        vs, es = path_tree(3)
+        t = root_tree(vs, es)
+        label = {0: 1, 1: 2, 2: 1}  # both endpoints labelled 1 in T_1
+        with pytest.raises(ValueError):
+            check_definition_1(t, label)
+
+    def test_rejects_wrong_cover(self):
+        vs, es = path_tree(3)
+        t = root_tree(vs, es)
+        with pytest.raises(ValueError):
+            check_definition_1(t, {0: 1, 1: 2})
+
+    def test_is_valid_wrapper(self):
+        vs, es = path_tree(3)
+        t = root_tree(vs, es)
+        assert not is_valid_decomposition(t, {0: 1, 1: 2, 2: 1})
+
+
+class TestLevelComponents:
+    def test_level_one_is_whole_tree(self):
+        vs, es = random_tree(30, seed=1)
+        d = low_depth_decomposition(vs, es)
+        comps = level_components(d.tree, d.label, 1)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == sorted(vs)
+
+    def test_high_level_empty(self):
+        vs, es = random_tree(30, seed=2)
+        d = low_depth_decomposition(vs, es)
+        assert level_components(d.tree, d.label, d.height + 5) == []
+
+
+class TestLemma10:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 120), st.integers(0, 500))
+    def test_at_most_two_boundary_edges(self, n, seed):
+        vs, es = random_tree(n, seed=seed)
+        d = low_depth_decomposition(vs, es)
+        for i in range(1, d.height + 1):
+            for comp in level_components(d.tree, d.label, i):
+                be = boundary_edges(d.tree, d.label, comp, i)
+                assert len(be) <= 2
+
+    def test_boundary_edges_point_outward(self):
+        vs, es = random_tree(60, seed=3)
+        d = low_depth_decomposition(vs, es)
+        for i in range(2, d.height + 1):
+            for comp in level_components(d.tree, d.label, i):
+                comp_set = set(comp)
+                for inside, outside in boundary_edges(d.tree, d.label, comp, i):
+                    assert inside in comp_set
+                    assert outside not in comp_set
+                    assert d.label[outside] < i
+
+    def test_whole_tree_has_no_boundary(self):
+        vs, es = random_tree(30, seed=4)
+        d = low_depth_decomposition(vs, es)
+        comps = level_components(d.tree, d.label, 1)
+        assert boundary_edges(d.tree, d.label, comps[0], 1) == []

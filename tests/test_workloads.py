@@ -1,0 +1,191 @@
+"""Tests for workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import exact_min_cut_weight
+from repro.workloads import (
+    balanced_binary,
+    barbell,
+    broom,
+    caterpillar,
+    cycle,
+    erdos_renyi,
+    grid,
+    paper_figure1_tree,
+    path_tree,
+    planted_cut,
+    planted_kcut,
+    power_law,
+    random_regular_ish,
+    random_tree,
+    star_tree,
+    two_cycles,
+    wheel,
+)
+
+
+class TestPlantedCut:
+    def test_planted_weight_matches_side(self):
+        inst = planted_cut(40, seed=1)
+        assert abs(inst.graph.cut_weight(inst.planted_side) - inst.planted_weight) < 1e-9
+
+    def test_planted_is_the_min_cut(self):
+        inst = planted_cut(32, cross_edges=2, seed=2)
+        assert abs(exact_min_cut_weight(inst.graph) - inst.planted_weight) < 1e-9
+
+    def test_connected(self):
+        inst = planted_cut(30, seed=3)
+        assert len(inst.graph.components()) == 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            planted_cut(3)
+
+    def test_cross_weight_scales(self):
+        a = planted_cut(24, cross_edges=3, cross_weight=1.0, seed=4)
+        b = planted_cut(24, cross_edges=3, cross_weight=2.0, seed=4)
+        assert b.planted_weight == 2 * a.planted_weight
+
+
+class TestPlantedKCut:
+    def test_parts_partition(self):
+        inst = planted_kcut(30, 3, seed=1)
+        union = set().union(*inst.parts)
+        assert union == set(inst.graph.vertices())
+        assert sum(map(len, inst.parts)) == 30
+
+    def test_weight_matches(self):
+        inst = planted_kcut(24, 4, seed=2)
+        assert abs(
+            inst.graph.partition_cut_weight(inst.parts) - inst.planted_weight
+        ) < 1e-9
+
+    def test_connected(self):
+        inst = planted_kcut(24, 3, seed=3)
+        assert len(inst.graph.components()) == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            planted_kcut(5, 3)
+        with pytest.raises(ValueError):
+            planted_kcut(20, 1)
+
+
+class TestClassicFamilies:
+    def test_cycle_min_cut_two(self):
+        g = cycle(12)
+        assert exact_min_cut_weight(g) == 2.0
+
+    def test_two_cycles_disconnected(self):
+        g = two_cycles(12)
+        assert len(g.components()) == 2
+
+    def test_two_cycles_rejects_odd(self):
+        with pytest.raises(ValueError):
+            two_cycles(7)
+
+    def test_wheel_connected_and_sized(self):
+        g = wheel(10)
+        assert g.num_vertices == 10
+        assert len(g.components()) == 1
+        assert g.degree(0) >= 9  # hub
+
+    def test_grid_shape(self):
+        g = grid(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_barbell_bridge_is_min_cut(self):
+        inst = barbell(12, bridge_weight=0.5)
+        assert exact_min_cut_weight(inst.graph) == 0.5
+
+    def test_er_connected(self):
+        g = erdos_renyi(40, 0.05, seed=5)
+        assert len(g.components()) == 1
+
+    def test_regular_ish_degrees(self):
+        g = random_regular_ish(30, 4, seed=6)
+        assert len(g.components()) == 1
+        degs = [len(g.neighbors(v)) for v in g.vertices()]
+        assert max(degs) <= 4
+
+    def test_power_law_connected(self):
+        g = power_law(60, seed=7)
+        assert len(g.components()) == 1
+
+
+class TestTreeFamilies:
+    @pytest.mark.parametrize(
+        "maker,arg",
+        [
+            (path_tree, 20),
+            (star_tree, 20),
+            (caterpillar, 20),
+            (broom, 20),
+            (random_tree, 20),
+        ],
+    )
+    def test_tree_edge_count(self, maker, arg):
+        vs, es = maker(arg)
+        assert len(es) == len(vs) - 1
+
+    def test_balanced_binary_size(self):
+        vs, es = balanced_binary(4)
+        assert len(vs) == 31
+        assert len(es) == 30
+
+    def test_paper_tree_valid(self):
+        vs, es = paper_figure1_tree()
+        assert len(es) == len(vs) - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 1000))
+    def test_property_random_tree_is_tree(self, n, seed):
+        vs, es = random_tree(n, seed=seed)
+        assert len(vs) == n
+        assert len(es) == n - 1
+        from repro.graph import DSU
+
+        d = DSU(vs)
+        for u, v in es:
+            assert d.union(u, v)  # no cycles
+        assert d.num_sets == 1  # connected
+
+
+class TestLeafSpine:
+    def test_shape(self):
+        from repro.workloads import leaf_spine
+
+        g = leaf_spine(spines=4, leaves=8)
+        assert g.num_vertices == 12
+        assert g.num_edges == 32  # complete bipartite
+
+    def test_min_cut_is_weakest_leaf(self):
+        from repro.baselines import exact_min_cut_weight
+        from repro.workloads import leaf_spine
+
+        g = leaf_spine(spines=4, leaves=6, uplink=40.0,
+                       degraded_leaf=2, degraded_factor=0.1)
+        # degraded leaf's total uplink = 4 * 4.0 = 16 < any other cut
+        assert exact_min_cut_weight(g) == pytest.approx(16.0)
+        assert g.cut_weight([("leaf", 2)]) == pytest.approx(16.0)
+
+    def test_healthy_fabric_min_cut(self):
+        from repro.baselines import exact_min_cut_weight
+        from repro.workloads import leaf_spine
+
+        g = leaf_spine(spines=3, leaves=5, uplink=10.0)
+        # cheapest isolation: one spine (5 links) vs one leaf (3 links)
+        assert exact_min_cut_weight(g) == pytest.approx(30.0)
+
+    def test_validation(self):
+        from repro.workloads import leaf_spine
+
+        with pytest.raises(ValueError):
+            leaf_spine(spines=0, leaves=3)
+        with pytest.raises(ValueError):
+            leaf_spine(degraded_leaf=99)
+        with pytest.raises(ValueError):
+            leaf_spine(degraded_factor=0.0)
