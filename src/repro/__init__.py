@@ -17,8 +17,18 @@ Quickstart::
     result = ampc_min_cut(instance.graph, seed=1)
     print(result.weight, "in", result.ledger.rounds, "AMPC rounds")
 
-See README.md for the architecture overview, DESIGN.md for the system
-inventory, and EXPERIMENTS.md for the claimed-vs-measured record.
+Long-lived serving (registry + parallel trials + Gomory–Hu cache)::
+
+    from repro import CutService
+
+    with CutService(workers=4) as svc:
+        svc.register("g", instance.graph)
+        print(svc.mincut("g", seed=1)["weight"])   # computed
+        print(svc.mincut("g", seed=1)["cached"])   # True — LRU hit
+
+See README.md for the architecture overview and quickstart;
+``repro-cut experiments`` regenerates EXPERIMENTS.md, the
+claimed-vs-measured record.
 """
 
 from .ampc import AMPCConfig, RoundLedger
@@ -33,20 +43,25 @@ from .core import (
     smallest_singleton_cut,
 )
 from .graph import Cut, Graph, KCut
+from .service import CutOracle, CutService, GraphStore, TrialExecutor
 from .trees import LowDepthDecomposition, low_depth_decomposition
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AMPCConfig",
     "Cut",
+    "CutOracle",
+    "CutService",
     "Graph",
+    "GraphStore",
     "KCut",
     "KCutResult",
     "LowDepthDecomposition",
     "MinCutResult",
     "RoundLedger",
     "SingletonCutResult",
+    "TrialExecutor",
     "__version__",
     "ampc_min_cut",
     "ampc_min_cut_boosted",

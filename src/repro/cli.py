@@ -11,7 +11,11 @@ Subcommands mirroring what a downstream user does first:
   printing the labeling and the splitting process;
 * ``sparsify`` — Nagamochi–Ibaraki min-cut-preserving certificate;
 * ``convert`` — translate between edge-list, DIMACS and METIS;
-* ``experiments`` — regenerate EXPERIMENTS.md from live runs.
+* ``experiments`` — regenerate EXPERIMENTS.md from live runs;
+* ``serve``   — start the long-lived JSON-over-HTTP cut-query engine
+  (:mod:`repro.service`): graphs registered once, boosting trials fanned
+  over a process pool, s–t queries amortised through a Gomory–Hu cache;
+* ``query``   — client for a running ``serve`` instance.
 
 Graph files are loaded by extension: ``.dimacs``/``.col``/``.max`` as
 DIMACS, ``.metis``/``.chaco`` as METIS, anything else as the native
@@ -30,38 +34,11 @@ from .baselines import exact_min_cut_weight
 from .core import ampc_min_cut_boosted, apx_split_kcut
 from .graph import (
     Graph,
-    load_dimacs,
-    load_graph,
-    load_metis,
-    save_dimacs,
-    save_graph,
-    save_metis,
+    load_any as _load_any,
+    save_any as _save_any,
     sparsify_preserving_min_cut,
 )
 from .trees import decomposition_forest_sequence, low_depth_decomposition
-
-_DIMACS_EXTS = {".dimacs", ".col", ".max", ".clq"}
-_METIS_EXTS = {".metis", ".chaco"}
-
-
-def _load_any(path: Path) -> Graph:
-    """Load a graph file, dispatching on extension."""
-    ext = path.suffix.lower()
-    if ext in _DIMACS_EXTS:
-        return load_dimacs(path)
-    if ext in _METIS_EXTS:
-        return load_metis(path)
-    return load_graph(path)
-
-
-def _save_any(graph: Graph, path: Path) -> None:
-    ext = path.suffix.lower()
-    if ext in _DIMACS_EXTS:
-        save_dimacs(graph, path)
-    elif ext in _METIS_EXTS:
-        save_metis(graph, path)
-    else:
-        save_graph(graph, path)
 
 
 def _cmd_mincut(args: argparse.Namespace) -> int:
@@ -181,6 +158,110 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CutService, serve
+
+    service = CutService(
+        workers=args.workers,
+        store_capacity=args.store_capacity,
+        result_cache_capacity=args.result_cache,
+    )
+    for spec in args.graph or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"error: --graph wants NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        entry = service.register_file(name, Path(path))
+        print(
+            f"registered {name}: n={entry['num_vertices']} "
+            f"m={entry['num_edges']} fingerprint={entry['fingerprint'][:12]}"
+        )
+    try:
+        serve(service, host=args.host, port=args.port)
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import request_json
+
+    def need(value, flag: str):
+        if value is None:
+            print(f"error: {args.op} requires {flag}", file=sys.stderr)
+            raise SystemExit(2)
+        return value
+
+    if args.op == "stats":
+        resp = request_json(args.url, "/stats")
+    elif args.op == "graphs":
+        resp = request_json(args.url, "/graphs")
+    elif args.op == "register":
+        graph = _load_any(need(args.file, "--file"))
+        payload = {
+            "name": need(args.name, "--name"),
+            "vertices": [_json_vertex(v) for v in graph.vertices()],
+            "edges": [
+                [_json_vertex(u), _json_vertex(v), w] for u, v, w in graph.edges()
+            ],
+        }
+        resp = request_json(args.url, "/graphs", payload)
+    elif args.op == "mincut":
+        resp = request_json(
+            args.url,
+            "/mincut",
+            {
+                "graph": need(args.name, "--name"),
+                "eps": args.eps,
+                "trials": args.trials,
+                "seed": args.seed,
+            },
+        )
+    elif args.op == "kcut":
+        resp = request_json(
+            args.url,
+            "/kcut",
+            {
+                "graph": need(args.name, "--name"),
+                "k": need(args.k, "--k"),
+                "eps": args.eps,
+                "trials": args.trials or 1,
+                "seed": args.seed,
+            },
+        )
+    elif args.op == "stcut":
+        resp = request_json(
+            args.url,
+            "/stcut",
+            {
+                "graph": need(args.name, "--name"),
+                "s": need(args.s, "--s"),
+                "t": need(args.t, "--t"),
+            },
+        )
+    elif args.op == "evict":
+        resp = request_json(args.url, "/evict", {"graph": need(args.name, "--name")})
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.op)
+    print(json.dumps(resp, indent=2, sort_keys=True))
+    return 1 if isinstance(resp, dict) and "error" in resp else 0
+
+
+def _cmd_query_safe(args: argparse.Namespace) -> int:
+    try:
+        return _cmd_query(args)
+    except (ConnectionError, RuntimeError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _json_vertex(v):
+    """Vertices as JSON scalars (ints stay ints; the rest go to str)."""
+    return v if isinstance(v, (int, str)) else str(v)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cut",
@@ -236,6 +317,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", type=Path, default=Path("EXPERIMENTS.md"))
     p.add_argument("--fast", action="store_true", help="smaller instances")
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("serve", help="start the cut-query HTTP service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8008,
+                   help="TCP port (0 = ephemeral; bound URL is printed)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for boosting trials")
+    p.add_argument("--store-capacity", type=int, default=None,
+                   help="max resident graphs (LRU eviction; default unbounded)")
+    p.add_argument("--result-cache", type=int, default=256,
+                   help="LRU capacity of the query-result cache")
+    p.add_argument("--graph", action="append", metavar="NAME=PATH",
+                   help="preload a graph file (repeatable)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("query", help="query a running serve instance")
+    p.add_argument("op", choices=["register", "mincut", "kcut", "stcut",
+                                  "graphs", "stats", "evict"])
+    p.add_argument("--url", default="http://127.0.0.1:8008")
+    p.add_argument("--name", help="graph name on the server")
+    p.add_argument("--file", type=Path, help="graph file (register)")
+    p.add_argument("--k", type=int, help="number of parts (kcut)")
+    p.add_argument("--s", help="source vertex (stcut)")
+    p.add_argument("--t", help="sink vertex (stcut)")
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_query_safe)
     return parser
 
 

@@ -7,7 +7,13 @@ from .intervals import TimeInterval, edge_intervals
 from .kcut import KCutResult, apx_split_kcut
 from .keys import ContractionKeys, draw_contraction_keys, draw_uniform_keys
 from .ldr import LevelStructure, all_level_structures, build_level_structure
-from .mincut import MinCutResult, ampc_min_cut, ampc_min_cut_boosted
+from .mincut import (
+    BOOST_SEED_STRIDE,
+    MinCutResult,
+    ampc_min_cut,
+    ampc_min_cut_boosted,
+    default_boost_trials,
+)
 from .schedule import RecursionSchedule, ScheduleLevel, schedule_for
 from .singleton import (
     SingletonCutResult,
@@ -18,6 +24,7 @@ from .singleton import (
 from .sweep import min_interval_overlap, min_interval_overlap_ampc
 
 __all__ = [
+    "BOOST_SEED_STRIDE",
     "ContractionKeys",
     "KCutResult",
     "LevelStructure",
@@ -36,6 +43,7 @@ __all__ = [
     "boundary_profile",
     "build_level_structure",
     "contract_to_size",
+    "default_boost_trials",
     "draw_contraction_keys",
     "draw_uniform_keys",
     "edge_intervals",

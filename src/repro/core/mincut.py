@@ -41,6 +41,20 @@ from .singleton import smallest_singleton_cut
 
 Vertex = Hashable
 
+#: seed stride between boosting trials — trial ``t`` runs at
+#: ``seed + t * BOOST_SEED_STRIDE``.  The serving layer's TrialExecutor
+#: replicates this schedule, so it lives here as the single source.
+BOOST_SEED_STRIDE = 7919
+
+
+def default_boost_trials(n: int) -> int:
+    """The booster's default trial count: ``ceil(log2(n)^2 / 4)``.
+
+    The paper runs ``Theta(log^2 n)`` instances for the w.h.p. claim;
+    the constant is a simulation knob (E2 measures the success curve).
+    """
+    return max(1, math.ceil(math.log2(max(4, n)) ** 2 / 4))
+
 
 @dataclass
 class MinCutResult:
@@ -226,12 +240,12 @@ def ampc_min_cut_boosted(
     """
     n = graph.num_vertices
     if trials is None:
-        trials = max(1, math.ceil(math.log2(max(4, n)) ** 2 / 4))
+        trials = default_boost_trials(n)
     best: MinCutResult | None = None
     ledgers: list[RoundLedger] = []
     for t in range(trials):
         res = ampc_min_cut(
-            graph, eps=eps, seed=seed + 7919 * t, max_copies=max_copies
+            graph, eps=eps, seed=seed + BOOST_SEED_STRIDE * t, max_copies=max_copies
         )
         ledgers.append(res.ledger)
         if best is None or res.weight < best.weight:

@@ -1,6 +1,7 @@
 """Graph substrate: weighted graphs, cuts, union-find, serialization."""
 
 from .cuts import Cut, KCut, kcut_weight, lift_cut, min_singleton_cut, singleton_cut_weight
+from .dispatch import load_any, save_any
 from .dsu import DSU
 from .graph import Graph
 from .formats import (
@@ -30,9 +31,11 @@ __all__ = [
     "KCut",
     "kcut_weight",
     "lift_cut",
+    "load_any",
     "load_dimacs",
     "load_graph",
     "load_metis",
+    "save_any",
     "min_singleton_cut",
     "ni_certificate",
     "ni_edge_starts",

@@ -1,0 +1,40 @@
+"""Extension-based graph file dispatch, shared by the CLI and service.
+
+One table so a new format lands everywhere at once:
+``.dimacs``/``.col``/``.max``/``.clq`` as DIMACS, ``.metis``/``.chaco``
+as METIS, anything else as the native edge list.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .formats import load_dimacs, load_metis, save_dimacs, save_metis
+from .graph import Graph
+from .io import load_graph, save_graph
+
+_DIMACS_EXTS = {".dimacs", ".col", ".max", ".clq"}
+_METIS_EXTS = {".metis", ".chaco"}
+
+
+def load_any(path: Path | str) -> Graph:
+    """Load a graph file, dispatching on extension."""
+    path = Path(path)
+    ext = path.suffix.lower()
+    if ext in _DIMACS_EXTS:
+        return load_dimacs(path)
+    if ext in _METIS_EXTS:
+        return load_metis(path)
+    return load_graph(path)
+
+
+def save_any(graph: Graph, path: Path | str) -> None:
+    """Write a graph file, dispatching on extension."""
+    path = Path(path)
+    ext = path.suffix.lower()
+    if ext in _DIMACS_EXTS:
+        save_dimacs(graph, path)
+    elif ext in _METIS_EXTS:
+        save_metis(graph, path)
+    else:
+        save_graph(graph, path)

@@ -18,6 +18,7 @@ as index triples into a vertex list so numpy can batch-evaluate cuts.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -149,6 +150,48 @@ class Graph:
 
     def index_of(self, v: Vertex) -> int:
         return self._index[v]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the weighted graph (hex SHA-256).
+
+        Two graphs holding the same vertex set and the same merged
+        edge weights hash identically, regardless of the order
+        vertices or edges were added and regardless of edge endpoint
+        order.  Caveat: the hash covers the weights *as stored* —
+        three or more parallel edges merged in different orders can
+        sum to floats differing in the last ulp, and such graphs
+        (whose cut values genuinely differ by that epsilon) fingerprint
+        differently.  Vertices are distinguished by type as well as
+        value, so the int ``1`` and the string ``"1"`` never collide.
+
+        Mutating the graph changes the fingerprint, so callers that
+        cache by fingerprint (the service layer's :class:`GraphStore`
+        and Gomory–Hu oracle) must treat registered graphs as frozen.
+        """
+        def canon(v: Vertex) -> bytes:
+            return f"{type(v).__name__}:{v!r}".encode()
+
+        h = hashlib.sha256()
+        h.update(b"repro.graph.v1\x1e")
+        for label in sorted(canon(v) for v in self._vertices):
+            h.update(label)
+            h.update(b"\x1f")
+        h.update(b"\x1e")
+        records = []
+        for (iu, iv), w in self._weights.items():
+            a = canon(self._vertices[iu])
+            b = canon(self._vertices[iv])
+            if b < a:
+                a, b = b, a
+            records.append((a, b, repr(float(w)).encode()))
+        for a, b, wb in sorted(records):
+            h.update(a)
+            h.update(b"\x1f")
+            h.update(b)
+            h.update(b"\x1f")
+            h.update(wb)
+            h.update(b"\x1e")
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Cut evaluation

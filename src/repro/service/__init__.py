@@ -1,0 +1,42 @@
+"""Serving layer: a long-lived cut-query engine over the SPAA'22 kernels.
+
+The library answers one question per process; this package turns it
+into a system that answers millions.  Amortisation points, in query
+order:
+
+* parse + fingerprint once — :class:`GraphStore`;
+* boosting trials in parallel — :class:`TrialExecutor` (deterministic:
+  worker count never changes the answer);
+* repeated s–t queries from one Gomory–Hu tree — :class:`CutOracle`;
+* repeated identical queries from an LRU — :class:`LRUCache`.
+
+:class:`CutService` composes the four; :func:`make_server` /
+:func:`serve` put a stdlib JSON-over-HTTP front end on top
+(``repro-cut serve`` / ``repro-cut query``).  Future scaling PRs
+(sharding, async I/O, alternative backends) plug in behind the same
+:class:`CutService` surface.
+"""
+
+from ..graph import load_any
+from .cache import LRUCache
+from .executor import TrialExecutor, default_trials, trial_seeds
+from .oracle import CutOracle
+from .service import CutService
+from .store import GraphEntry, GraphStore
+from .http import ServiceHTTPServer, make_server, request_json, serve
+
+__all__ = [
+    "CutOracle",
+    "CutService",
+    "GraphEntry",
+    "GraphStore",
+    "LRUCache",
+    "ServiceHTTPServer",
+    "TrialExecutor",
+    "default_trials",
+    "load_any",
+    "make_server",
+    "request_json",
+    "serve",
+    "trial_seeds",
+]

@@ -1,0 +1,86 @@
+"""Thread-safe LRU cache with hit/miss/eviction counters.
+
+The serving layer caches two kinds of expensive artifacts: whole query
+results (keyed by graph fingerprint + algorithm + params + seed) and
+per-graph Gomory–Hu trees.  Both need the same small primitive — a
+bounded mapping with least-recently-used eviction whose behaviour is
+observable through ``/stats`` — so it lives here once.
+
+Stdlib only (``collections.OrderedDict`` + a lock); safe under the
+``ThreadingHTTPServer`` front end where handler threads share one
+:class:`~repro.service.service.CutService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — useful for benchmarking cold paths.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = int(capacity)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry if full."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._data))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict:
+        """Counters as a JSON-able dict (rendered by ``/stats``)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

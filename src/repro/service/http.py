@@ -1,0 +1,265 @@
+"""JSON-over-HTTP front end for :class:`~repro.service.service.CutService`.
+
+Stdlib only: ``http.server.ThreadingHTTPServer`` (one thread per
+connection; the service underneath is thread-safe) plus ``json``.  The
+wire protocol is deliberately boring — every response is a JSON object,
+errors are ``{"error": ...}`` with a 4xx status:
+
+========  =========  ====================================================
+method    path       body / result
+========  =========  ====================================================
+GET       /healthz   liveness probe
+GET       /graphs    list of registered-graph descriptions
+GET       /stats     cache/pool/oracle counters (the observability seam)
+POST      /graphs    ``{"name", "edges": [[u,v,w],...]}`` or
+                     ``{"name", "path": "file-on-server"}``
+POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?}``
+POST      /kcut      ``{"graph", "k", "eps"?, "trials"?, "seed"?}``
+POST      /stcut     ``{"graph", "s", "t"}``
+POST      /batch     ``{"requests": [{"op": "mincut"|..., ...}, ...]}``
+                     → ``{"responses": [...]}``, one per request, errors
+                     inline so one bad request doesn't kill the batch
+========  =========  ====================================================
+
+``make_server(service, port=0)`` binds an ephemeral port for tests;
+``serve(...)`` is the blocking entry point ``repro-cut serve`` uses.
+A tiny ``urllib`` client (:func:`request_json`) backs ``repro-cut
+query`` and the end-to-end tests.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..graph import Graph, load_any
+from .service import CutService
+
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a :class:`CutService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: CutService, *, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        elif self.path == "/graphs":
+            self._reply(200, {"graphs": service.graphs()})
+        elif self.path == "/stats":
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            body = self._read_json()
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        if self.path == "/batch":
+            requests = body.get("requests")
+            if not isinstance(requests, list):
+                self._reply(400, {"error": "batch body needs a 'requests' list"})
+                return
+            responses = []
+            for item in requests:
+                op = item.get("op") if isinstance(item, dict) else None
+                _, payload = self._dispatch_safe(op, item)
+                responses.append(payload)
+            self._reply(200, {"responses": responses})
+            return
+        status, payload = self._dispatch_safe(self.path.lstrip("/"), body)
+        self._reply(status, payload)
+
+    def _dispatch_safe(self, op: str | None, body) -> tuple[int, dict]:
+        """Dispatch with every failure mapped to a JSON (status, body).
+
+        A handler must never die without replying — a thread killed by
+        an uncaught exception drops the connection mid-request and, in
+        ``/batch``, would break the errors-inline contract.
+        """
+        try:
+            return 200, self._dispatch(op, body)
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except KeyError as exc:
+            return 404, {"error": _key_error_message(exc)}
+        except OSError as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: str | None, body: dict) -> dict:
+        service = self.server.service
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        try:
+            if op == "graphs":
+                return service.register(*_parse_registration(body))
+            if op == "mincut":
+                return service.mincut(
+                    _require(body, "graph"),
+                    eps=float(body.get("eps", 0.5)),
+                    trials=_opt_int(body, "trials"),
+                    seed=int(body.get("seed", 0)),
+                )
+            if op == "kcut":
+                return service.kcut(
+                    _require(body, "graph"),
+                    int(_require(body, "k")),
+                    eps=float(body.get("eps", 0.5)),
+                    trials=int(body.get("trials", 1)),
+                    seed=int(body.get("seed", 0)),
+                )
+            if op == "stcut":
+                return service.stcut(
+                    _require(body, "graph"),
+                    _require(body, "s"),
+                    _require(body, "t"),
+                )
+            if op == "evict":
+                return service.evict(_require(body, "graph"))
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(str(exc)) from exc
+        raise _BadRequest(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body exceeds {_MAX_BODY} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body; expected JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON: {exc}") from exc
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+
+class _BadRequest(Exception):
+    """Maps to HTTP 400."""
+
+
+def _key_error_message(exc: KeyError) -> str:
+    # str(KeyError("x")) is "'x'" — unwrap the arg for clean JSON errors.
+    return str(exc.args[0]) if exc.args else str(exc)
+
+
+# ----------------------------------------------------------------------
+def _require(body: dict, key: str):
+    if key not in body:
+        raise _BadRequest(f"missing required field {key!r}")
+    return body[key]
+
+
+def _opt_int(body: dict, key: str) -> int | None:
+    value = body.get(key)
+    return None if value is None else int(value)
+
+
+def _parse_registration(body: dict) -> tuple[str, Graph]:
+    name = _require(body, "name")
+    if "path" in body:
+        return name, load_any(body["path"])
+    edges = _require(body, "edges")
+    graph = Graph(vertices=body.get("vertices", ()))
+    for edge in edges:
+        if not isinstance(edge, (list, tuple)) or len(edge) not in (2, 3):
+            raise _BadRequest(f"bad edge {edge!r}: want [u, v] or [u, v, w]")
+        u, v = edge[0], edge[1]
+        w = float(edge[2]) if len(edge) == 3 else 1.0
+        graph.add_edge(u, v, w)
+    return name, graph
+
+
+# ----------------------------------------------------------------------
+# Server + client entry points
+# ----------------------------------------------------------------------
+def make_server(
+    service: CutService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (``port=0`` → ephemeral) without starting the accept loop."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    service: CutService, *, host: str = "127.0.0.1", port: int = 8008
+) -> None:
+    """Blocking accept loop (Ctrl-C to stop) — ``repro-cut serve``."""
+    with make_server(service, host=host, port=port, quiet=False) as server:
+        print(f"serving on {server.url}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+
+
+def request_json(
+    url: str, path: str, payload: dict | None = None, *, timeout: float = 60.0
+) -> dict:
+    """One JSON round-trip: GET when ``payload`` is None, else POST.
+
+    4xx responses come back as their decoded ``{"error": ...}`` body
+    rather than raising, so CLI users see the server's message.
+    """
+    full = url.rstrip("/") + path
+    if payload is None:
+        req = urllib.request.Request(full)
+    else:
+        req = urllib.request.Request(
+            full,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError:
+            raise RuntimeError(f"HTTP {exc.code}: {body[:200]!r}") from exc
+    except urllib.error.URLError as exc:
+        raise ConnectionError(
+            f"cannot reach {full}: {exc.reason}"
+        ) from exc

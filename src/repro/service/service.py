@@ -1,0 +1,275 @@
+"""CutService — the query-engine facade the HTTP front end exposes.
+
+Composition (each piece independently testable):
+
+* :class:`~repro.service.store.GraphStore` — graphs parsed and
+  fingerprinted once, resident thereafter, LRU-bounded;
+* :class:`~repro.service.executor.TrialExecutor` — boosting trials
+  fanned over a process pool, deterministically merged;
+* :class:`~repro.service.oracle.CutOracle` — one lazy Gomory–Hu tree
+  per resident graph for O(n) repeated s–t queries;
+* :class:`~repro.service.cache.LRUCache` — finished query results keyed
+  by ``(fingerprint, algorithm, params, seed)``.
+
+Result-cache keys use the graph **fingerprint**, not the name, so the
+cache is content-addressed: re-registering the same graph under another
+name (or after an eviction) still hits.  Evicting a graph releases its
+oracle; cached results survive (they are small summaries, and the LRU
+bounds them).
+
+Every public query method returns a JSON-able ``dict`` — the same
+payload the HTTP layer ships — with a ``"cached"`` flag so clients and
+tests can observe amortisation directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Hashable
+
+from ..graph import Graph
+from .cache import LRUCache
+from .executor import TrialExecutor, default_trials
+from .oracle import CutOracle
+from .store import GraphEntry, GraphStore
+
+Vertex = Hashable
+
+
+class CutService:
+    """Long-lived cut-query engine over a registry of resident graphs."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        store_capacity: int | None = None,
+        result_cache_capacity: int = 256,
+        flow_engine: str = "dinic",
+    ):
+        self.store = GraphStore(
+            capacity=store_capacity, on_evict=self._release_oracle
+        )
+        self.executor = TrialExecutor(workers=workers)
+        self.results = LRUCache(result_cache_capacity)
+        self.flow_engine = flow_engine
+        self._oracles: dict[str, CutOracle] = {}  # fingerprint -> oracle
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, graph: Graph, *, source: str | None = None
+    ) -> dict:
+        """Admit a graph; returns its ``/graphs`` description."""
+        entry = self.store.register(name, graph, source=source)
+        return entry.describe()
+
+    def register_file(self, name: str, path: Path | str) -> dict:
+        return self.store.register_file(name, path).describe()
+
+    def evict(self, name: str) -> dict:
+        return self.store.evict(name).describe()
+
+    def graphs(self) -> list[dict]:
+        return [e.describe() for e in self.store.entries()]
+
+    def _release_oracle(self, entry: GraphEntry) -> None:
+        # Called by the store on eviction.  Only drop the oracle if no
+        # *other* resident entry shares the fingerprint (content-equal
+        # graphs registered under two names share one oracle).
+        with self._lock:
+            if any(
+                e.fingerprint == entry.fingerprint for e in self.store.entries()
+            ):
+                return
+            self._oracles.pop(entry.fingerprint, None)
+        self.executor.forget(entry.graph)
+
+    def _oracle_for(self, entry: GraphEntry) -> CutOracle:
+        with self._lock:
+            oracle = self._oracles.get(entry.fingerprint)
+            if oracle is None:
+                oracle = CutOracle(entry.graph, engine=self.flow_engine)
+                # Only cache the oracle while its graph is still
+                # resident: the entry may have been evicted between the
+                # caller's store.get() and this point, and an oracle
+                # cached after _release_oracle ran would be orphaned
+                # (pinning graph + tree) forever.
+                if any(
+                    e.fingerprint == entry.fingerprint
+                    for e in self.store.entries()
+                ):
+                    self._oracles[entry.fingerprint] = oracle
+            return oracle
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def mincut(
+        self,
+        name: str,
+        *,
+        eps: float = 0.5,
+        trials: int | None = None,
+        seed: int = 0,
+        max_copies: int = 4,
+    ) -> dict:
+        """Boosted (2+eps)-approximate min cut of a registered graph."""
+        entry = self.store.get(name)
+        if trials is None:
+            trials = default_trials(entry.num_vertices)
+        key = (
+            entry.fingerprint,
+            "mincut",
+            ("eps", eps, "trials", trials, "max_copies", max_copies),
+            seed,
+        )
+        cached = self.results.get(key)
+        if cached is not None:
+            # Content-addressed hit: rewrite the name the caller used
+            # (the cached payload may have been computed under another).
+            return {**cached, "graph": name, "cached": True}
+        t0 = time.perf_counter()
+        result = self.executor.run_mincut(
+            entry.graph, eps=eps, trials=trials, seed=seed, max_copies=max_copies
+        )
+        payload = {
+            "graph": name,
+            "fingerprint": entry.fingerprint,
+            "algorithm": "ampc-mincut-boosted",
+            "weight": result.weight,
+            "side": _vertex_list(result.cut.side),
+            "rounds": result.ledger.rounds,
+            "trials": trials,
+            "seed": seed,
+            "eps": eps,
+            "elapsed_s": time.perf_counter() - t0,
+        }
+        self.results.put(key, payload)
+        return {**payload, "cached": False}
+
+    def kcut(
+        self,
+        name: str,
+        k: int,
+        *,
+        eps: float = 0.5,
+        trials: int = 1,
+        seed: int = 0,
+        max_copies: int = 2,
+    ) -> dict:
+        """(4+eps)-approximate min k-cut of a registered graph."""
+        entry = self.store.get(name)
+        key = (
+            entry.fingerprint,
+            "kcut",
+            ("k", k, "eps", eps, "trials", trials, "max_copies", max_copies),
+            seed,
+        )
+        cached = self.results.get(key)
+        if cached is not None:
+            return {**cached, "graph": name, "cached": True}
+        t0 = time.perf_counter()
+        result = self.executor.run_kcut(
+            entry.graph, k, eps=eps, trials=trials, seed=seed, max_copies=max_copies
+        )
+        payload = {
+            "graph": name,
+            "fingerprint": entry.fingerprint,
+            "algorithm": "apx-split-kcut",
+            "weight": result.weight,
+            "k": k,
+            "parts": [
+                _vertex_list(p)
+                for p in sorted(result.kcut.parts, key=len, reverse=True)
+            ],
+            "rounds": result.ledger.rounds,
+            "iterations": result.iterations,
+            "trials": trials,
+            "seed": seed,
+            "eps": eps,
+            "elapsed_s": time.perf_counter() - t0,
+        }
+        self.results.put(key, payload)
+        return {**payload, "cached": False}
+
+    def stcut(self, name: str, s: Vertex, t: Vertex) -> dict:
+        """Exact s–t min-cut value via the graph's Gomory–Hu oracle."""
+        entry = self.store.get(name)
+        oracle = self._oracle_for(entry)
+        s = _resolve_vertex(entry.graph, s)
+        t = _resolve_vertex(entry.graph, t)
+        was_built = oracle.built
+        t0 = time.perf_counter()
+        value = oracle.st_min_cut(s, t)
+        return {
+            "graph": name,
+            "fingerprint": entry.fingerprint,
+            "algorithm": "gomory-hu",
+            "s": s,
+            "t": t,
+            "weight": value,
+            "cached": was_built,
+            "elapsed_s": time.perf_counter() - t0,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``/stats`` payload: every cache/pool counter in one dict."""
+        with self._lock:
+            # Snapshot only; oracle.stats() runs outside this lock so a
+            # Gomory–Hu build in progress can't wedge the whole service.
+            snapshot = dict(self._oracles)
+        oracles = {fp: oracle.stats() for fp, oracle in snapshot.items()}
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "store": self.store.describe(),
+            "results": self.results.stats(),
+            "executor": self.executor.stats(),
+            "oracles": oracles,
+        }
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "CutService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+def _vertex_list(side) -> list:
+    """A cut side as a JSON-able, deterministically ordered list."""
+    return sorted(side, key=lambda v: (type(v).__name__, repr(v)))
+
+
+def _resolve_vertex(graph: Graph, v):
+    """Map a wire-format vertex id onto a graph vertex.
+
+    JSON round-trips lose the int/str distinction users type at a CLI,
+    so fall back across the two spellings before failing.
+    """
+    candidates = [v]
+    if isinstance(v, str):
+        try:
+            candidates.append(int(v))
+        except ValueError:
+            pass
+    else:
+        candidates.append(str(v))
+    for c in candidates:
+        try:
+            graph.index_of(c)
+            return c
+        except KeyError:
+            continue
+    raise KeyError(f"vertex {v!r} not in graph")

@@ -1,0 +1,185 @@
+"""GraphStore — the resident-graph registry of the serving layer.
+
+A one-shot CLI re-parses its input on every invocation; a query engine
+loads each graph **once**, fingerprints it (content hash over the
+columnar edge structure, :meth:`repro.graph.Graph.fingerprint`), and
+keeps it resident so every later query skips parsing and hashing.
+Graphs are addressed by a caller-chosen name; the fingerprint makes
+result caches content-addressed, so re-registering the same graph under
+a new name (or after an eviction) still hits warm cache entries.
+
+Capacity is bounded: with more named graphs than ``capacity`` the
+least-recently-*queried* one is evicted (its dependents — e.g. the
+per-graph Gomory–Hu oracle — are released through ``on_evict``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..graph import Graph, load_any
+
+
+@dataclass
+class GraphEntry:
+    """One resident graph plus its registration metadata."""
+
+    name: str
+    graph: Graph
+    fingerprint: str
+    num_vertices: int
+    num_edges: int
+    queries: int = 0
+    source: str | None = None
+
+    def describe(self) -> dict:
+        """JSON-able summary (the ``/graphs`` row)."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "queries": self.queries,
+            "source": self.source,
+        }
+
+
+@dataclass
+class StoreStats:
+    registered: int = 0
+    replaced: int = 0
+    evictions: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "registered": self.registered,
+            "replaced": self.replaced,
+            "evictions": self.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class GraphStore:
+    """Named registry of resident graphs with LRU eviction.
+
+    ``capacity=None`` means unbounded.  ``on_evict`` (if given) is
+    called with each evicted :class:`GraphEntry` so owners of derived
+    state (oracles, etc.) can release it.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int | None = None,
+        on_evict: Callable[[GraphEntry], None] | None = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, GraphEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._on_evict = on_evict
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, graph: Graph, *, source: str | None = None
+    ) -> GraphEntry:
+        """Admit ``graph`` under ``name`` (replacing any previous holder).
+
+        Fingerprinting happens here, exactly once per registration; the
+        entry is marked most-recently-used.
+        """
+        if not name:
+            raise ValueError("graph name must be non-empty")
+        entry = GraphEntry(
+            name=name,
+            graph=graph,
+            fingerprint=graph.fingerprint(),
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            source=source,
+        )
+        evicted: list[GraphEntry] = []
+        with self._lock:
+            replaced = self._entries.pop(name, None)
+            if replaced is not None:
+                # The old holder leaves the store like any eviction, so
+                # derived state (oracles) keyed on its content is freed.
+                self.stats.replaced += 1
+                evicted.append(replaced)
+            self._entries[name] = entry
+            self.stats.registered += 1
+            while self.capacity is not None and len(self._entries) > self.capacity:
+                _, old = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted.append(old)
+        for old in evicted:
+            if self._on_evict is not None:
+                self._on_evict(old)
+        return entry
+
+    def register_file(self, name: str, path: Path | str) -> GraphEntry:
+        """Load ``path`` (edge list / DIMACS / METIS) and register it."""
+        return self.register(name, load_any(path), source=str(path))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> GraphEntry:
+        """Fetch an entry, refreshing its LRU recency and query count."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                self.stats.misses += 1
+                raise KeyError(f"no graph registered under {name!r}")
+            self._entries.move_to_end(name)
+            self.stats.hits += 1
+            entry.queries += 1
+            return entry
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def names(self) -> list[str]:
+        """Registered names, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def entries(self) -> list[GraphEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def evict(self, name: str) -> GraphEntry:
+        """Explicitly drop ``name``; returns the evicted entry."""
+        with self._lock:
+            if name not in self._entries:
+                raise KeyError(f"no graph registered under {name!r}")
+            entry = self._entries.pop(name)
+            self.stats.evictions += 1
+        if self._on_evict is not None:
+            self._on_evict(entry)
+        return entry
+
+    def describe(self) -> dict:
+        """JSON-able store summary (the ``/stats`` section)."""
+        with self._lock:
+            return {
+                "resident": len(self._entries),
+                "capacity": self.capacity,
+                **self.stats.as_dict(),
+            }

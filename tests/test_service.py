@@ -1,0 +1,417 @@
+"""Tests for the serving layer (:mod:`repro.service`).
+
+Covers the four acceptance surfaces: GraphStore registration/eviction,
+parallel-vs-serial trial parity, Gomory–Hu oracle vs direct Dinic
+flows, and an end-to-end HTTP round trip on an ephemeral port.
+"""
+
+import itertools
+import threading
+
+import pytest
+
+from repro import CutService
+from repro.core import ampc_min_cut_boosted
+from repro.flow import DinicSolver
+from repro.graph import Graph
+from repro.service import (
+    CutOracle,
+    GraphStore,
+    LRUCache,
+    TrialExecutor,
+    make_server,
+    request_json,
+    trial_seeds,
+)
+from repro.workloads import erdos_renyi, planted_cut
+
+
+def two_triangles() -> Graph:
+    """Two heavy triangles joined by one light bridge (min cut 1)."""
+    return Graph(
+        edges=[
+            (0, 1, 2.0), (1, 2, 2.0), (2, 0, 2.0),
+            (3, 4, 2.0), (4, 5, 2.0), (5, 3, 2.0),
+            (2, 3, 1.0),
+        ]
+    )
+
+
+# ======================================================================
+# LRUCache
+# ======================================================================
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        c = LRUCache(capacity=2)
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.stats()["hits"] == 1
+        assert c.stats()["misses"] == 1
+
+    def test_evicts_least_recently_used(self):
+        c = LRUCache(capacity=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")          # refresh a; b is now LRU
+        c.put("c", 3)
+        assert "b" not in c
+        assert c.get("a") == 1
+        assert c.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables(self):
+        c = LRUCache(capacity=0)
+        c.put("a", 1)
+        assert c.get("a") is None
+        assert len(c) == 0
+
+
+# ======================================================================
+# GraphStore
+# ======================================================================
+class TestGraphStore:
+    def test_register_fingerprints_and_counts(self):
+        store = GraphStore()
+        g = two_triangles()
+        entry = store.register("g", g)
+        assert entry.fingerprint == g.fingerprint()
+        assert entry.num_vertices == 6 and entry.num_edges == 7
+        assert store.get("g") is entry
+        assert store.stats.hits == 1
+
+    def test_missing_name_raises_and_counts(self):
+        store = GraphStore()
+        with pytest.raises(KeyError):
+            store.get("nope")
+        assert store.stats.misses == 1
+
+    def test_capacity_evicts_least_recently_queried(self):
+        evicted = []
+        store = GraphStore(capacity=2, on_evict=lambda e: evicted.append(e.name))
+        store.register("a", two_triangles())
+        store.register("b", Graph(edges=[(0, 1, 1.0)]))
+        store.get("a")  # b becomes LRU
+        store.register("c", Graph(edges=[(1, 2, 1.0)]))
+        assert store.names() == ["a", "c"]
+        assert evicted == ["b"]
+        assert store.describe()["evictions"] == 1
+
+    def test_reregister_replaces_without_eviction(self):
+        store = GraphStore(capacity=1)
+        store.register("g", two_triangles())
+        entry = store.register("g", Graph(edges=[(0, 1, 1.0)]))
+        assert len(store) == 1
+        assert store.get("g") is entry
+
+    def test_explicit_evict(self):
+        store = GraphStore()
+        store.register("g", two_triangles())
+        store.evict("g")
+        assert "g" not in store
+        with pytest.raises(KeyError):
+            store.evict("g")
+
+    def test_register_file_roundtrip(self, tmp_path):
+        from repro.graph import save_graph
+
+        g = two_triangles()
+        path = tmp_path / "g.txt"
+        save_graph(g, path)
+        store = GraphStore()
+        entry = store.register_file("g", path)
+        assert entry.fingerprint == g.fingerprint()
+        assert entry.source == str(path)
+
+
+# ======================================================================
+# TrialExecutor — parallel vs serial parity
+# ======================================================================
+class TestTrialExecutor:
+    def test_seed_schedule_matches_booster(self):
+        assert trial_seeds(3, 4) == [3, 3 + 7919, 3 + 2 * 7919, 3 + 3 * 7919]
+
+    def test_serial_matches_ampc_min_cut_boosted(self):
+        g = planted_cut(40, seed=2).graph
+        ours = TrialExecutor(workers=1).run_mincut(g, trials=3, seed=2)
+        ref = ampc_min_cut_boosted(g, trials=3, seed=2)
+        assert ours.weight == ref.weight
+        assert ours.cut.side == ref.cut.side
+        assert ours.ledger.rounds == ref.ledger.rounds
+        assert ours.ledger.total_peak == ref.ledger.total_peak
+
+    def test_parallel_bit_identical_to_serial(self):
+        g = planted_cut(40, seed=7).graph
+        serial = TrialExecutor(workers=1).run_mincut(g, trials=4, seed=11)
+        with TrialExecutor(workers=3) as ex:
+            par = ex.run_mincut(g, trials=4, seed=11)
+        assert par.weight == serial.weight
+        assert par.cut.side == serial.cut.side
+        assert par.ledger.rounds == serial.ledger.rounds
+        assert par.ledger.local_peak == serial.ledger.local_peak
+        assert par.ledger.total_peak == serial.ledger.total_peak
+
+    def test_parallel_kcut_matches_serial(self):
+        g = planted_cut(24, seed=5).graph
+        serial = TrialExecutor(workers=1).run_kcut(g, 3, trials=3, seed=1)
+        with TrialExecutor(workers=2) as ex:
+            par = ex.run_kcut(g, 3, trials=3, seed=1)
+        assert par.weight == serial.weight
+        assert par.kcut.parts == serial.kcut.parts
+        assert par.ledger.rounds == serial.ledger.rounds
+
+    def test_trial_counters(self):
+        g = two_triangles()
+        ex = TrialExecutor(workers=1)
+        ex.run_mincut(g, trials=2, seed=0)
+        assert ex.stats()["trials_run"] == 2
+        assert ex.stats()["batches"] == 1
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            TrialExecutor(workers=0)
+
+    def test_single_trial_skips_serialization(self):
+        # trials=1 runs in-process even on a multi-worker executor; the
+        # graph must pass through unpickled and spawn no pool.
+        g = two_triangles()
+        ex = TrialExecutor(workers=4)
+        ex.run_kcut(g, 2, trials=1, seed=0)
+        assert len(ex._ref_memo) == 0
+        assert ex.stats()["pool_live"] is False
+
+    def test_forget_releases_blob_memo(self):
+        g = planted_cut(24, seed=1).graph
+        with TrialExecutor(workers=2) as ex:
+            ex.run_mincut(g, trials=2, seed=0)
+            assert len(ex._ref_memo) == 1
+            ex.forget(g)
+            assert len(ex._ref_memo) == 0
+
+
+# ======================================================================
+# CutOracle — Gomory–Hu answers vs direct Dinic flows
+# ======================================================================
+class TestCutOracle:
+    def test_matches_direct_dinic_all_pairs(self):
+        g = erdos_renyi(10, 0.5, weighted=True, seed=4)
+        oracle = CutOracle(g)
+        solver = DinicSolver(g)
+        for s, t in itertools.combinations(g.vertices(), 2):
+            assert oracle.st_min_cut(s, t) == pytest.approx(
+                solver.max_flow(s, t).value
+            )
+
+    def test_lazy_build_and_counters(self):
+        oracle = CutOracle(two_triangles())
+        assert not oracle.built
+        assert oracle.st_min_cut(0, 4) == 1.0
+        assert oracle.built
+        assert oracle.builds == 1
+        # same pair again: memo hit, no extra tree walk
+        assert oracle.st_min_cut(4, 0) == 1.0
+        assert oracle.pair_hits == 1
+        # fresh pair: tree walk, still one build
+        assert oracle.st_min_cut(1, 5) == 1.0
+        assert oracle.builds == 1
+        assert oracle.tree_queries == 2
+
+    def test_global_min_cut_is_lightest_tree_edge(self):
+        oracle = CutOracle(two_triangles())
+        assert oracle.global_min_cut() == 1.0
+
+    def test_rejects_s_equals_t(self):
+        oracle = CutOracle(two_triangles())
+        with pytest.raises(ValueError):
+            oracle.st_min_cut(2, 2)
+
+
+# ======================================================================
+# CutService facade
+# ======================================================================
+class TestCutService:
+    def test_mincut_result_cache(self):
+        with CutService() as svc:
+            svc.register("g", two_triangles())
+            first = svc.mincut("g", trials=2, seed=1)
+            again = svc.mincut("g", trials=2, seed=1)
+            other = svc.mincut("g", trials=2, seed=2)
+        assert first["cached"] is False
+        assert again["cached"] is True
+        assert other["cached"] is False
+        assert again["weight"] == first["weight"] == 1.0
+
+    def test_result_cache_is_content_addressed(self):
+        with CutService() as svc:
+            svc.register("a", two_triangles())
+            svc.mincut("a", trials=2, seed=1)
+            svc.register("b", two_triangles())  # same content, new name
+            assert svc.mincut("b", trials=2, seed=1)["cached"] is True
+
+    def test_stcut_uses_oracle_and_reports_cache(self):
+        with CutService() as svc:
+            svc.register("g", two_triangles())
+            cold = svc.stcut("g", 0, 4)
+            warm = svc.stcut("g", 1, 5)
+            assert cold["weight"] == warm["weight"] == 1.0
+            assert cold["cached"] is False
+            assert warm["cached"] is True
+            stats = svc.stats()
+            (oracle_stats,) = stats["oracles"].values()
+            assert oracle_stats["builds"] == 1
+            assert oracle_stats["tree_queries"] == 2
+
+    def test_stcut_resolves_string_vertex_ids(self):
+        with CutService() as svc:
+            svc.register("g", two_triangles())
+            assert svc.stcut("g", "0", "4")["weight"] == 1.0
+
+    def test_reregistration_releases_stale_oracle(self):
+        # Replacing a name's content must not leak the old graph's
+        # oracle (a long-lived serve process re-registers updated
+        # graphs indefinitely).
+        with CutService() as svc:
+            svc.register("g", two_triangles())
+            svc.stcut("g", 0, 4)
+            assert len(svc.stats()["oracles"]) == 1
+            svc.register("g", Graph(edges=[(0, 1, 7.0)]))
+            assert len(svc.stats()["oracles"]) == 0
+            assert svc.stcut("g", 0, 1)["weight"] == 7.0
+            assert svc.stats()["store"]["replaced"] == 1
+
+    def test_cached_hit_reports_queried_name(self):
+        with CutService() as svc:
+            svc.register("a", two_triangles())
+            svc.mincut("a", trials=2, seed=1)
+            svc.register("b", two_triangles())
+            hit = svc.mincut("b", trials=2, seed=1)
+            assert hit["cached"] is True
+            assert hit["graph"] == "b"
+
+    def test_eviction_releases_oracle(self):
+        with CutService(store_capacity=1) as svc:
+            svc.register("a", two_triangles())
+            svc.stcut("a", 0, 4)
+            assert len(svc.stats()["oracles"]) == 1
+            svc.register("b", Graph(edges=[(0, 1, 1.0)]))  # evicts a
+            assert len(svc.stats()["oracles"]) == 0
+            with pytest.raises(KeyError):
+                svc.stcut("a", 0, 4)
+
+    def test_kcut_query(self):
+        with CutService() as svc:
+            svc.register("g", two_triangles())
+            res = svc.kcut("g", 2, seed=1)
+            assert res["weight"] == 1.0
+            assert sorted(len(p) for p in res["parts"]) == [3, 3]
+            assert svc.kcut("g", 2, seed=1)["cached"] is True
+
+
+# ======================================================================
+# End-to-end HTTP round trip
+# ======================================================================
+@pytest.fixture
+def live_server():
+    service = CutService()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.url
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+class TestHTTPEndToEnd:
+    def test_full_round_trip(self, live_server):
+        url = live_server
+        assert request_json(url, "/healthz") == {"ok": True}
+
+        reg = request_json(
+            url,
+            "/graphs",
+            {
+                "name": "g",
+                "edges": [
+                    [0, 1, 2.0], [1, 2, 2.0], [2, 0, 2.0],
+                    [3, 4, 2.0], [4, 5, 2.0], [5, 3, 2.0],
+                    [2, 3, 1.0],
+                ],
+            },
+        )
+        assert reg["num_vertices"] == 6
+        listing = request_json(url, "/graphs")
+        assert [g["name"] for g in listing["graphs"]] == ["g"]
+
+        mc = request_json(url, "/mincut", {"graph": "g", "trials": 2, "seed": 1})
+        assert mc["weight"] == 1.0 and mc["cached"] is False
+        assert request_json(
+            url, "/mincut", {"graph": "g", "trials": 2, "seed": 1}
+        )["cached"] is True
+
+        # repeated /stcut: second query must be served from the GH cache
+        first = request_json(url, "/stcut", {"graph": "g", "s": 0, "t": 4})
+        second = request_json(url, "/stcut", {"graph": "g", "s": 1, "t": 5})
+        assert first["weight"] == second["weight"] == 1.0
+        assert first["cached"] is False and second["cached"] is True
+        stats = request_json(url, "/stats")
+        (oracle_stats,) = stats["oracles"].values()
+        assert oracle_stats["builds"] == 1
+        assert oracle_stats["tree_queries"] == 2
+        assert stats["results"]["hits"] >= 1
+
+    def test_batch_isolates_errors(self, live_server):
+        url = live_server
+        request_json(url, "/graphs", {"name": "g", "edges": [[0, 1], [1, 2]]})
+        resp = request_json(
+            url,
+            "/batch",
+            {
+                "requests": [
+                    {"op": "stcut", "graph": "g", "s": 0, "t": 2},
+                    {"op": "stcut", "graph": "missing", "s": 0, "t": 2},
+                    {"op": "kcut", "graph": "g", "k": 2},
+                ]
+            },
+        )
+        ok1, bad, ok2 = resp["responses"]
+        assert ok1["weight"] == 1.0
+        assert "error" in bad and "missing" in bad["error"]
+        assert ok2["weight"] == 1.0
+
+    def test_error_statuses(self, live_server):
+        url = live_server
+        assert "error" in request_json(url, "/mincut", {"graph": "nope"})
+        assert "error" in request_json(url, "/nonsense", {"x": 1})
+        assert "error" in request_json(url, "/stcut", {"graph": "nope"})
+        assert "error" in request_json(url, "/unknown-get")
+
+    def test_register_missing_file_is_json_error_not_dead_socket(
+        self, live_server
+    ):
+        # FileNotFoundError must map to a JSON 4xx, not kill the
+        # handler thread mid-request.
+        resp = request_json(
+            url := live_server, "/graphs", {"name": "g", "path": "/no/such/file"}
+        )
+        assert "error" in resp
+        # the server is still alive and serving
+        assert request_json(url, "/healthz") == {"ok": True}
+
+    def test_batch_survives_unexpected_item_errors(self, live_server):
+        url = live_server
+        resp = request_json(
+            url,
+            "/batch",
+            {
+                "requests": [
+                    {"op": "graphs", "name": "x", "path": "/no/such/file"},
+                    {"op": "graphs", "name": "ok", "edges": [[0, 1]]},
+                ]
+            },
+        )
+        bad, good = resp["responses"]
+        assert "error" in bad
+        assert good["num_vertices"] == 2
