@@ -1,0 +1,159 @@
+"""E13 — AMPC round backends: latency and speedup vs. the serial reference.
+
+Two measurements (wall clock; correctness is asserted, not assumed):
+
+* **E13a: round latency on a base-case mincut workload.**  One
+  synchronous round with ``_MACHINES`` (≥ 8) virtual machines, each
+  reading a planted-cut instance's edge list from the DHT and solving
+  it exactly (Stoer–Wagner) — Algorithm 1 lines 1–3, the
+  one-machine-per-instance base case, which is the CPU-heavy round
+  shape of the mincut pipeline.  Per backend: mean round latency over
+  repeats and speedup vs. serial.  On a multi-core host the process
+  backend must clear ≥ 1.5× (asserted when ≥ 4 CPUs are available;
+  reported otherwise — a single-core host has nothing to parallelise
+  over and the backend degrades to serial execution by design).
+
+* **E13b: end-to-end mincut/kcut runs per backend.**  Full
+  ``ampc_min_cut`` / ``apx_split_kcut`` executions under each backend,
+  asserting bit-identical weights and round counts; the timing shows
+  what fork-per-round overhead does to fine-grained rounds, which is
+  why backend choice is a *workload* decision.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_ampc_backends.py -q``
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from conftest import emit
+
+from repro.ampc import AMPCConfig, AMPCRuntime, RoundLedger
+from repro.ampc.backends import resolve_backend
+from repro.analysis.harness import ExperimentReport
+from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+from repro.core import ampc_min_cut, apx_split_kcut
+from repro.graph import Graph
+from repro.workloads import planted_cut
+
+_CPUS = os.cpu_count() or 1
+_MACHINES = 8          # the acceptance workload: >= 8 machines per round
+_INSTANCE_N = 160      # per-machine instance size (~30 ms exact solve)
+_ROUND_REPEATS = 3
+_BACKENDS = ["serial", f"thread:{max(2, _CPUS)}", f"process:{max(2, _CPUS)}"]
+
+
+def _instances() -> list[list[tuple[int, int, float]]]:
+    return [
+        [(u, v, w) for u, v, w in planted_cut(_INSTANCE_N, seed=j).graph.edges()]
+        for j in range(_MACHINES)
+    ]
+
+
+def _base_case_config(backend: str, edge_lists) -> AMPCConfig:
+    n_total = _MACHINES * _INSTANCE_N
+    m_total = sum(len(e) for e in edge_lists)
+    # Wall-clock benchmark: a generous constant keeps the word budget
+    # out of the way (budget experiments live in bench_memory.py).
+    return AMPCConfig(
+        n_input=n_total, m_input=m_total, local_constant=64, backend=backend
+    )
+
+
+def _solve_instance(ctx) -> None:
+    j = ctx.payload
+    edges = ctx.read(("inst", j))
+    graph = Graph()
+    for u, v, w in edges:
+        graph.add_edge(u, v, w)
+    cut = stoer_wagner_min_cut(graph)
+    ctx.write(("cut", j), cut.weight)
+
+
+def _run_base_case_round(backend: str, edge_lists) -> tuple[dict, list[float]]:
+    """One timed base-case round per repeat; returns (weights, latencies)."""
+    latencies = []
+    weights: dict = {}
+    for _ in range(_ROUND_REPEATS):
+        runtime = AMPCRuntime(
+            _base_case_config(backend, edge_lists), ledger=RoundLedger()
+        )
+        runtime.seed([(("inst", j), e) for j, e in enumerate(edge_lists)])
+        t0 = time.perf_counter()
+        runtime.round(
+            [(_solve_instance, j) for j in range(_MACHINES)],
+            "Algorithm 1 lines 1-3: exact base-case solves",
+        )
+        latencies.append(time.perf_counter() - t0)
+        weights = runtime.collect("cut")
+    return weights, latencies
+
+
+def test_e13a_round_latency_and_speedup(report_sink):
+    report = ExperimentReport(
+        experiment=(
+            f"E13a: round latency, base-case mincut workload "
+            f"({_MACHINES} machines, n={_INSTANCE_N} each, {_CPUS} CPUs)"
+        ),
+        columns=["backend", "mean_round_s", "min_round_s", "speedup_vs_serial"],
+    )
+    edge_lists = _instances()
+    reference_weights = None
+    serial_mean = None
+    speedups: dict[str, float] = {}
+    for backend in _BACKENDS:
+        weights, latencies = _run_base_case_round(backend, edge_lists)
+        mean_s = statistics.mean(latencies)
+        if reference_weights is None:
+            reference_weights = weights
+            serial_mean = mean_s
+        # Parallel execution must not change a single answer.
+        assert weights == reference_weights, f"{backend} diverged from serial"
+        speedups[backend] = serial_mean / mean_s
+        report.rows.append(
+            [backend, mean_s, min(latencies), speedups[backend]]
+        )
+    emit(report_sink, report)
+
+    process_spec = _BACKENDS[2]
+    if _CPUS >= 4:
+        assert speedups[process_spec] >= 1.5, (
+            f"process backend speedup {speedups[process_spec]:.2f}x < 1.5x "
+            f"on a {_CPUS}-CPU host ({_MACHINES}-machine workload)"
+        )
+    elif _CPUS == 1:
+        # Single core: the process backend degrades to serial execution;
+        # only sanity-check it did not fall off a cliff.
+        assert speedups[process_spec] > 0.5
+
+
+def test_e13b_end_to_end_mincut_kcut(report_sink):
+    report = ExperimentReport(
+        experiment="E13b: end-to-end mincut/kcut wall clock per backend",
+        columns=["workload", "backend", "elapsed_s", "weight", "rounds"],
+    )
+    graph = planted_cut(72, seed=6).graph
+    reference: dict[str, tuple] = {}
+    for backend in _BACKENDS:
+        t0 = time.perf_counter()
+        res = ampc_min_cut(graph, eps=0.5, seed=3, backend=backend)
+        elapsed = time.perf_counter() - t0
+        key = (res.weight, sorted(res.cut.side), res.ledger.rounds)
+        reference.setdefault("mincut", key)
+        assert key == reference["mincut"], f"mincut diverged under {backend}"
+        report.rows.append(
+            ["mincut", backend, elapsed, res.weight, res.ledger.rounds]
+        )
+
+        t0 = time.perf_counter()
+        kres = apx_split_kcut(graph, 3, eps=0.5, seed=8, backend=backend)
+        elapsed = time.perf_counter() - t0
+        kkey = (kres.weight, kres.iterations, kres.ledger.rounds)
+        reference.setdefault("kcut", kkey)
+        assert kkey == reference["kcut"], f"kcut diverged under {backend}"
+        report.rows.append(
+            ["kcut", backend, elapsed, kres.weight, kres.ledger.rounds]
+        )
+    emit(report_sink, report)

@@ -5,10 +5,29 @@ SPAA 2019) extends MPC with mid-round adaptive read access to a
 distributed hash table.  This package simulates it with exact round,
 local-memory and total-space accounting; see DESIGN.md for the
 fidelity statement.
+
+Rounds execute on a pluggable backend (:mod:`repro.ampc.backends`):
+the serial reference, a thread pool, or forked worker processes that
+partition the round's machines — selected per
+:class:`~repro.ampc.config.AMPCConfig` (``backend=``), per runtime
+(``AMPCRuntime(..., backend=...)``), or globally via the
+``AMPC_BACKEND`` environment variable.  Backend choice never changes
+observable results, ledger accounting, or traces; the differential
+harness in ``tests/test_backend_equivalence.py`` enforces that.
 """
 
+from .backends import (
+    BACKENDS,
+    MachineResult,
+    ProcessBackend,
+    RoundBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
 from .config import AMPCConfig, DEFAULT_EPS
-from .dht import DHTChain, HashTable, word_size
+from .dht import DHTChain, HashTable, TableSnapshot, merge_writes, word_size
 from .errors import (
     AMPCError,
     MemoryLimitExceeded,
@@ -28,6 +47,7 @@ from .trace import (
 
 __all__ = [
     "AMPCConfig",
+    "BACKENDS",
     "DEFAULT_EPS",
     "AMPCError",
     "AMPCRuntime",
@@ -39,10 +59,19 @@ __all__ = [
     "HashTable",
     "LedgerEntry",
     "MachineContext",
+    "MachineResult",
     "MemoryLimitExceeded",
     "MissingKeyError",
+    "ProcessBackend",
     "ProtocolError",
+    "RoundBackend",
     "RoundLedger",
+    "SerialBackend",
+    "TableSnapshot",
+    "ThreadBackend",
     "TotalSpaceExceeded",
+    "available_backends",
+    "merge_writes",
+    "resolve_backend",
     "word_size",
 ]

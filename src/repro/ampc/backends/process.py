@@ -1,0 +1,180 @@
+"""Process-pool round backend (fork-per-round).
+
+Machine programs are arbitrary Python closures — the primitives build
+them on the fly around captured host state — so they cannot cross a
+pickle boundary into a long-lived worker pool.  Instead the backend
+forks its workers *at the round boundary*: each child inherits the
+round batch (programs + table snapshot) through copy-on-write memory,
+runs a contiguous slice of the machine indices, and ships back only the
+plain-data :class:`~repro.ampc.backends.base.MachineResult` buffers
+(DHT keys and values are picklable by construction — they live in hash
+tables).  The parent then concatenates the slices in index order and
+hands them to the runtime, whose canonical machine-index write merge
+(:func:`repro.ampc.dht.merge_writes`) makes combiner resolution
+independent of which worker finished first.
+
+Failure semantics match the serial reference: the parent re-raises the
+exception of the lowest-indexed failing machine.  A worker that dies
+without reporting (segfault, ``os._exit``) surfaces as a
+:class:`~repro.ampc.errors.ProtocolError` naming its machine slice.
+
+Platforms without ``fork`` (Windows; macOS constraints) and
+single-worker configurations fall back to in-process serial execution,
+which is observationally identical — that is the whole point of the
+backend contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Any, Sequence
+
+from ..errors import ProtocolError
+from .base import (
+    MachineProgram,
+    MachineResult,
+    Readable,
+    RoundBackend,
+    execute_machine,
+)
+from .serial import SerialBackend
+
+#: the round batch a forked child inherits: (programs, readable, limit).
+#: Set immediately before forking, cleared right after; never read by
+#: the parent's own execution paths.  ``_fork_lock`` serializes the
+#: set-batch/fork/clear window: the backend instance is shared
+#: process-wide and concurrent rounds (e.g. HTTP handler threads each
+#: running trials inline) would otherwise fork children against each
+#: other's batches.  Only the spawn window is serialized — workers of
+#: concurrent rounds still *run* in parallel.
+_FORK_BATCH: tuple | None = None
+_fork_lock = threading.Lock()
+
+
+def _worker_main(conn, lo: int, hi: int) -> None:
+    """Child entry point: run machines ``lo..hi`` and report via pipe."""
+    assert _FORK_BATCH is not None, "forked without a round batch"
+    programs, readable, local_limit = _FORK_BATCH
+    results: list[MachineResult] = []
+    failure: tuple[int, BaseException] | None = None
+    for machine_id in range(lo, hi):
+        program, payload = programs[machine_id]
+        try:
+            results.append(
+                execute_machine(machine_id, program, payload, readable, local_limit)
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            failure = (machine_id, exc)
+            break
+    try:
+        if failure is not None:
+            conn.send(("err", failure[0], failure[1]))
+        else:
+            conn.send(("ok", lo, results))
+    except Exception as exc:  # unpicklable value or exception
+        conn.send(
+            (
+                "err",
+                failure[0] if failure is not None else lo,
+                ProtocolError(
+                    f"machine result for slice [{lo}, {hi}) could not cross "
+                    f"the process boundary: {exc!r}"
+                ),
+            )
+        )
+    finally:
+        conn.close()
+
+
+def _slices(n: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``workers`` contiguous, balanced slices."""
+    workers = min(workers, n)
+    base, extra = divmod(n, workers)
+    bounds = []
+    lo = 0
+    for w in range(workers):
+        hi = lo + base + (1 if w < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ProcessBackend(RoundBackend):
+    """Partitions machines over forked worker processes, one per round."""
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, *, min_machines: int = 4):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers or (os.cpu_count() or 1)
+        #: rounds with fewer machines than this run serially in-process:
+        #: fork+pipe costs ~ms per round, so machine counts that cannot
+        #: amortise it should not pay it.  Observationally identical
+        #: either way.
+        self.min_machines = max(1, min_machines)
+        self._serial = SerialBackend()
+        self._fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+    def run_round(
+        self,
+        programs: Sequence[tuple[MachineProgram, Any]],
+        readable: Readable,
+        local_limit: int,
+    ) -> list[MachineResult]:
+        n = len(programs)
+        if (
+            n < self.min_machines
+            or min(self.workers, n) <= 1
+            or not self._fork_available
+        ):
+            return self._serial.run_round(programs, readable, local_limit)
+
+        global _FORK_BATCH
+        ctx = multiprocessing.get_context("fork")
+        workers: list[tuple] = []
+        with _fork_lock:
+            _FORK_BATCH = (programs, readable, local_limit)
+            try:
+                for lo, hi in _slices(n, self.workers):
+                    recv_conn, send_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_worker_main, args=(send_conn, lo, hi), daemon=True
+                    )
+                    proc.start()
+                    send_conn.close()  # child holds the write end now
+                    workers.append((proc, recv_conn, lo, hi))
+            finally:
+                _FORK_BATCH = None
+
+        slices: list[list[MachineResult]] = []
+        first_error: tuple[int, BaseException] | None = None
+        for proc, conn, lo, hi in workers:
+            try:
+                # Receive before join: a worker blocked on a full pipe
+                # buffer would otherwise deadlock against our join.
+                message = conn.recv()
+            except EOFError:
+                message = (
+                    "err",
+                    lo,
+                    ProtocolError(
+                        f"round worker for machines [{lo}, {hi}) exited "
+                        "without reporting results"
+                    ),
+                )
+            finally:
+                conn.close()
+            proc.join()
+            if message[0] == "ok":
+                slices.append(message[2])
+            else:
+                _, machine_id, exc = message
+                if first_error is None or machine_id < first_error[0]:
+                    first_error = (machine_id, exc)
+        if first_error is not None:
+            raise first_error[1]
+        results = [res for chunk in slices for res in chunk]
+        return results

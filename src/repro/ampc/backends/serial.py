@@ -1,0 +1,39 @@
+"""The serial reference backend.
+
+Machines execute one after another in index order, exactly the
+behaviour the simulator had before backends existed.  Every other
+backend is tested for bit-identical observable behaviour against this
+one, so keep it boring: no pooling, no reordering, fail at the first
+failing machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .base import (
+    MachineProgram,
+    MachineResult,
+    Readable,
+    RoundBackend,
+    execute_machine,
+)
+
+
+class SerialBackend(RoundBackend):
+    """Runs machines sequentially in-process — the reference semantics."""
+
+    name = "serial"
+
+    def run_round(
+        self,
+        programs: Sequence[tuple[MachineProgram, Any]],
+        readable: Readable,
+        local_limit: int,
+    ) -> list[MachineResult]:
+        results: list[MachineResult] = []
+        for machine_id, (program, payload) in enumerate(programs):
+            results.append(
+                execute_machine(machine_id, program, payload, readable, local_limit)
+            )
+        return results

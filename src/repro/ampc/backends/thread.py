@@ -1,0 +1,103 @@
+"""Thread-pool round backend.
+
+Machines of a round share no mutable state: each gets its own
+:class:`~repro.ampc.machine.MachineContext`, reads go through the
+round's immutable :class:`~repro.ampc.dht.TableSnapshot` (CPython dict
+reads are safe under concurrent readers when nothing writes), and
+writes stay buffered per machine.  That makes a thread pool a sound
+executor with zero coordination beyond the final gather.
+
+The GIL means pure-Python machine programs rarely get wall-clock
+speedup here — the thread backend's value is (a) overlapping any
+releasing work machines do (numpy kernels, I/O) and (b) being a cheap
+always-available stress test that the snapshot/buffer discipline really
+is order-independent.  Results are gathered in submission order and the
+lowest-indexed failure propagates, so behaviour is bit-identical to
+:class:`~repro.ampc.backends.serial.SerialBackend`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from .base import (
+    MachineProgram,
+    MachineResult,
+    Readable,
+    RoundBackend,
+    execute_machine,
+)
+
+
+class ThreadBackend(RoundBackend):
+    """Runs machines on a shared thread pool, one task per machine."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers or min(32, (os.cpu_count() or 1) * 2)
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        # A forked child (TrialExecutor's process pool, ProcessBackend
+        # workers, ...) inherits this object but NOT the pool's threads;
+        # submitting to the inherited executor would deadlock forever.
+        # Drop the dead pool in the child so it is lazily rebuilt there.
+        if hasattr(os, "register_at_fork"):
+            os.register_at_fork(after_in_child=self._drop_pool_after_fork)
+
+    def _drop_pool_after_fork(self) -> None:
+        self._pool = None
+        self._lock = threading.Lock()  # inherited lock state is undefined
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="ampc-round"
+                )
+            return self._pool
+
+    def run_round(
+        self,
+        programs: Sequence[tuple[MachineProgram, Any]],
+        readable: Readable,
+        local_limit: int,
+    ) -> list[MachineResult]:
+        if len(programs) <= 1:
+            results = []
+            for machine_id, (program, payload) in enumerate(programs):
+                results.append(
+                    execute_machine(
+                        machine_id, program, payload, readable, local_limit
+                    )
+                )
+            return results
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                execute_machine, machine_id, program, payload, readable, local_limit
+            )
+            for machine_id, (program, payload) in enumerate(programs)
+        ]
+        results: list[MachineResult] = []
+        first_error: BaseException | None = None
+        for future in futures:  # submission order == machine-index order
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None

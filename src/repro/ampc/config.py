@@ -54,6 +54,12 @@ class AMPCConfig:
         is 2.
     total_constant:
         Multiplier hidden in the total-space ``O(.)``.
+    backend:
+        Round-execution backend name (``"serial"``, ``"thread"``,
+        ``"process"``; see :mod:`repro.ampc.backends`).  ``None`` defers
+        to the ``AMPC_BACKEND`` environment variable, then serial.
+        Backend choice never changes observable results — only how the
+        round's machines execute on the host.
     """
 
     n_input: int
@@ -62,6 +68,7 @@ class AMPCConfig:
     local_constant: int = 8
     total_log_power: int = 2
     total_constant: int = 16
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not (0.0 < self.eps < 1.0):
@@ -130,6 +137,7 @@ class AMPCConfig:
             local_constant=self.local_constant,
             total_log_power=self.total_log_power,
             total_constant=self.total_constant,
+            backend=self.backend,
         )
 
 

@@ -14,7 +14,7 @@ scale as the theory says, so a consistent word convention suffices.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from .errors import MissingKeyError, TotalSpaceExceeded
 
@@ -97,8 +97,85 @@ class HashTable:
         for shard in self._shards:
             yield from shard.items()
 
+    def snapshot(self) -> "TableSnapshot":
+        """An immutable read view of this table (see :class:`TableSnapshot`)."""
+        return TableSnapshot(self.name, self._shards)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HashTable({self.name!r}, entries={len(self)}, words={self.words})"
+
+
+class TableSnapshot:
+    """Read-only view of one hash table at a round boundary.
+
+    Round backends hand machine programs a snapshot of ``H_{i-1}``
+    instead of the table itself, so parallel machines can only ever
+    *read* the previous round's state — the write surface (``put``)
+    simply does not exist here.  The snapshot shares the underlying
+    shard dicts without copying: the runtime guarantees nothing writes
+    ``H_{i-1}`` while the round's programs execute (writes are buffered
+    per machine and merged into ``H_i`` afterwards), so concurrent
+    reads are safe in threads and consistent across forked processes.
+    """
+
+    __slots__ = ("name", "_shards", "num_shards")
+
+    def __init__(self, name: str, shards: list[dict[Any, Any]]):
+        self.name = name
+        self._shards = shards
+        self.num_shards = len(shards)
+
+    def _shard_of(self, key: Any) -> dict[Any, Any]:
+        return self._shards[hash(key) % self.num_shards]
+
+    def get(self, key: Any) -> Any:
+        shard = self._shard_of(key)
+        try:
+            return shard[key]
+        except KeyError:
+            raise MissingKeyError(key, self.name) from None
+
+    def get_default(self, key: Any, default: Any = None) -> Any:
+        return self._shard_of(key).get(key, default)
+
+    def contains(self, key: Any) -> bool:
+        return key in self._shard_of(key)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def keys(self) -> Iterator[Any]:
+        for shard in self._shards:
+            yield from shard.keys()
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        for shard in self._shards:
+            yield from shard.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableSnapshot({self.name!r}, entries={len(self)})"
+
+
+def merge_writes(
+    table: HashTable,
+    write_lists: Iterable[list[tuple[Any, Any]]],
+    combiner: Callable[[Any, Any], Any] | None = None,
+) -> None:
+    """Merge per-machine write buffers into ``table`` canonically.
+
+    ``write_lists`` must be ordered by machine index (and each list by
+    the machine's own write order).  Conflicting writes to the same key
+    resolve last-writer-wins, or through ``combiner`` folded in that
+    same canonical order — which is why the merged table is identical
+    no matter which order the machines actually *executed* in: backends
+    may run machines concurrently, but every backend hands its buffers
+    to this function sorted by machine index.
+    """
+    for writes in write_lists:
+        for key, value in writes:
+            if combiner is not None and table.contains(key):
+                value = combiner(table.get(key), value)
+            table.put(key, value)
 
 
 class DHTChain:

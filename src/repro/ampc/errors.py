@@ -37,6 +37,11 @@ class MemoryLimitExceeded(AMPCError):
             f"local-memory budget of {limit} words"
         )
 
+    def __reduce__(self):
+        # Exceptions with multi-arg __init__ need explicit reduction to
+        # survive the pickle hop from a process-backend worker.
+        return (type(self), (self.used, self.limit, self.machine))
+
 
 class TotalSpaceExceeded(AMPCError):
     """The distributed hash tables exceeded the total-space budget."""
@@ -48,6 +53,9 @@ class TotalSpaceExceeded(AMPCError):
             f"distributed hash tables hold {used} words, exceeding the "
             f"total-space budget of {limit} words"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.used, self.limit))
 
 
 class ProtocolError(AMPCError):
@@ -65,3 +73,6 @@ class MissingKeyError(AMPCError, KeyError):
         self.key = key
         self.table = table
         super().__init__(f"key {key!r} not present in hash table {table!r}")
+
+    def __reduce__(self):
+        return (type(self), (self.key, self.table))

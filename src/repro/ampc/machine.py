@@ -14,14 +14,24 @@ A *machine program* is a Python callable ``program(ctx)`` receiving a
 Reads and writes are themselves accounted against local memory: a
 machine cannot read more words than fit in its memory, mirroring the
 model's "reading and writing is limited by machine local memory".
+
+``readable`` is normally an immutable
+:class:`~repro.ampc.dht.TableSnapshot` handed out by the runtime's
+round backend — contexts never get a handle that could write the
+previous table, which is what makes parallel backends sound.  Machines
+run isolated: a program must communicate only through ``ctx`` (reads,
+writes, payload), never by mutating host objects it closed over —
+host-side mutations are invisible under the process backend.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Union
 
-from .dht import HashTable, word_size
+from .dht import HashTable, TableSnapshot, word_size
 from .errors import MemoryLimitExceeded
+
+ReadableTable = Union[HashTable, TableSnapshot]
 
 
 class MachineContext:
@@ -30,7 +40,7 @@ class MachineContext:
     def __init__(
         self,
         machine_id: int,
-        readable: HashTable,
+        readable: ReadableTable,
         local_limit: int,
         *,
         payload: Any = None,

@@ -86,20 +86,30 @@ def ampc_broadcast(
     Returns the list of received values (all equal) as observed by the
     receivers — used by tests to confirm the adaptive-read broadcast
     pattern works and costs exactly one round.
+
+    Receivers prove receipt by re-emitting the value into the next
+    table, so the round's accounting includes ``n_receivers`` copies of
+    the value in total space (and the value's words against each
+    receiver's local memory).  That is the honest cost of observing a
+    broadcast's delivery through the DHT — and it keeps the primitive
+    correct under every round backend, including forked processes
+    where host-side mutation from machine programs would be invisible.
     """
     runtime = AMPCRuntime(config, ledger=ledger)
     runtime.seed([(("bcast",), value)])
-    received: list[Any] = [None] * n_receivers
 
+    # Receivers re-emit what they read; the host collects the emissions
+    # from the table.  (Everything flows through the DHT — a machine
+    # mutating host state it closed over would be invisible under the
+    # process backend.)
     def receive(ctx: MachineContext) -> None:
         i = ctx.payload
         got = ctx.read(("bcast",))
-        received[i] = got
-        ctx.write(("ack", i), True)
+        ctx.write(("recv", i), got)
 
     runtime.round(
         [(receive, i) for i in range(n_receivers)],
         "broadcast: adaptive read",
         carry_forward=True,
     )
-    return received
+    return [runtime.table.get(("recv", i)) for i in range(n_receivers)]

@@ -4,25 +4,38 @@
 to :meth:`AMPCRuntime.round` executes a full synchronous round:
 
 1. every machine program runs to completion with adaptive read access
-   to the previous table (programs are executed sequentially — the model
-   forbids intra-round machine-to-machine communication, so sequential
-   execution is observationally equivalent to parallel execution);
-2. buffered writes are merged into the next table; conflicting writes to
-   the same key are resolved by last-writer-wins unless a ``combiner``
-   is supplied (e.g. ``min`` for reduce trees);
-3. round counters and memory high-water marks land in the ledger.
+   to an **immutable snapshot** of the previous table.  How the
+   machines execute on the host — sequentially, on a thread pool, or
+   partitioned over forked worker processes — is delegated to a
+   pluggable :class:`~repro.ampc.backends.RoundBackend`; the model
+   forbids intra-round machine-to-machine communication, so every
+   backend is observationally equivalent (and differentially tested to
+   be bit-identical) to the serial reference;
+2. buffered writes are merged into the next table canonically by
+   machine index (:func:`~repro.ampc.dht.merge_writes`); conflicting
+   writes to the same key are resolved by last-writer-wins unless a
+   ``combiner`` is supplied (e.g. ``min`` for reduce trees) — either
+   way the merged table never depends on which machine finished first;
+3. round counters and memory high-water marks land in the ledger,
+   identically across backends.
 
 Programs are dispatched as ``(program, payload)`` pairs; the payload is
 the machine's "incoming message" for the round and is charged against
 its local memory.
+
+Backend selection: pass ``backend=`` (a name or a live
+:class:`~repro.ampc.backends.RoundBackend`), set
+:attr:`AMPCConfig.backend`, or export ``AMPC_BACKEND``; the default is
+the serial reference.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+from .backends import RoundBackend, resolve_backend
 from .config import AMPCConfig
-from .dht import DHTChain, HashTable
+from .dht import DHTChain, HashTable, merge_writes
 from .ledger import RoundLedger
 from .machine import MachineContext
 
@@ -38,10 +51,14 @@ class AMPCRuntime:
         ledger: RoundLedger | None = None,
         *,
         num_shards: int = 16,
+        backend: str | RoundBackend | None = None,
     ):
         self.config = config
         self.ledger = ledger if ledger is not None else RoundLedger()
         self.chain = DHTChain(config.total_space_words, num_shards=num_shards)
+        self.backend = resolve_backend(
+            backend, config_backend=getattr(config, "backend", None)
+        )
         self._rounds_run = 0
 
     # ------------------------------------------------------------------
@@ -87,20 +104,19 @@ class AMPCRuntime:
             program to spell it out.
         """
         readable = self.chain.current
+        snapshot = readable.snapshot()
         next_table = self.chain.make_next()
-        local_limit = self.config.local_memory_words
+
+        results = self.backend.run_round(
+            list(programs), snapshot, self.config.local_memory_words
+        )
 
         local_peak = 0
         queries = 0
-        for machine_id, (program, payload) in enumerate(programs):
-            ctx = MachineContext(machine_id, readable, local_limit, payload=payload)
-            program(ctx)
-            local_peak = max(local_peak, ctx.peak_words)
-            queries += ctx.reads
-            for key, value in ctx.drain_writes():
-                if combiner is not None and next_table.contains(key):
-                    value = combiner(next_table.get(key), value)
-                next_table.put(key, value)
+        for res in results:  # machine-index order, whatever ran when
+            local_peak = max(local_peak, res.peak_words)
+            queries += res.reads
+        merge_writes(next_table, (res.writes for res in results), combiner)
 
         if carry_forward:
             for key, value in readable.items():

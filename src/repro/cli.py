@@ -46,7 +46,11 @@ def _cmd_mincut(args: argparse.Namespace) -> int:
     rounds: int | None = None
     if args.algorithm == "ampc":
         result = ampc_min_cut_boosted(
-            graph, eps=args.eps, trials=args.trials, seed=args.seed
+            graph,
+            eps=args.eps,
+            trials=args.trials,
+            seed=args.seed,
+            backend=args.ampc_backend,
         )
         weight, side, rounds = result.weight, result.cut.side, result.ledger.rounds
         ledger_report = result.ledger.report() if args.ledger else None
@@ -89,7 +93,9 @@ def _cmd_mincut(args: argparse.Namespace) -> int:
 
 def _cmd_kcut(args: argparse.Namespace) -> int:
     graph = _load_any(args.graph)
-    result = apx_split_kcut(graph, args.k, eps=args.eps, seed=args.seed)
+    result = apx_split_kcut(
+        graph, args.k, eps=args.eps, seed=args.seed, backend=args.ampc_backend
+    )
     print(f"n={graph.num_vertices} m={graph.num_edges} k={args.k}")
     print(f"k-cut weight: {result.weight}")
     for i, part in enumerate(sorted(result.kcut.parts, key=len, reverse=True)):
@@ -165,6 +171,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         store_capacity=args.store_capacity,
         result_cache_capacity=args.result_cache,
+        ampc_backend=args.ampc_backend,
     )
     for spec in args.graph or []:
         name, sep, path = spec.partition("=")
@@ -262,6 +269,27 @@ def _json_vertex(v):
     return v if isinstance(v, (int, str)) else str(v)
 
 
+def _backend_spec(value: str) -> str:
+    from .ampc.backends import parse_backend_spec
+
+    try:
+        parse_backend_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
+def _add_ampc_backend_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--ampc-backend",
+        type=_backend_spec,
+        default=None,
+        metavar="{serial,thread,process}[:WORKERS]",
+        help="round-execution backend for AMPC rounds (default: "
+        "$AMPC_BACKEND or serial; never changes results)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cut",
@@ -281,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=None, help="boosting trials")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--verify", action="store_true", help="compare with exact")
+    _add_ampc_backend_flag(p)
     p.add_argument("--ledger", action="store_true", help="print round ledger")
     p.add_argument("--timeline", action="store_true",
                    help="print the round timeline + per-phase table (ampc only)")
@@ -291,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("k", type=int)
     p.add_argument("--eps", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    _add_ampc_backend_flag(p)
     p.add_argument("--metrics", action="store_true",
                    help="print partition quality metrics")
     p.set_defaults(func=_cmd_kcut)
@@ -324,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port (0 = ephemeral; bound URL is printed)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size for boosting trials")
+    _add_ampc_backend_flag(p)
     p.add_argument("--store-capacity", type=int, default=None,
                    help="max resident graphs (LRU eviction; default unbounded)")
     p.add_argument("--result-cache", type=int, default=256,

@@ -48,12 +48,15 @@ def apx_split_kcut(
     seed: int = 0,
     max_copies: int = 2,
     exact_below: int = 16,
+    backend: str | None = None,
 ) -> KCutResult:
     """Run APX-SPLIT on a connected graph.
 
     ``exact_below``: components smaller than this are cut exactly
     (Stoer–Wagner) — matching Algorithm 1's own base case and keeping
-    the simulation fast.  ``k`` may not exceed ``n``.
+    the simulation fast.  ``k`` may not exceed ``n``.  ``backend``
+    selects the AMPC round backend for the per-component min-cut runs
+    (:mod:`repro.ampc.backends`); results are backend-independent.
     """
     n = graph.num_vertices
     if not 1 <= k <= n:
@@ -90,7 +93,11 @@ def apx_split_kcut(
                 )
             else:
                 res = ampc_min_cut(
-                    sub, eps=eps, seed=seed + 31 * iterations, max_copies=max_copies
+                    sub,
+                    eps=eps,
+                    seed=seed + 31 * iterations,
+                    max_copies=max_copies,
+                    backend=backend,
                 )
                 cut = res.cut
                 comp_ledger = res.ledger

@@ -28,6 +28,7 @@ independent trials (:func:`ampc_min_cut_boosted`).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Hashable
@@ -89,13 +90,16 @@ def ampc_min_cut(
     base_size: int | None = None,
     max_copies: int = 4,
     config: AMPCConfig | None = None,
+    backend: str | None = None,
 ) -> MinCutResult:
     """Run Algorithm 1 once on a connected graph with ``n >= 2``.
 
     ``max_copies`` caps the instance count per level (a wall-clock
     knob; the paper's ``s_k`` can reach ``t_k^(1-eps/3)``).  ``eps``
     plays its double role from the paper: memory exponent and
-    approximation slack.
+    approximation slack.  ``backend`` picks the round-execution backend
+    (:mod:`repro.ampc.backends`) for every runtime the run spawns; it
+    never changes the returned cut, ledger, or trace.
     """
     n = graph.num_vertices
     if n < 2:
@@ -104,7 +108,9 @@ def ampc_min_cut(
         raise ValueError("graph must be connected (min cut would be 0)")
     schedule = schedule_for(n, eps=eps, base_size=base_size, max_copies=max_copies)
     if config is None:
-        config = AMPCConfig(n_input=n, eps=eps, m_input=graph.num_edges)
+        config = AMPCConfig(n_input=n, eps=eps, m_input=graph.num_edges, backend=backend)
+    elif backend is not None and config.backend != backend:
+        config = dataclasses.replace(config, backend=backend)
     ledger = RoundLedger()
 
     identity_blocks = {v: [v] for v in graph.vertices()}
@@ -229,6 +235,7 @@ def ampc_min_cut_boosted(
     trials: int | None = None,
     seed: int = 0,
     max_copies: int = 4,
+    backend: str | None = None,
 ) -> MinCutResult:
     """Boosted Algorithm 1: best over independent trials.
 
@@ -245,7 +252,11 @@ def ampc_min_cut_boosted(
     ledgers: list[RoundLedger] = []
     for t in range(trials):
         res = ampc_min_cut(
-            graph, eps=eps, seed=seed + BOOST_SEED_STRIDE * t, max_copies=max_copies
+            graph,
+            eps=eps,
+            seed=seed + BOOST_SEED_STRIDE * t,
+            max_copies=max_copies,
+            backend=backend,
         )
         ledgers.append(res.ledger)
         if best is None or res.weight < best.weight:

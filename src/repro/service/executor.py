@@ -27,6 +27,7 @@ is bit-identical to ``ampc_min_cut_boosted`` itself.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import signal
 import threading
@@ -86,17 +87,22 @@ def _resolve_graph(ref) -> Graph:
     return graph
 
 
-def _mincut_trial(ref, eps: float, seed: int, max_copies: int) -> MinCutResult:
+def _mincut_trial(
+    ref, eps: float, seed: int, max_copies: int, backend: str | None = None
+) -> MinCutResult:
     return ampc_min_cut(
-        _resolve_graph(ref), eps=eps, seed=seed, max_copies=max_copies
+        _resolve_graph(ref), eps=eps, seed=seed, max_copies=max_copies,
+        backend=backend,
     )
 
 
 def _kcut_trial(
-    ref, k: int, eps: float, seed: int, max_copies: int
+    ref, k: int, eps: float, seed: int, max_copies: int,
+    backend: str | None = None,
 ) -> KCutResult:
     return apx_split_kcut(
-        _resolve_graph(ref), k, eps=eps, seed=seed, max_copies=max_copies
+        _resolve_graph(ref), k, eps=eps, seed=seed, max_copies=max_copies,
+        backend=backend,
     )
 
 
@@ -116,10 +122,16 @@ class TrialExecutor:
     manager.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, *, ampc_backend: str | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        #: AMPC round backend each trial runs its rounds under (None =
+        #: the AMPC_BACKEND env default).  Orthogonal to trial fan-out:
+        #: ``workers`` parallelises across trials, the round backend
+        #: parallelises machines within each trial's rounds.  Results
+        #: are bit-identical either way.
+        self.ampc_backend = ampc_backend
         self._pool: Executor | None = None
         self._lock = threading.Lock()
         self._ref_memo: OrderedDict[int, tuple[Graph, tuple[str, bytes]]] = (
@@ -198,7 +210,8 @@ class TrialExecutor:
         seeds = trial_seeds(seed, trials)
         ref = self._graph_ref(graph, trials)
         results: list[MinCutResult] = self._run_batch(
-            _mincut_trial, [(ref, eps, s, max_copies) for s in seeds]
+            _mincut_trial,
+            [(ref, eps, s, max_copies, self.ampc_backend) for s in seeds],
         )
         best = results[0]
         for res in results[1:]:
@@ -225,7 +238,8 @@ class TrialExecutor:
         seeds = trial_seeds(seed, trials)
         ref = self._graph_ref(graph, trials)
         results: list[KCutResult] = self._run_batch(
-            _kcut_trial, [(ref, k, eps, s, max_copies) for s in seeds]
+            _kcut_trial,
+            [(ref, k, eps, s, max_copies, self.ampc_backend) for s in seeds],
         )
         best = results[0]
         for res in results[1:]:
@@ -255,6 +269,9 @@ class TrialExecutor:
         with self._lock:
             return {
                 "workers": self.workers,
+                "ampc_backend": self.ampc_backend
+                or os.environ.get("AMPC_BACKEND")
+                or "serial",
                 "pool_live": self._pool is not None,
                 "batches": self.batches,
                 "trials_run": self.trials_run,

@@ -48,11 +48,12 @@ class CutService:
         store_capacity: int | None = None,
         result_cache_capacity: int = 256,
         flow_engine: str = "dinic",
+        ampc_backend: str | None = None,
     ):
         self.store = GraphStore(
             capacity=store_capacity, on_evict=self._release_oracle
         )
-        self.executor = TrialExecutor(workers=workers)
+        self.executor = TrialExecutor(workers=workers, ampc_backend=ampc_backend)
         self.results = LRUCache(result_cache_capacity)
         self.flow_engine = flow_engine
         self._oracles: dict[str, CutOracle] = {}  # fingerprint -> oracle

@@ -1,0 +1,56 @@
+"""Shared fixtures for the tier-1 suite.
+
+The AMPC runtime resolves its round backend from the ``AMPC_BACKEND``
+environment variable when nothing more specific is configured
+(:func:`repro.ampc.backends.resolve_backend`), so exporting it runs the
+*entire* suite under that backend — the CI matrix does exactly that for
+``serial``, ``thread`` and ``process``.  The header line below makes a
+log unambiguous about which backend a run exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+
+def _backend_under_test() -> str:
+    return os.environ.get("AMPC_BACKEND", "").strip().lower() or "serial"
+
+
+def pytest_report_header(config) -> str:
+    return f"ampc round backend: {_backend_under_test()} (AMPC_BACKEND)"
+
+
+@pytest.fixture(scope="session")
+def ampc_backend() -> str:
+    """The round backend this suite run executes AMPC rounds under."""
+    return _backend_under_test()
+
+
+@pytest.fixture(scope="session")
+def equivalence_summary():
+    """Sink for backend-equivalence records, dumped as a JSON artifact.
+
+    ``tests/test_backend_equivalence.py`` appends one record per
+    (workload, backend) comparison.  When ``EQUIVALENCE_SUMMARY`` names
+    a path, the records are written there at session end — CI uploads
+    that file as the equivalence-harness artifact.
+    """
+    records: list[dict] = []
+    yield records
+    path = os.environ.get("EQUIVALENCE_SUMMARY")
+    if path and records:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "suite_backend": _backend_under_test(),
+                    "comparisons": records,
+                    "all_identical": all(r["identical"] for r in records),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )

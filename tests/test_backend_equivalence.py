@@ -1,0 +1,313 @@
+"""Differential harness: every round backend vs. the serial reference.
+
+Each workload below runs every AMPC primitive (sort, reduce, list rank,
+Euler-tour rooting, connectivity, MST) and the core mincut/kcut
+algorithms on a seeded random-graph corpus, once per backend, and
+demands **bit-identical**
+
+* outputs (whatever the workload returns, compared with ``==`` on a
+  canonical representation),
+* ledger round counts (measured and charged), and
+* trace digests — a SHA-256 over the full ``export_trace`` record
+  stream, so a backend cannot even reorder or re-label ledger entries
+  without failing.
+
+The parallel backends are pinned to explicit worker counts
+(``thread:4``, ``process:2``) so genuine concurrency — threads racing,
+processes forking and merging write buffers — is exercised even on a
+single-core CI runner, where an unpinned process backend would degrade
+to serial execution.
+
+Every comparison also lands in the session's ``equivalence_summary``
+fixture; with ``EQUIVALENCE_SUMMARY=<path>`` the records are written as
+a JSON artifact (the CI workflow uploads it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.ampc import AMPCConfig, RoundLedger, export_trace
+from repro.ampc.primitives import (
+    ampc_broadcast,
+    ampc_forest_components,
+    ampc_graph_components,
+    ampc_list_rank,
+    ampc_minimum_spanning_forest,
+    ampc_reduce,
+    ampc_root_forest,
+    ampc_sort,
+)
+from repro.core import ampc_min_cut, apx_split_kcut
+from repro.workloads import erdos_renyi, planted_cut, random_tree
+
+REFERENCE = "serial"
+#: parallel backends under test, pinned so they really parallelise
+PARALLEL_BACKENDS = ["thread:4", "process:2"]
+
+
+def _digest(ledger: RoundLedger) -> str:
+    payload = json.dumps(export_trace(ledger), sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _cfg(n: int, backend: str) -> AMPCConfig:
+    return AMPCConfig(n_input=n, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# Workloads: name -> callable(backend) -> (output, rounds, digest).
+# Outputs must be canonical (sorted dicts/lists) so == is bit-exact.
+# ----------------------------------------------------------------------
+def _run_sort(backend: str):
+    rng = random.Random(101)
+    values = [rng.randrange(100_000) for _ in range(500)]
+    ledger = RoundLedger()
+    out = ampc_sort(_cfg(500, backend), values, ledger=ledger)
+    return out, ledger
+
+
+def _run_reduce(backend: str):
+    rng = random.Random(202)
+    values = [rng.randrange(-1000, 1000) for _ in range(700)]
+    ledger = RoundLedger()
+    out = ampc_reduce(_cfg(700, backend), values, min, ledger=ledger)
+    return out, ledger
+
+
+def _run_broadcast(backend: str):
+    ledger = RoundLedger()
+    out = ampc_broadcast(_cfg(100, backend), {"pivot": 17}, 25, ledger=ledger)
+    return out, ledger
+
+
+def _run_listrank(backend: str):
+    rng = random.Random(303)
+    order = list(range(150))
+    rng.shuffle(order)
+    successor = {order[i]: order[i + 1] for i in range(len(order) - 1)}
+    successor[order[-1]] = None
+    ledger = RoundLedger()
+    ranks = ampc_list_rank(_cfg(150, backend), successor, ledger=ledger, seed=7)
+    return sorted(ranks.items()), ledger
+
+
+def _run_euler(backend: str):
+    vertices, edges = random_tree(60, seed=11)
+    ledger = RoundLedger()
+    rooted = ampc_root_forest(
+        _cfg(60, backend), vertices, edges, ledger=ledger
+    )
+    out = {
+        "parent": sorted(rooted.parent.items(), key=repr),
+        "depth": sorted(rooted.depth.items()),
+        "subtree": sorted(rooted.subtree_size.items()),
+        "preorder": sorted(rooted.preorder.items()),
+    }
+    return out, ledger
+
+
+def _run_connectivity(backend: str):
+    # A three-tree forest (genuinely executed) plus a general graph
+    # (charged per [4]) — both come back as vertex -> representative.
+    forest_edges = []
+    offset = 0
+    for size, seed in ((20, 1), (15, 2), (10, 3)):
+        _, tree_edges = random_tree(size, seed=seed)
+        forest_edges.extend((u + offset, v + offset) for u, v in tree_edges)
+        offset += size
+    vertices = list(range(offset))
+    ledger = RoundLedger()
+    comp = ampc_forest_components(
+        _cfg(offset, backend), vertices, forest_edges, ledger=ledger
+    )
+    graph = erdos_renyi(40, 0.08, seed=5)
+    gcomp = ampc_graph_components(
+        _cfg(40, backend),
+        list(graph.vertices()),
+        [(u, v) for u, v, _ in graph.edges()],
+        ledger=ledger,
+    )
+    return (sorted(comp.items()), sorted(gcomp.items())), ledger
+
+
+def _run_mst(backend: str):
+    graph = erdos_renyi(48, 0.15, seed=13)
+    edges = [(u, v, i) for i, (u, v, _) in enumerate(graph.edges())]
+    ledger = RoundLedger()
+    # m_input sizes the local budget off the real edge volume (edge
+    # tuples are the sort records here).
+    config = AMPCConfig(n_input=48, m_input=4 * len(edges), backend=backend)
+    forest = ampc_minimum_spanning_forest(
+        config, list(graph.vertices()), edges, ledger=ledger
+    )
+    return forest, ledger
+
+
+def _run_mincut(backend: str):
+    # Seeded corpus: two planted-cut instances of different shapes.
+    out = []
+    ledger = RoundLedger()
+    for n, seed in ((40, 3), (56, 9)):
+        inst = planted_cut(n, seed=seed)
+        res = ampc_min_cut(inst.graph, eps=0.5, seed=seed, backend=backend)
+        ledger.absorb(res.ledger)
+        out.append((res.weight, sorted(res.cut.side, key=repr)))
+    return out, ledger
+
+
+def _run_kcut(backend: str):
+    inst = planted_cut(36, seed=21)
+    res = apx_split_kcut(inst.graph, 3, eps=0.5, seed=4, backend=backend)
+    parts = sorted(
+        (sorted(p, key=repr) for p in res.kcut.parts), key=repr
+    )
+    return (res.weight, res.iterations, parts), res.ledger
+
+
+WORKLOADS = {
+    "sort": _run_sort,
+    "reduce": _run_reduce,
+    "broadcast": _run_broadcast,
+    "listrank": _run_listrank,
+    "euler": _run_euler,
+    "connectivity": _run_connectivity,
+    "mst": _run_mst,
+    "mincut": _run_mincut,
+    "kcut": _run_kcut,
+}
+
+_reference_cache: dict[str, tuple] = {}
+
+
+def _observe(workload: str, backend: str) -> tuple:
+    output, ledger = WORKLOADS[workload](backend)
+    return (
+        output,
+        ledger.rounds,
+        ledger.measured_rounds,
+        ledger.charged_rounds,
+        _digest(ledger),
+    )
+
+
+def _reference(workload: str) -> tuple:
+    if workload not in _reference_cache:
+        _reference_cache[workload] = _observe(workload, REFERENCE)
+    return _reference_cache[workload]
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_backend_matches_serial_reference(
+    workload, backend, equivalence_summary
+):
+    ref_out, ref_rounds, ref_measured, ref_charged, ref_digest = _reference(
+        workload
+    )
+    out, rounds, measured, charged, digest = _observe(workload, backend)
+
+    identical = (
+        out == ref_out
+        and rounds == ref_rounds
+        and measured == ref_measured
+        and charged == ref_charged
+        and digest == ref_digest
+    )
+    equivalence_summary.append(
+        {
+            "workload": workload,
+            "backend": backend,
+            "reference": REFERENCE,
+            "rounds": rounds,
+            "reference_rounds": ref_rounds,
+            "trace_digest": digest,
+            "reference_digest": ref_digest,
+            "identical": identical,
+        }
+    )
+
+    assert out == ref_out, f"{workload}: {backend} output diverged from serial"
+    assert (rounds, measured, charged) == (
+        ref_rounds,
+        ref_measured,
+        ref_charged,
+    ), f"{workload}: {backend} ledger round counts diverged"
+    assert digest == ref_digest, (
+        f"{workload}: {backend} trace digest diverged from serial"
+    )
+
+
+def test_serial_reference_is_deterministic():
+    """The harness is meaningless if the reference itself drifts."""
+    for workload in sorted(WORKLOADS):
+        assert _observe(workload, REFERENCE) == _observe(workload, REFERENCE), (
+            f"{workload}: serial reference not deterministic"
+        )
+
+
+def test_thread_backend_survives_fork():
+    """A forked child inheriting a warmed ThreadBackend must not hang.
+
+    Regression: the shared thread pool's worker threads do not exist in
+    a forked child (TrialExecutor's process pool, ProcessBackend
+    workers); without the at-fork reset, a round submitted in the child
+    blocks forever on threads that will never run.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork on this platform")
+
+    _observe("sort", "thread:4")  # warm the shared pool's threads
+
+    def child_round():
+        out, *_ = _observe("sort", "thread:4")
+        raise SystemExit(0 if out == sorted(out) else 1)
+
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=child_round)
+    proc.start()
+    proc.join(timeout=60)
+    alive = proc.is_alive()
+    if alive:
+        proc.kill()
+        proc.join()
+    assert not alive, "forked child hung running a thread-backend round"
+    assert proc.exitcode == 0
+
+
+def test_process_backend_concurrent_rounds_do_not_race():
+    """Concurrent rounds on the shared process backend stay isolated.
+
+    Regression: the fork batch is a module global; without the spawn
+    lock, HTTP handler threads running rounds concurrently forked
+    children against each other's batches (wrong writes or dead
+    workers).
+    """
+    import threading
+
+    errors: list[BaseException] = []
+
+    def run_sorts(salt: int):
+        try:
+            rng = random.Random(salt)
+            values = [rng.randrange(100_000) for _ in range(300)]
+            for _ in range(3):
+                out = ampc_sort(_cfg(300, "process:2"), values)
+                assert out == sorted(values)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run_sorts, args=(s,)) for s in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, f"concurrent process-backend rounds failed: {errors[:1]}"
