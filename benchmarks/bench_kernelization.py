@@ -1,0 +1,140 @@
+"""E13 — kernelization shrink ratios and end-to-end speedup.
+
+Measures what the exact preprocessing pipeline (:mod:`repro.preprocess`)
+buys on E12-style workloads:
+
+* **shrink ratio** — kernel vertices/edges vs the input, per level;
+* **end-to-end speedup** — boosted Algorithm 1 with ``preprocess=safe``
+  / ``aggressive`` vs the raw run, identical reported weights;
+* **warm-service amortisation** — the per-fingerprint kernel cache
+  means later preprocessed queries skip the reduction pipeline.
+
+The harness asserts the headline claims: every kernelized weight equals
+the raw weight (exactness) and at least one reducible workload shows a
+>= 1.3x end-to-end speedup.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.analysis.harness import ExperimentReport
+from repro.baselines import stoer_wagner_min_cut
+from repro.core import ampc_min_cut_boosted
+from repro.preprocess import kernelize
+from repro.service import CutService
+from repro.workloads import barbell, planted_cut, power_law
+
+_SEED = 9
+
+#: (name, graph) — chosen so at least one instance is heavily reducible
+#: at the safe level (power_law collapses by degree-one pruning) and one
+#: only at the aggressive level (barbell needs NI contraction).
+_WORKLOADS = [
+    ("power_law_400", power_law(400, seed=_SEED)),
+    ("planted_160", planted_cut(160, seed=_SEED).graph),
+    ("barbell_60", barbell(60, bridge_weight=2.0).graph),
+]
+
+
+def _timed(fn, *args, **kw):
+    t0 = time.perf_counter()
+    out = fn(*args, **kw)
+    return out, time.perf_counter() - t0
+
+
+def test_e13a_shrink_ratios(report_sink, benchmark):
+    report = ExperimentReport(
+        experiment="E13a: kernel shrink ratios (exact reductions)",
+        columns=["workload", "level", "n", "kernel_n", "m", "kernel_m",
+                 "v_shrink", "e_shrink", "kernelize_s"],
+    )
+    benchmark(kernelize, _WORKLOADS[0][1], level="safe")
+    for name, graph in _WORKLOADS:
+        for level in ("safe", "aggressive"):
+            kernel, secs = _timed(kernelize, graph, level=level)
+            s = kernel.stats()
+            report.rows.append([
+                name, level, s["original_vertices"], s["kernel_vertices"],
+                s["original_edges"], s["kernel_edges"],
+                round(s["vertex_shrink"], 2), round(s["edge_shrink"], 2),
+                round(secs, 4),
+            ])
+            # exactness spot check against the exact solver
+            assert (
+                kernel.solve(stoer_wagner_min_cut).weight
+                == stoer_wagner_min_cut(graph).weight
+            )
+    emit(report_sink, report)
+
+
+def test_e13b_end_to_end_speedup(report_sink, benchmark):
+    report = ExperimentReport(
+        experiment="E13b: boosted Algorithm 1 — raw vs kernelized wall clock",
+        columns=["workload", "raw_s", "safe_s", "aggr_s",
+                 "safe_speedup", "aggr_speedup", "weights_equal"],
+    )
+    benchmark(
+        ampc_min_cut_boosted,
+        _WORKLOADS[0][1],
+        seed=_SEED,
+        trials=4,
+        preprocess="safe",
+    )
+    best_speedup = 0.0
+    for name, graph in _WORKLOADS:
+        raw, raw_s = _timed(
+            ampc_min_cut_boosted, graph, seed=_SEED, trials=4
+        )
+        safe, safe_s = _timed(
+            ampc_min_cut_boosted, graph, seed=_SEED, trials=4,
+            preprocess="safe",
+        )
+        aggr, aggr_s = _timed(
+            ampc_min_cut_boosted, graph, seed=_SEED, trials=4,
+            preprocess="aggressive",
+        )
+        equal = raw.weight == safe.weight == aggr.weight
+        safe_up = raw_s / max(safe_s, 1e-9)
+        aggr_up = raw_s / max(aggr_s, 1e-9)
+        best_speedup = max(best_speedup, safe_up, aggr_up)
+        report.rows.append([
+            name, round(raw_s, 4), round(safe_s, 4), round(aggr_s, 4),
+            round(safe_up, 2), round(aggr_up, 2), equal,
+        ])
+        assert equal, f"{name}: kernelized weight diverged"
+    report.notes.append(
+        f"best end-to-end speedup {best_speedup:.2f}x (>= 1.3x required "
+        "on at least one reducible workload)"
+    )
+    emit(report_sink, report)
+    assert best_speedup >= 1.3, best_speedup
+
+
+def test_e13c_service_kernel_cache(report_sink, benchmark):
+    report = ExperimentReport(
+        experiment="E13c: warm preprocessed queries (per-fingerprint kernel cache)",
+        columns=["query", "cold_s", "warm_s", "kernel_builds", "kernel_hits"],
+    )
+    graph = power_law(300, seed=_SEED)
+    with CutService(preprocess="safe") as svc:
+        svc.register("g", graph)
+        _, cold_s = _timed(svc.mincut, "g", seed=1, trials=2)
+
+        seeds = iter(range(2, 100_000))
+
+        def warm_query():
+            # fresh seed every call: miss the result cache, hit the
+            # kernel cache — isolates the kernelization amortisation
+            svc.mincut("g", seed=next(seeds), trials=2)
+
+        benchmark(warm_query)
+        warm_s = benchmark.stats.stats.mean
+        store = svc.stats()["store"]
+        report.rows.append([
+            "mincut(preprocess=safe)", round(cold_s, 4), round(warm_s, 4),
+            store["kernel_builds"], store["kernel_hits"],
+        ])
+        assert store["kernel_builds"] == 1
+        assert store["kernel_hits"] >= 1
+    emit(report_sink, report)

@@ -43,6 +43,7 @@ from .core import (
     smallest_singleton_cut,
 )
 from .graph import Cut, Graph, KCut
+from .preprocess import CutKernel, kernelize, solve_min_cut
 from .service import CutOracle, CutService, GraphStore, TrialExecutor
 from .trees import LowDepthDecomposition, low_depth_decomposition
 
@@ -51,6 +52,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AMPCConfig",
     "Cut",
+    "CutKernel",
     "CutOracle",
     "CutService",
     "Graph",
@@ -67,6 +69,8 @@ __all__ = [
     "ampc_min_cut_boosted",
     "apx_split_kcut",
     "draw_contraction_keys",
+    "kernelize",
     "low_depth_decomposition",
     "smallest_singleton_cut",
+    "solve_min_cut",
 ]

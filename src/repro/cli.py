@@ -9,6 +9,9 @@ Subcommands mirroring what a downstream user does first:
 * ``kcut``    — (4+eps)-approximate Min k-Cut (Algorithm 4);
 * ``decompose`` — generalized low-depth decomposition of a tree file,
   printing the labeling and the splitting process;
+* ``kernelize`` — inspect the exact kernelization pipeline
+  (:mod:`repro.preprocess`): reduction steps, shrink ratios, recorded
+  candidate cuts, optionally writing the kernel graph out;
 * ``sparsify`` — Nagamochi–Ibaraki min-cut-preserving certificate;
 * ``convert`` — translate between edge-list, DIMACS and METIS;
 * ``experiments`` — regenerate EXPERIMENTS.md from live runs;
@@ -41,9 +44,22 @@ from .graph import (
 from .trees import decomposition_forest_sequence, low_depth_decomposition
 
 
+def _kernel_line(stats: dict) -> str:
+    """One-line kernelization summary printed under ``--preprocess``."""
+    solved = " (solved outright)" if stats["solved"] else ""
+    return (
+        f"kernel[{stats['level']}]: "
+        f"{stats['original_vertices']}->{stats['kernel_vertices']} vertices, "
+        f"{stats['original_edges']}->{stats['kernel_edges']} edges "
+        f"({stats['vertex_shrink']:.2f}x / {stats['edge_shrink']:.2f}x)"
+        f"{solved}"
+    )
+
+
 def _cmd_mincut(args: argparse.Namespace) -> int:
     graph = _load_any(args.graph)
     rounds: int | None = None
+    kernel_stats: dict | None = None
     if args.algorithm == "ampc":
         result = ampc_min_cut_boosted(
             graph,
@@ -51,28 +67,44 @@ def _cmd_mincut(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             backend=args.ampc_backend,
+            preprocess=args.preprocess,
         )
         weight, side, rounds = result.weight, result.cut.side, result.ledger.rounds
         ledger_report = result.ledger.report() if args.ledger else None
-    elif args.algorithm == "matula":
-        from .baselines import matula_min_cut
+        kernel_stats = result.kernel_stats
+    else:
+        if args.algorithm == "matula":
+            from .baselines import matula_min_cut
 
-        res = matula_min_cut(graph, eps=args.eps)
-        weight, side, ledger_report = res.weight, res.cut.side, None
-    elif args.algorithm == "karger-stein":
-        from .baselines import karger_stein_boosted
+            def solver(g):
+                return matula_min_cut(g, eps=args.eps)
 
-        cut = karger_stein_boosted(graph, seed=args.seed)
+        elif args.algorithm == "karger-stein":
+            from .baselines import karger_stein_boosted
+
+            def solver(g):
+                return karger_stein_boosted(g, seed=args.seed)
+
+        elif args.algorithm == "exact":
+            from .baselines import stoer_wagner_min_cut
+
+            solver = stoer_wagner_min_cut
+        else:  # pragma: no cover - argparse choices guard this
+            raise ValueError(args.algorithm)
+        if args.preprocess != "off":
+            from .preprocess import kernelize
+
+            kernel = kernelize(graph, level=args.preprocess)
+            cut = kernel.solve(solver)
+            kernel_stats = kernel.stats()
+        else:
+            res = solver(graph)
+            cut = res if not hasattr(res, "cut") else res.cut
         weight, side, ledger_report = cut.weight, cut.side, None
-    elif args.algorithm == "exact":
-        from .baselines import stoer_wagner_min_cut
-
-        cut = stoer_wagner_min_cut(graph)
-        weight, side, ledger_report = cut.weight, cut.side, None
-    else:  # pragma: no cover - argparse choices guard this
-        raise ValueError(args.algorithm)
 
     print(f"n={graph.num_vertices} m={graph.num_edges}")
+    if kernel_stats is not None:
+        print(_kernel_line(kernel_stats))
     print(f"cut weight: {weight}")
     small = min((side, frozenset(graph.vertices()) - side), key=len)
     print(f"cut side ({len(small)} vertices): {sorted(map(str, small))[:20]}")
@@ -84,8 +116,15 @@ def _cmd_mincut(args: argparse.Namespace) -> int:
         print(render_timeline(result.ledger, max_entries=24))
         print(render_phase_table(result.ledger))
     if args.verify:
-        exact = exact_min_cut_weight(graph)
-        print(f"exact (Stoer-Wagner): {exact}  ratio: {weight / exact:.4f}")
+        # A disconnected input (reachable only via --preprocess, which
+        # solves it at weight 0) has min cut 0 by definition —
+        # Stoer–Wagner itself requires a connected graph.
+        if len(graph.components()) > 1:
+            exact = 0.0
+        else:
+            exact = exact_min_cut_weight(graph)
+        ratio = weight / exact if exact else (1.0 if weight == exact else float("inf"))
+        print(f"exact (Stoer-Wagner): {exact}  ratio: {ratio:.4f}")
     if ledger_report:
         print(ledger_report)
     return 0
@@ -94,9 +133,21 @@ def _cmd_mincut(args: argparse.Namespace) -> int:
 def _cmd_kcut(args: argparse.Namespace) -> int:
     graph = _load_any(args.graph)
     result = apx_split_kcut(
-        graph, args.k, eps=args.eps, seed=args.seed, backend=args.ampc_backend
+        graph, args.k, eps=args.eps, seed=args.seed, backend=args.ampc_backend,
+        preprocess=args.preprocess,
     )
     print(f"n={graph.num_vertices} m={graph.num_edges} k={args.k}")
+    if result.kernel_stats is not None:
+        s = result.kernel_stats
+        if s["candidate_weight"] is None:
+            print(f"kernel[{s['level']}]: no applicable k-cut reduction")
+        else:
+            print(
+                f"kernel[{s['level']}]: "
+                f"{s['original_vertices']}->{s['kernel_vertices']} vertices "
+                f"({s['contracted']} contracted above the candidate k-cut "
+                f"bound {s['candidate_weight']})"
+            )
     print(f"k-cut weight: {result.weight}")
     for i, part in enumerate(sorted(result.kcut.parts, key=len, reverse=True)):
         members = sorted(map(str, part))
@@ -129,6 +180,39 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         for i, comps in enumerate(decomposition_forest_sequence(decomp), start=1):
             sizes = sorted((len(c) for c in comps), reverse=True)
             print(f"  T_{i}: {len(comps)} components, sizes {sizes[:12]}")
+    return 0
+
+
+def _cmd_kernelize(args: argparse.Namespace) -> int:
+    import json
+
+    from .preprocess import kernelize
+
+    graph = _load_any(args.graph)
+    kernel = kernelize(graph, level=args.level)
+    stats = kernel.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(f"n={graph.num_vertices} m={graph.num_edges}")
+        print(_kernel_line(stats))
+        for step in stats["steps"]:
+            print(
+                f"  - {step['name']}: -{step['vertices_removed']}v "
+                f"-{step['edges_removed']}e "
+                f"(+{step['candidates_recorded']} candidates) "
+                f"{step['detail']}"
+            )
+        if stats["solved"]:
+            print(f"solved outright: min cut weight {stats['solved_weight']}")
+        elif stats["best_candidate_weight"] is not None:
+            print(
+                "best candidate cut recorded: "
+                f"{stats['best_candidate_weight']} (upper bound on the min cut)"
+            )
+    if args.output is not None:
+        _save_any(kernel.graph, args.output)
+        print(f"wrote kernel to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -172,6 +256,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_capacity=args.store_capacity,
         result_cache_capacity=args.result_cache,
         ampc_backend=args.ampc_backend,
+        preprocess=args.preprocess,
     )
     for spec in args.graph or []:
         name, sep, path = spec.partition("=")
@@ -224,6 +309,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "eps": args.eps,
                 "trials": args.trials,
                 "seed": args.seed,
+                "preprocess": args.preprocess,
             },
         )
     elif args.op == "kcut":
@@ -236,6 +322,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "eps": args.eps,
                 "trials": args.trials or 1,
                 "seed": args.seed,
+                "preprocess": args.preprocess,
             },
         )
     elif args.op == "stcut":
@@ -279,6 +366,16 @@ def _backend_spec(value: str) -> str:
     return value
 
 
+def _add_preprocess_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--preprocess",
+        choices=["off", "safe", "aggressive"],
+        default="off",
+        help="exact kernelization before solving (repro.preprocess); "
+        "never changes the reported cut weight",
+    )
+
+
 def _add_ampc_backend_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--ampc-backend",
@@ -309,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=None, help="boosting trials")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--verify", action="store_true", help="compare with exact")
+    _add_preprocess_flag(p)
     _add_ampc_backend_flag(p)
     p.add_argument("--ledger", action="store_true", help="print round ledger")
     p.add_argument("--timeline", action="store_true",
@@ -320,10 +418,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("k", type=int)
     p.add_argument("--eps", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    _add_preprocess_flag(p)
     _add_ampc_backend_flag(p)
     p.add_argument("--metrics", action="store_true",
                    help="print partition quality metrics")
     p.set_defaults(func=_cmd_kcut)
+
+    p = sub.add_parser(
+        "kernelize",
+        help="inspect the exact kernelization of a graph (repro.preprocess)",
+    )
+    p.add_argument("graph", type=Path)
+    p.add_argument("--level", choices=["safe", "aggressive"], default="safe")
+    p.add_argument("--output", type=Path, default=None,
+                   help="also write the kernel graph to a file")
+    p.add_argument("--json", action="store_true",
+                   help="print the full stats record as JSON")
+    p.set_defaults(func=_cmd_kernelize)
 
     p = sub.add_parser("decompose", help="low-depth decomposition of a tree")
     p.add_argument("graph", type=Path)
@@ -354,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port (0 = ephemeral; bound URL is printed)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size for boosting trials")
+    _add_preprocess_flag(p)
     _add_ampc_backend_flag(p)
     p.add_argument("--store-capacity", type=int, default=None,
                    help="max resident graphs (LRU eviction; default unbounded)")
@@ -375,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.5)
     p.add_argument("--trials", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--preprocess", choices=["off", "safe", "aggressive"],
+                   default=None,
+                   help="kernelization level for this query "
+                   "(default: the server's --preprocess setting)")
     p.set_defaults(func=_cmd_query_safe)
     return parser
 

@@ -30,10 +30,14 @@ class KCutResult:
     """Outcome of APX-SPLIT."""
 
     kcut: KCut
-    #: the sets of removed edges, one per greedy iteration
+    #: the sets of removed edges, one per greedy iteration (kernel-level
+    #: pairs when the run was preprocessed)
     cut_edge_sets: tuple[tuple[tuple[Vertex, Vertex], ...], ...]
     ledger: RoundLedger
     iterations: int
+    #: :meth:`repro.preprocess.KCutKernel.stats` of the kernelization
+    #: stage, when the run was preprocessed (None otherwise)
+    kernel_stats: dict | None = None
 
     @property
     def weight(self) -> float:
@@ -49,6 +53,7 @@ def apx_split_kcut(
     max_copies: int = 2,
     exact_below: int = 16,
     backend: str | None = None,
+    preprocess: str | None = None,
 ) -> KCutResult:
     """Run APX-SPLIT on a connected graph.
 
@@ -57,10 +62,36 @@ def apx_split_kcut(
     the simulation fast.  ``k`` may not exceed ``n``.  ``backend``
     selects the AMPC round backend for the per-component min-cut runs
     (:mod:`repro.ampc.backends`); results are backend-independent.
+
+    ``preprocess`` (default off) applies the k-cut-safe kernelization
+    of :func:`repro.preprocess.kernelize_for_kcut`: edges no optimal
+    k-cut can cross are contracted, the greedy runs on the kernel, and
+    the partition is lifted back to the original vertex set (weight
+    re-evaluated there; the bootstrap candidate k-cut folded in).  The
+    optimum weight is preserved exactly; the (4+eps) greedy itself may
+    legitimately return a different — never invalid — partition than
+    the unpreprocessed run.
     """
     n = graph.num_vertices
     if not 1 <= k <= n:
         raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if preprocess is not None and preprocess != "off":
+        from ..preprocess import kernelize_for_kcut
+
+        kernel = kernelize_for_kcut(graph, k, level=preprocess)
+        inner = apx_split_kcut(
+            kernel.graph if kernel.reduced else graph,
+            k,
+            eps=eps,
+            seed=seed,
+            max_copies=max_copies,
+            exact_below=exact_below,
+            backend=backend,
+        )
+        inner.kernel_stats = kernel.stats()
+        if kernel.reduced:
+            inner.kcut = kernel.lift(inner.kcut.parts)
+        return inner
     ledger = RoundLedger()
     working = graph.copy()
     removed: list[tuple[tuple[Vertex, Vertex], ...]] = []

@@ -68,6 +68,9 @@ class MinCutResult:
     base_solves: int
     #: total singleton-cut trackers run (instances across all levels)
     singleton_runs: int
+    #: :meth:`repro.preprocess.CutKernel.stats` of the kernelization
+    #: stage, when the run was preprocessed (None otherwise)
+    kernel_stats: dict | None = None
 
     @property
     def weight(self) -> float:
@@ -236,6 +239,7 @@ def ampc_min_cut_boosted(
     seed: int = 0,
     max_copies: int = 4,
     backend: str | None = None,
+    preprocess: str | None = None,
 ) -> MinCutResult:
     """Boosted Algorithm 1: best over independent trials.
 
@@ -244,7 +248,26 @@ def ampc_min_cut_boosted(
     simulation knob — E2 measures the success curve explicitly).
     Trials are independent, hence parallel in the model: the boosted
     round count is the max over trials, not the sum.
+
+    ``preprocess`` (``"off"``/``"safe"``/``"aggressive"``, default off)
+    runs the exact kernelization pipeline of :mod:`repro.preprocess`
+    first: trials execute on the reduced graph (with the default trial
+    count recomputed for the *kernel* size) and the winning cut is
+    lifted back — weight re-evaluated against the original, candidate
+    cuts recorded by the reductions folded in.  A disconnected input,
+    which the unpreprocessed path rejects, kernelizes to the exact
+    weight-0 cut without running any trial.
     """
+    if preprocess is not None and preprocess != "off":
+        return _boosted_on_kernel(
+            graph,
+            level=preprocess,
+            eps=eps,
+            trials=trials,
+            seed=seed,
+            max_copies=max_copies,
+            backend=backend,
+        )
     n = graph.num_vertices
     if trials is None:
         trials = default_boost_trials(n)
@@ -266,3 +289,48 @@ def ampc_min_cut_boosted(
     combined.absorb_parallel(ledgers, f"boosting over {trials} parallel trials")
     best.ledger = combined
     return best
+
+
+def _boosted_on_kernel(
+    graph: Graph,
+    *,
+    level: str,
+    eps: float,
+    trials: int | None,
+    seed: int,
+    max_copies: int,
+    backend: str | None,
+) -> MinCutResult:
+    """Kernelize, boost on the kernel, lift the winner."""
+    from ..preprocess import kernelize
+
+    kernel = kernelize(graph, level=level)
+    if kernel.is_solved:
+        cut = kernel.trivial_cut()  # raises for n < 2, matching the solver
+        ledger = RoundLedger()
+        ledger.charge(
+            1,
+            "preprocess: kernelization solved the instance outright "
+            "(no AMPC trial ran)",
+            local_peak=graph.num_vertices,
+            total_peak=graph.num_vertices + graph.num_edges,
+        )
+        return MinCutResult(
+            cut=cut,
+            ledger=ledger,
+            schedule=schedule_for(max(2, graph.num_vertices), eps=eps),
+            base_solves=0,
+            singleton_runs=0,
+            kernel_stats=kernel.stats(),
+        )
+    result = ampc_min_cut_boosted(
+        kernel.graph,
+        eps=eps,
+        trials=trials,
+        seed=seed,
+        max_copies=max_copies,
+        backend=backend,
+    )
+    result.cut = kernel.lift(result.cut.side)
+    result.kernel_stats = kernel.stats()
+    return result

@@ -11,9 +11,11 @@ nobody else speaks it.  Cut/partitioning workloads in the wild come as:
 
   ``read_dimacs`` accepts any problem tag (``edge``, ``cut``, ``max``),
   merges duplicate edges by weight sum (the cut-preserving semantics of
-  :class:`~repro.graph.graph.Graph`), and ignores self-loops with a
-  warning counter rather than erroring (real DIMACS files contain
-  them; they can never cross a cut).
+  :class:`~repro.graph.graph.Graph`), and ignores self-loops and
+  zero-weight edges rather than erroring (real DIMACS files contain
+  them; neither can ever affect a cut).  All readers canonicalize
+  identically — the invariant the kernelization pipeline
+  (:mod:`repro.preprocess`) starts from.
 
 * **METIS / Chaco** (the partitioner input format)::
 
@@ -102,6 +104,8 @@ def read_dimacs(fp: TextIO) -> Graph:
                 )
             if u == v:
                 continue  # self-loops never cross a cut
+            if w == 0:
+                continue  # zero-capacity edges cannot affect any cut
             g.add_edge(u, v, w)
         else:
             raise ValueError(f"line {lineno}: unrecognised {parts[0]!r} line")
@@ -175,27 +179,44 @@ def read_metis(fp: TextIO) -> Graph:
         raise ValueError(f"expected {n} adjacency lines, found {len(rows)}")
 
     g = Graph(vertices=range(1, n + 1))
+    pairs_seen: set[tuple[int, int]] = set()
     for i, line in enumerate(rows, start=1):
         toks = line.split()
         step = 2 if has_ew else 1
         if len(toks) % step:
             raise ValueError(f"vertex {i}: odd token count with edge weights")
+        # A neighbour listed twice in the SAME row is a parallel edge:
+        # merge by weight sum first, exactly as Graph.add_edge (and the
+        # edge-list/DIMACS readers) canonicalize, so that duplicate
+        # ingestion matches the kernel pipeline's parallel-edge merge.
+        # The appearance in the neighbour's own row is then checked
+        # against the merged total (the usual symmetry requirement).
+        row_adj: dict[int, float] = {}
         for j in range(0, len(toks), step):
             u = int(toks[j])
             w = float(toks[j + 1]) if has_ew else 1.0
             if not 1 <= u <= n:
                 raise ValueError(f"vertex {i}: neighbour {u} out of range")
             if u == i:
-                continue
-            if g.has_edge(i, u):  # listed from both endpoints
-                if abs(g.weight(i, u) - w) > 1e-9:
+                continue  # self-loops never cross a cut
+            row_adj[u] = row_adj.get(u, 0.0) + w
+        for u, w in row_adj.items():
+            pair = (i, u) if i < u else (u, i)
+            if pair in pairs_seen:  # listed from both endpoints
+                prev = g.weight(i, u) if g.has_edge(i, u) else 0.0
+                if abs(prev - w) > 1e-9:
                     raise ValueError(
-                        f"edge ({i},{u}): asymmetric weights "
-                        f"{g.weight(i, u)} vs {w}"
+                        f"edge ({i},{u}): asymmetric weights {prev} vs {w}"
                     )
                 continue
+            pairs_seen.add(pair)
+            if w == 0:
+                continue  # zero-weight edges cannot affect any cut
             g.add_edge(i, u, w)
-    if g.num_edges != m:
+    # The header's edge count may reflect either the canonical merged
+    # view (what this reader materialises) or the raw listing including
+    # zero-weight edges the canonicalization drops; accept both.
+    if g.num_edges != m and len(pairs_seen) != m:
         raise ValueError(f"header declared {m} edges, parsed {g.num_edges}")
     return g
 

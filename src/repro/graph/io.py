@@ -45,7 +45,16 @@ def read_edgelist(fp: TextIO) -> Graph:
         if parts[0] == "v":
             g.add_vertex(_parse(parts[1]))
         elif parts[0] == "e":
-            g.add_edge(_parse(parts[1]), _parse(parts[2]), float(parts[3]))
+            u, v = _parse(parts[1]), _parse(parts[2])
+            w = float(parts[3])
+            if u == v or w == 0:
+                # Self-loops and zero-weight edges cannot cross any
+                # cut; drop them (keeping the endpoints as vertices),
+                # matching the DIMACS/METIS readers' canonicalization.
+                g.add_vertex(u)
+                g.add_vertex(v)
+                continue
+            g.add_edge(u, v, w)
         else:
             raise ValueError(f"unrecognised line: {line!r}")
     if g.num_vertices != n:

@@ -37,6 +37,12 @@ The scan itself is the maximum-adjacency order familiar from
 Stoer–Wagner: repeatedly scan the unscanned vertex most heavily
 attached to the scanned set; assigning each newly seen edge the
 attachment weight its far endpoint had accumulated so far.
+
+See also :mod:`repro.preprocess` — the exact kernelization pipeline
+that composes these certificates with degree-one and heavy-edge
+contractions in front of every solver (``repro-cut --preprocess``);
+its R5/R6 rules are the connectivity-witness and certificate facts
+above, applied at the ``lambda_hat`` candidate bound.
 """
 
 from __future__ import annotations
@@ -204,6 +210,9 @@ def sparsify_preserving_min_cut(
     preserves every minimum cut *exactly* (weight and membership) while
     capping total capacity at ``k (n - 1)`` — on dense graphs this
     shrinks the ``m`` term of the paper's ``Õ(n + m)`` total memory.
+    :func:`repro.preprocess.kernelize` runs this as its final
+    ``aggressive`` pass (rule R6), after the contraction rules, since
+    it reweights edges.
     """
     if slack < 1.0:
         raise ValueError(f"slack < 1 may destroy minimum cuts (got {slack})")

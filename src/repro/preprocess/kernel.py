@@ -1,0 +1,603 @@
+"""The kernelization pipeline: exact, composable, liftable reductions.
+
+Every reduction below preserves the minimum cut *weight* of the input
+exactly, provided candidate cuts recorded along the way are folded back
+in at lift time (:meth:`CutKernel.lift` always folds).  The catalogue,
+with the safety argument for each rule:
+
+R1 — **parallel-edge canonicalization** (ingestion).  A bundle of
+    parallel edges crosses a cut exactly as its total weight, so
+    :class:`~repro.graph.graph.Graph` merges parallel edges by weight
+    sum at ``add_edge`` time and rejects self-loops (they never cross a
+    cut).  All file readers (:mod:`repro.graph.io`,
+    :mod:`repro.graph.formats`) canonicalize identically — duplicate
+    lines merge by sum, self-loops and zero-weight edges are dropped —
+    so the kernel pipeline always starts from a canonical simple graph.
+
+R2 — **connected-component split** (cheapest-component shortcut).  A
+    disconnected graph has minimum cut 0: any single component against
+    the rest crosses nothing.  The kernel marks itself *solved* with
+    the smallest component as the witness side; no solver runs at all.
+    (Isolated-vertex removal is the special case of a singleton
+    component.)
+
+R3 — **degree-one contraction**.  A vertex ``v`` whose kernel block
+    meets the rest of the graph through a single neighbour ``u`` (edge
+    weight ``w``) admits exactly one class of cuts separating it from
+    ``u``, all of weight >= ``w``; the singleton ``{v}`` achieves ``w``
+    and is recorded as a candidate.  Contracting ``v`` into ``u`` then
+    loses only cuts dominated by that candidate — exact.
+
+R4 — **heavy-edge contraction** (VieCut rule).  Let ``lambda_hat`` be
+    the weight of the best *recorded candidate* cut (initialised and
+    refreshed from the minimum-weighted-degree singleton — the
+    Matula/NI estimate).  Any cut separating the endpoints of an edge
+    of weight ``w >= lambda_hat`` weighs at least ``w >= lambda_hat``,
+    which the candidate already matches, so contracting the edge
+    preserves ``min(candidates, mincut(kernel)) = mincut(original)``.
+
+R5 — **NI connectivity contraction** (aggressive).  The scan-first
+    search of :func:`repro.graph.sparsify.ni_edge_starts` certifies
+    endpoint connectivity ``lambda(u, v) >= r(e) + w(e)``; every cut
+    separating ``u`` from ``v`` weighs at least that, so edges with
+    ``r(e) + w(e) >= lambda_hat`` contract by the same argument as R4
+    — strictly more powerful, at the cost of one scan per round.
+
+R6 — **NI certificate** (aggressive, final).  Replace the kernel by
+    its Nagamochi–Ibaraki certificate at ``k = min weighted degree``
+    (:func:`repro.graph.sparsify.sparsify_preserving_min_cut`): every
+    minimum cut survives with exact weight while total capacity drops
+    to at most ``k (n - 1)``.  This pass *reweights* edges, so it runs
+    last — the contraction rules above reason about original weights
+    and would be unsound downstream of a reweighting.
+
+Float caveat (same one :meth:`repro.graph.Graph.fingerprint` makes):
+reductions compare weight *sums*, so on weights that are not exactly
+representable in binary the preserved minimum can drift by an ulp.
+Reported results are nonetheless always honest — ``lift`` re-evaluates
+the returned partition against the *original* graph, so the reported
+weight equals the recomputed ``delta(S)`` of the reported side by
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from ..graph import Cut, Graph, KCut
+from ..graph.sparsify import ni_edge_starts, sparsify_preserving_min_cut
+
+Vertex = Hashable
+
+#: the three pipeline levels ``repro-cut --preprocess`` exposes
+LEVELS = ("off", "safe", "aggressive")
+
+
+def validate_level(level: str) -> str:
+    """Normalise/validate a preprocessing level name."""
+    if level is None:
+        return "off"
+    name = str(level).strip().lower()
+    if name not in LEVELS:
+        raise ValueError(
+            f"unknown preprocess level {level!r}; expected one of {LEVELS}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """Accounting record for one reduction pass."""
+
+    name: str
+    vertices_removed: int
+    edges_removed: int
+    candidates_recorded: int
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "vertices_removed": self.vertices_removed,
+            "edges_removed": self.edges_removed,
+            "candidates_recorded": self.candidates_recorded,
+            "detail": self.detail,
+        }
+
+
+class CutKernel:
+    """A reduced graph plus the bookkeeping to lift cuts back.
+
+    ``graph`` is the kernel; ``blocks`` maps each kernel vertex to the
+    original vertices contracted into it (a partition of the original
+    vertex set).  ``solved`` is set when the reductions alone determine
+    the minimum cut (disconnected input, or a kernel collapsing below
+    two vertices).  Candidate cuts recorded during reduction are always
+    evaluated against the *original* graph and folded in by
+    :meth:`lift`, which is what makes every rule exact.
+    """
+
+    def __init__(self, original: Graph, level: str):
+        self.original = original
+        self.level = level
+        self.graph: Graph = original.copy()
+        self.blocks: dict[Vertex, list[Vertex]] = {
+            v: [v] for v in original.vertices()
+        }
+        self.steps: list[ReductionStep] = []
+        self.solved: Cut | None = None
+        self.candidates_recorded = 0
+        self._best_candidate: Cut | None = None
+
+    # ------------------------------------------------------------------
+    # Candidates
+    # ------------------------------------------------------------------
+    def _record_candidate(self, side: Iterable[Vertex]) -> Cut:
+        """Record a candidate cut of the *original* graph (exact eval)."""
+        cut = Cut.of(self.original, side)
+        self.candidates_recorded += 1
+        if self._best_candidate is None or cut.weight < self._best_candidate.weight:
+            self._best_candidate = cut
+        return cut
+
+    @property
+    def best_candidate(self) -> Cut | None:
+        """Lightest candidate cut recorded by the reductions, if any."""
+        return self._best_candidate
+
+    @property
+    def is_solved(self) -> bool:
+        """True when no solver needs to run on the kernel at all."""
+        return self.solved is not None or self.graph.num_vertices < 2
+
+    # ------------------------------------------------------------------
+    # Lifting
+    # ------------------------------------------------------------------
+    def lift_side(self, side: Iterable[Vertex]) -> frozenset:
+        """Pure side expansion: kernel vertices -> original vertices."""
+        out: set = set()
+        for rep in side:
+            try:
+                out.update(self.blocks[rep])
+            except KeyError:
+                raise KeyError(f"vertex {rep!r} is not a kernel vertex") from None
+        return frozenset(out)
+
+    def lift(self, side: Iterable[Vertex]) -> Cut:
+        """Lift a kernel cut to an exact cut of the original graph.
+
+        Expands the side through the contraction map, re-evaluates its
+        weight on the original graph, and folds in the best recorded
+        candidate — the folding is load-bearing: when the minimum cut
+        was consumed by a reduction (e.g. the min-degree singleton when
+        ``delta = lambda``), the candidate *is* the minimum cut.
+        """
+        lifted = Cut.of(self.original, self.lift_side(side))
+        best = self._best_candidate
+        if best is not None and best.weight < lifted.weight:
+            return best
+        return lifted
+
+    def trivial_cut(self) -> Cut:
+        """The answer when :attr:`is_solved` — raises if undefined."""
+        if self.solved is not None:
+            return self.solved
+        if self._best_candidate is not None:
+            return self._best_candidate
+        raise ValueError("min cut needs n >= 2")
+
+    def solve(self, solver: Callable[[Graph], object]) -> Cut:
+        """Run ``solver`` on the kernel and lift its cut to the original.
+
+        ``solver`` takes a connected graph with ``n >= 2`` and returns
+        either a :class:`~repro.graph.Cut` or an object with a ``cut``
+        attribute (every result type in this library).  Solved kernels
+        (disconnected input, fully collapsed kernel) never invoke it.
+        """
+        if self.is_solved:
+            return self.trivial_cut()
+        res = solver(self.graph)
+        cut = res if isinstance(res, Cut) else res.cut
+        return self.lift(cut.side)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-able summary (kernel line of query responses / CLI)."""
+        n0, m0 = self.original.num_vertices, self.original.num_edges
+        nk, mk = self.graph.num_vertices, self.graph.num_edges
+        return {
+            "level": self.level,
+            "original_vertices": n0,
+            "original_edges": m0,
+            "kernel_vertices": nk,
+            "kernel_edges": mk,
+            "vertex_shrink": n0 / max(1, nk),
+            "edge_shrink": m0 / max(1, mk),
+            "solved": self.is_solved,
+            "solved_weight": self.solved.weight if self.solved is not None else None,
+            "candidates_recorded": self.candidates_recorded,
+            "best_candidate_weight": (
+                self._best_candidate.weight
+                if self._best_candidate is not None
+                else None
+            ),
+            "steps": [s.as_dict() for s in self.steps],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CutKernel(level={self.level!r}, "
+            f"{self.original.num_vertices}->{self.graph.num_vertices} vertices, "
+            f"{self.original.num_edges}->{self.graph.num_edges} edges, "
+            f"solved={self.is_solved})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The pipeline driver
+# ----------------------------------------------------------------------
+def kernelize(graph: Graph, *, level: str = "safe") -> CutKernel:
+    """Reduce ``graph`` for minimum-cut solving at the given level.
+
+    ``off`` returns an identity kernel (uniform code path); ``safe``
+    runs R2–R4; ``aggressive`` adds the NI contraction rule R5 and the
+    final NI certificate R6.  Exact at every level — see the module
+    docstring for the per-rule argument.
+    """
+    level = validate_level(level)
+    kernel = CutKernel(graph, level)
+    if level == "off" or graph.num_vertices < 2:
+        return kernel
+
+    _split_components(kernel)
+    if kernel.solved is not None:
+        return kernel
+
+    # Alternate structural passes to a fixpoint: contraction exposes
+    # new degree-one vertices and lowers the candidate bound, which in
+    # turn certifies more contractions.  Each round strictly shrinks
+    # the kernel, so the loop runs at most n times.
+    while kernel.graph.num_vertices > 2:
+        changed = _prune_degree_one(kernel)
+        changed += _contract_certified_edges(
+            kernel, use_ni=(level == "aggressive")
+        )
+        if not changed:
+            break
+
+    if level == "aggressive":
+        _ni_certificate_pass(kernel)
+    return kernel
+
+
+def solve_min_cut(
+    graph: Graph,
+    solver: Callable[[Graph], object],
+    *,
+    level: str = "safe",
+) -> Cut:
+    """Kernelize, solve on the kernel, lift — the shared solver wrapper.
+
+    The one-liner behind ``repro-cut mincut --preprocess`` for the
+    serial baselines: exact solvers stay exact (the reductions preserve
+    the minimum-cut weight and ``lift`` folds the candidates back in),
+    approximate solvers keep their guarantee while running on a smaller
+    graph.
+    """
+    return kernelize(graph, level=level).solve(solver)
+
+
+# ----------------------------------------------------------------------
+# R2 — connected components (cheapest-component shortcut)
+# ----------------------------------------------------------------------
+def _split_components(kernel: CutKernel) -> None:
+    comps = kernel.graph.components()
+    if len(comps) < 2:
+        return
+    # All components give cut weight 0; the smallest is the cheapest
+    # witness to materialise (ties broken by the deterministic
+    # min-internal-index order Graph.components() yields).
+    cheapest = min(comps, key=len)
+    kernel.solved = Cut.of(kernel.original, kernel.lift_side(cheapest))
+    kernel.steps.append(
+        ReductionStep(
+            name="component-split",
+            vertices_removed=0,
+            edges_removed=0,
+            candidates_recorded=0,
+            detail=(
+                f"{len(comps)} components: min cut is 0, witnessed by the "
+                f"smallest component ({len(cheapest)} vertices)"
+            ),
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# R3 — degree-one contraction
+# ----------------------------------------------------------------------
+def _prune_degree_one(kernel: CutKernel) -> int:
+    """Contract degree-one kernel vertices into their neighbours."""
+    g = kernel.graph
+    adj = {v: dict(nbrs) for v, nbrs in g.adjacency().items()}
+    blocks = kernel.blocks
+    queue = deque(v for v in adj if len(adj[v]) == 1)
+    removed = 0
+    candidates = 0
+    while queue and len(adj) > 2:
+        v = queue.popleft()
+        if v not in adj or len(adj[v]) != 1:
+            continue
+        ((u, _w),) = adj[v].items()
+        # Candidate: the block of v as a cut of the original — the only
+        # cuts the contraction loses are those separating v from u, all
+        # of weight >= w = this candidate's weight.
+        kernel._record_candidate(blocks[v])
+        candidates += 1
+        blocks[u].extend(blocks.pop(v))
+        del adj[v]
+        del adj[u][v]
+        removed += 1
+        if len(adj[u]) == 1:
+            queue.append(u)
+    if not removed:
+        return 0
+    old_edges = g.num_edges
+    kernel.graph = Graph(
+        vertices=list(adj),
+        edges=(
+            (u, v, w) for u, v, w in g.edges() if u in adj and v in adj
+        ),
+    )
+    kernel.steps.append(
+        ReductionStep(
+            name="degree-one",
+            vertices_removed=removed,
+            edges_removed=old_edges - kernel.graph.num_edges,
+            candidates_recorded=candidates,
+            detail=f"contracted {removed} degree-one vertices",
+        )
+    )
+    return removed
+
+
+# ----------------------------------------------------------------------
+# R4 / R5 — certified-edge contraction rounds
+# ----------------------------------------------------------------------
+def _min_degree_vertex(g: Graph) -> Vertex:
+    """Deterministic argmin of weighted degree (first index wins ties)."""
+    best_v = None
+    best_d = float("inf")
+    for v in g.vertices():
+        d = g.degree(v)
+        if d < best_d:
+            best_d = d
+            best_v = v
+    return best_v
+
+
+def _contract_certified_edges(kernel: CutKernel, *, use_ni: bool) -> int:
+    """One round of R4 (+R5): contract edges certified >= lambda_hat.
+
+    ``lambda_hat`` is the best candidate's weight *in the original
+    graph*; since the kernel is a pure quotient at this point, kernel
+    cut weights equal original lifted weights, so any cut destroyed by
+    contracting a certified edge weighs at least ``lambda_hat`` — which
+    the recorded candidate already achieves.
+    """
+    g = kernel.graph
+    n = g.num_vertices
+    if n <= 2:
+        return 0
+    # Refresh the estimate: the minimum weighted degree is itself a cut
+    # of the original (singleton block), and contraction may have
+    # produced a block whose boundary is lighter than anything seen.
+    kernel._record_candidate(kernel.blocks[_min_degree_vertex(g)])
+    lam = kernel._best_candidate.weight
+
+    scan = ni_edge_starts(g) if use_ni else None
+    index = {v: i for i, v in enumerate(g.vertices())}
+    certified: list[tuple[float, int, int]] = []
+    edges = list(g.edges())
+    for eid, (u, v, w) in enumerate(edges):
+        cert = w if scan is None else scan.start(u, v) + w
+        if cert >= lam:
+            certified.append((-cert, index[u], eid))
+    if not certified:
+        return 0
+
+    # Contract strongest certificates first, never below 2 vertices
+    # (the guard keeps the kernel a valid solver input; stopping early
+    # is always allowed — contracting any subset of certified edges is
+    # exact).
+    certified.sort()
+    parent = {v: v for v in g.vertices()}
+
+    def find(x: Vertex) -> Vertex:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    remaining = n
+    for _, _, eid in certified:
+        if remaining <= 2:
+            break
+        u, v, _w = edges[eid]
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            remaining -= 1
+    if remaining == n:
+        return 0
+    rep = {v: find(v) for v in g.vertices()}
+    quotient, new_blocks = g.quotient(rep)
+    kernel.blocks = {
+        r: [orig for member in members for orig in kernel.blocks[member]]
+        for r, members in new_blocks.items()
+    }
+    kernel.graph = quotient
+    kernel.steps.append(
+        ReductionStep(
+            name="ni-contraction" if use_ni else "heavy-edge",
+            vertices_removed=n - remaining,
+            edges_removed=g.num_edges - quotient.num_edges,
+            candidates_recorded=1,
+            detail=(
+                f"contracted {n - remaining} vertices via edges certified "
+                f">= lambda_hat={lam:g}"
+            ),
+        )
+    )
+    return n - remaining
+
+
+# ----------------------------------------------------------------------
+# R6 — final NI certificate (aggressive only)
+# ----------------------------------------------------------------------
+def _ni_certificate_pass(kernel: CutKernel) -> None:
+    g = kernel.graph
+    if g.num_vertices <= 2 or g.num_edges == 0:
+        return
+    cert = sparsify_preserving_min_cut(g)
+    if cert.num_edges >= g.num_edges:
+        return
+    kernel.steps.append(
+        ReductionStep(
+            name="ni-certificate",
+            vertices_removed=0,
+            edges_removed=g.num_edges - cert.num_edges,
+            candidates_recorded=0,
+            detail=(
+                f"NI certificate at k = min degree: {g.num_edges} -> "
+                f"{cert.num_edges} edges (reweighted; every minimum cut "
+                "preserved exactly)"
+            ),
+        )
+    )
+    kernel.graph = cert
+
+
+# ======================================================================
+# Min k-Cut kernelization (the k-cut-safe subset)
+# ======================================================================
+class KCutKernel:
+    """Kernel for Min k-Cut: heavy-edge contraction above a known k-cut.
+
+    The min-cut reductions are *not* k-cut safe (a degree-one vertex
+    may be its own part in an optimal k-cut), so this kernel applies
+    only the rule that is: contracting an edge of weight >= the weight
+    of a *known* k-cut.  Any k-way partition separating the endpoints
+    crosses that edge, so it weighs at least as much as the recorded
+    candidate; partitions keeping them together survive contraction
+    with exact weight.  Hence ``min(candidate, min-k-cut(kernel)) =
+    min-k-cut(original)`` — the optimum weight is preserved exactly,
+    though the (4+eps) greedy may legitimately walk a different path on
+    the smaller graph.
+    """
+
+    def __init__(self, original: Graph, k: int, level: str):
+        self.original = original
+        self.k = k
+        self.level = level
+        self.graph: Graph = original
+        self.blocks: dict[Vertex, list[Vertex]] = {
+            v: [v] for v in original.vertices()
+        }
+        self.candidate: KCut | None = None
+        self.contracted = 0
+
+    @property
+    def reduced(self) -> bool:
+        return self.contracted > 0
+
+    def lift(self, parts: Iterable[Iterable[Vertex]]) -> KCut:
+        """Lift a kernel partition; folds the candidate if lighter."""
+        expanded = [
+            frozenset(
+                orig for rep in part for orig in self.blocks[rep]
+            )
+            for part in parts
+        ]
+        lifted = KCut.of(self.original, expanded)
+        if self.candidate is not None and self.candidate.weight < lifted.weight:
+            return self.candidate
+        return lifted
+
+    def stats(self) -> dict:
+        return {
+            "level": self.level,
+            "k": self.k,
+            "original_vertices": self.original.num_vertices,
+            "original_edges": self.original.num_edges,
+            "kernel_vertices": self.graph.num_vertices,
+            "kernel_edges": self.graph.num_edges,
+            "contracted": self.contracted,
+            "candidate_weight": (
+                self.candidate.weight if self.candidate is not None else None
+            ),
+        }
+
+
+def kernelize_for_kcut(
+    graph: Graph, k: int, *, level: str = "safe"
+) -> KCutKernel:
+    """Contract edges no optimal k-cut can cross (weight >= candidate).
+
+    The candidate k-cut cutting the ``k - 1`` lightest-degree vertices
+    loose bounds the optimum from above; every edge at least that heavy
+    is safe to contract (see :class:`KCutKernel`).  Contraction never
+    drops the kernel below ``k`` vertices.  Both non-``off`` levels
+    apply the same rule — there is no aggressive extra for k-cut.
+    """
+    level = validate_level(level)
+    kernel = KCutKernel(graph, k, level)
+    n = graph.num_vertices
+    if level == "off" or not 2 <= k < n:
+        return kernel
+
+    # Candidate: k-1 lightest singletons against the rest.
+    by_degree = sorted(
+        graph.vertices(), key=lambda v: (graph.degree(v), graph.index_of(v))
+    )
+    singles = by_degree[: k - 1]
+    single_set = set(singles)
+    rest = [v for v in graph.vertices() if v not in single_set]
+    kernel.candidate = KCut.of(graph, [[v] for v in singles] + [rest])
+    bound = kernel.candidate.weight
+    if bound <= 0:  # >= k components already: optimum is 0, nothing to do
+        return kernel
+
+    index = {v: i for i, v in enumerate(graph.vertices())}
+    heavy = sorted(
+        ((w, u, v) for u, v, w in graph.edges() if w >= bound),
+        key=lambda t: (-t[0], index[t[1]], index[t[2]]),
+    )
+    if not heavy:
+        return kernel
+    parent = {v: v for v in graph.vertices()}
+
+    def find(x: Vertex) -> Vertex:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    remaining = n
+    for _, u, v in heavy:
+        if remaining <= k:
+            break
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            remaining -= 1
+    if remaining == n:
+        return kernel
+    rep = {v: find(v) for v in graph.vertices()}
+    kernel.graph, kernel.blocks = graph.quotient(rep)
+    kernel.contracted = n - remaining
+    return kernel

@@ -13,8 +13,11 @@ GET       /graphs    list of registered-graph descriptions
 GET       /stats     cache/pool/oracle counters (the observability seam)
 POST      /graphs    ``{"name", "edges": [[u,v,w],...]}`` or
                      ``{"name", "path": "file-on-server"}``
-POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?}``
-POST      /kcut      ``{"graph", "k", "eps"?, "trials"?, "seed"?}``
+POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?,
+                     "preprocess"?}`` (``preprocess`` in off/safe/
+                     aggressive; responses carry the kernel stats)
+POST      /kcut      ``{"graph", "k", "eps"?, "trials"?, "seed"?,
+                     "preprocess"?}``
 POST      /stcut     ``{"graph", "s", "t"}``
 POST      /batch     ``{"requests": [{"op": "mincut"|..., ...}, ...]}``
                      → ``{"responses": [...]}``, one per request, errors
@@ -124,6 +127,7 @@ class _Handler(BaseHTTPRequestHandler):
                     eps=float(body.get("eps", 0.5)),
                     trials=_opt_int(body, "trials"),
                     seed=int(body.get("seed", 0)),
+                    preprocess=body.get("preprocess"),
                 )
             if op == "kcut":
                 return service.kcut(
@@ -132,6 +136,7 @@ class _Handler(BaseHTTPRequestHandler):
                     eps=float(body.get("eps", 0.5)),
                     trials=int(body.get("trials", 1)),
                     seed=int(body.get("seed", 0)),
+                    preprocess=body.get("preprocess"),
                 )
             if op == "stcut":
                 return service.stcut(

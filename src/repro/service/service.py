@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Hashable
 
 from ..graph import Graph
+from ..preprocess import validate_level
 from .cache import LRUCache
 from .executor import TrialExecutor, default_trials
 from .oracle import CutOracle
@@ -49,6 +50,7 @@ class CutService:
         result_cache_capacity: int = 256,
         flow_engine: str = "dinic",
         ampc_backend: str | None = None,
+        preprocess: str = "off",
     ):
         self.store = GraphStore(
             capacity=store_capacity, on_evict=self._release_oracle
@@ -56,6 +58,9 @@ class CutService:
         self.executor = TrialExecutor(workers=workers, ampc_backend=ampc_backend)
         self.results = LRUCache(result_cache_capacity)
         self.flow_engine = flow_engine
+        #: default kernelization level for mincut/kcut queries; each
+        #: query may override it with its own ``preprocess`` field.
+        self.preprocess = validate_level(preprocess)
         self._oracles: dict[str, CutOracle] = {}  # fingerprint -> oracle
         self._lock = threading.Lock()
         self.started_at = time.time()
@@ -119,15 +124,36 @@ class CutService:
         trials: int | None = None,
         seed: int = 0,
         max_copies: int = 4,
+        preprocess: str | None = None,
     ) -> dict:
-        """Boosted (2+eps)-approximate min cut of a registered graph."""
+        """Boosted (2+eps)-approximate min cut of a registered graph.
+
+        ``preprocess`` overrides the service default kernelization
+        level.  With a non-``off`` level the boosting trials run on the
+        graph's cached :class:`~repro.preprocess.CutKernel` (built once
+        per fingerprint, resident alongside the graph) and the winning
+        cut is lifted back; the response carries the kernel stats.
+        """
         entry = self.store.get(name)
+        level = validate_level(
+            preprocess if preprocess is not None else self.preprocess
+        )
+        kernel = (
+            self.store.kernel_for(entry, level) if level != "off" else None
+        )
+        solved = kernel is not None and kernel.is_solved
         if trials is None:
-            trials = default_trials(entry.num_vertices)
+            target_n = (
+                kernel.graph.num_vertices if kernel is not None else entry.num_vertices
+            )
+            trials = 0 if solved else default_trials(max(2, target_n))
         key = (
             entry.fingerprint,
             "mincut",
-            ("eps", eps, "trials", trials, "max_copies", max_copies),
+            (
+                "eps", eps, "trials", trials, "max_copies", max_copies,
+                "preprocess", level,
+            ),
             seed,
         )
         cached = self.results.get(key)
@@ -136,21 +162,37 @@ class CutService:
             # (the cached payload may have been computed under another).
             return {**cached, "graph": name, "cached": True}
         t0 = time.perf_counter()
-        result = self.executor.run_mincut(
-            entry.graph, eps=eps, trials=trials, seed=seed, max_copies=max_copies
-        )
+        if solved:
+            cut = kernel.trivial_cut()
+            rounds = 0
+        elif kernel is not None:
+            result = self.executor.run_mincut(
+                kernel.graph, eps=eps, trials=trials, seed=seed,
+                max_copies=max_copies,
+            )
+            cut = kernel.lift(result.cut.side)
+            rounds = result.ledger.rounds
+        else:
+            result = self.executor.run_mincut(
+                entry.graph, eps=eps, trials=trials, seed=seed,
+                max_copies=max_copies,
+            )
+            cut = result.cut
+            rounds = result.ledger.rounds
         payload = {
             "graph": name,
             "fingerprint": entry.fingerprint,
             "algorithm": "ampc-mincut-boosted",
-            "weight": result.weight,
-            "side": _vertex_list(result.cut.side),
-            "rounds": result.ledger.rounds,
+            "weight": cut.weight,
+            "side": _vertex_list(cut.side),
+            "rounds": rounds,
             "trials": trials,
             "seed": seed,
             "eps": eps,
             "elapsed_s": time.perf_counter() - t0,
         }
+        if kernel is not None:
+            payload["preprocess"] = kernel.stats()
         self.results.put(key, payload)
         return {**payload, "cached": False}
 
@@ -163,22 +205,48 @@ class CutService:
         trials: int = 1,
         seed: int = 0,
         max_copies: int = 2,
+        preprocess: str | None = None,
     ) -> dict:
-        """(4+eps)-approximate min k-cut of a registered graph."""
+        """(4+eps)-approximate min k-cut of a registered graph.
+
+        With a non-``off`` ``preprocess`` level the trials run on the
+        cached k-cut kernel (built once per (fingerprint, k, level),
+        like the min-cut kernel) and the winning partition is lifted
+        back to the original vertex set.
+        """
         entry = self.store.get(name)
+        level = validate_level(
+            preprocess if preprocess is not None else self.preprocess
+        )
+        kernel = (
+            self.store.kcut_kernel_for(entry, k, level)
+            if level != "off"
+            else None
+        )
         key = (
             entry.fingerprint,
             "kcut",
-            ("k", k, "eps", eps, "trials", trials, "max_copies", max_copies),
+            (
+                "k", k, "eps", eps, "trials", trials, "max_copies", max_copies,
+                "preprocess", level,
+            ),
             seed,
         )
         cached = self.results.get(key)
         if cached is not None:
             return {**cached, "graph": name, "cached": True}
         t0 = time.perf_counter()
-        result = self.executor.run_kcut(
-            entry.graph, k, eps=eps, trials=trials, seed=seed, max_copies=max_copies
+        target = (
+            kernel.graph if kernel is not None and kernel.reduced else entry.graph
         )
+        result = self.executor.run_kcut(
+            target, k, eps=eps, trials=trials, seed=seed,
+            max_copies=max_copies,
+        )
+        if kernel is not None:
+            if kernel.reduced:
+                result.kcut = kernel.lift(result.kcut.parts)
+            result.kernel_stats = kernel.stats()
         payload = {
             "graph": name,
             "fingerprint": entry.fingerprint,
@@ -196,6 +264,8 @@ class CutService:
             "eps": eps,
             "elapsed_s": time.perf_counter() - t0,
         }
+        if result.kernel_stats is not None:
+            payload["preprocess"] = result.kernel_stats
         self.results.put(key, payload)
         return {**payload, "cached": False}
 
@@ -231,6 +301,7 @@ class CutService:
         oracles = {fp: oracle.stats() for fp, oracle in snapshot.items()}
         return {
             "uptime_s": time.time() - self.started_at,
+            "preprocess": self.preprocess,
             "store": self.store.describe(),
             "results": self.results.stats(),
             "executor": self.executor.stats(),

@@ -11,6 +11,13 @@ a new name (or after an eviction) still hits warm cache entries.
 Capacity is bounded: with more named graphs than ``capacity`` the
 least-recently-*queried* one is evicted (its dependents — e.g. the
 per-graph Gomory–Hu oracle — are released through ``on_evict``).
+
+The store also owns the **kernelization cache**: one
+:class:`~repro.preprocess.CutKernel` per (fingerprint, level), built
+lazily by :meth:`GraphStore.kernel_for`, so every preprocessed query on
+a resident graph starts from the reduced graph instead of re-running
+the reduction pipeline.  Kernels are dropped when the last entry
+holding their fingerprint leaves the store.
 """
 
 from __future__ import annotations
@@ -19,9 +26,12 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..graph import Graph, load_any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..preprocess import CutKernel
 
 
 @dataclass
@@ -55,6 +65,8 @@ class StoreStats:
     evictions: int = 0
     hits: int = 0
     misses: int = 0
+    kernel_builds: int = 0
+    kernel_hits: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -63,6 +75,8 @@ class StoreStats:
             "evictions": self.evictions,
             "hits": self.hits,
             "misses": self.misses,
+            "kernel_builds": self.kernel_builds,
+            "kernel_hits": self.kernel_hits,
         }
 
 
@@ -87,6 +101,12 @@ class GraphStore:
         self._lock = threading.RLock()
         self._on_evict = on_evict
         self.stats = StoreStats()
+        # kernelization cache: (fingerprint, level) -> CutKernel and
+        # (fingerprint, ("kcut", k, level)) -> KCutKernel, so every
+        # preprocessed query on a resident graph starts from the
+        # kernel.  Content-addressed like the oracle cache: two names
+        # holding the same graph share one kernel per level.
+        self._kernels: dict[tuple, "CutKernel"] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -123,6 +143,7 @@ class GraphStore:
                 _, old = self._entries.popitem(last=False)
                 self.stats.evictions += 1
                 evicted.append(old)
+            self._drop_orphan_kernels(evicted)
         for old in evicted:
             if self._on_evict is not None:
                 self._on_evict(old)
@@ -171,9 +192,90 @@ class GraphStore:
                 raise KeyError(f"no graph registered under {name!r}")
             entry = self._entries.pop(name)
             self.stats.evictions += 1
+            self._drop_orphan_kernels([entry])
         if self._on_evict is not None:
             self._on_evict(entry)
         return entry
+
+    # ------------------------------------------------------------------
+    # Kernelization cache
+    # ------------------------------------------------------------------
+    def kernel_for(self, entry: GraphEntry, level: str) -> "CutKernel":
+        """The cached :class:`~repro.preprocess.CutKernel` of an entry.
+
+        Built lazily, once per (fingerprint, level): every later query
+        on a resident graph starts from the kernel instead of the raw
+        graph.  Registered graphs are frozen (see
+        :meth:`repro.graph.Graph.fingerprint`), so the kernel never
+        goes stale; eviction of the last entry holding a fingerprint
+        drops its kernels.
+        """
+        from ..preprocess import kernelize, validate_level
+
+        level = validate_level(level)
+        key = (entry.fingerprint, level)
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is not None:
+                self.stats.kernel_hits += 1
+                return kernel
+        # Kernelize outside the lock: reductions are O(m) per round and
+        # must not wedge concurrent store lookups.
+        kernel = kernelize(entry.graph, level=level)
+        with self._lock:
+            self.stats.kernel_builds += 1
+            # Cache only while the fingerprint is still resident — the
+            # entry may have been evicted mid-build, and caching then
+            # would pin the graph forever (same rule as the oracle
+            # cache in CutService._oracle_for).
+            if any(
+                e.fingerprint == entry.fingerprint
+                for e in self._entries.values()
+            ):
+                self._kernels.setdefault(key, kernel)
+                kernel = self._kernels[key]
+        return kernel
+
+    def kcut_kernel_for(self, entry: GraphEntry, k: int, level: str):
+        """The cached :class:`~repro.preprocess.KCutKernel` of an entry.
+
+        Same contract as :meth:`kernel_for`, keyed by ``(fingerprint,
+        ("kcut", k, level))`` so the eviction sweep (which matches on
+        the fingerprint element) releases both kinds of kernel.
+        """
+        from ..preprocess import kernelize_for_kcut, validate_level
+
+        level = validate_level(level)
+        key = (entry.fingerprint, ("kcut", k, level))
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is not None:
+                self.stats.kernel_hits += 1
+                return kernel
+        kernel = kernelize_for_kcut(entry.graph, k, level=level)
+        with self._lock:
+            self.stats.kernel_builds += 1
+            if any(
+                e.fingerprint == entry.fingerprint
+                for e in self._entries.values()
+            ):
+                self._kernels.setdefault(key, kernel)
+                kernel = self._kernels[key]
+        return kernel
+
+    def _drop_orphan_kernels(self, evicted: list[GraphEntry]) -> None:
+        """Drop kernels whose fingerprint no longer has a resident entry.
+
+        Caller must hold ``self._lock``.
+        """
+        if not self._kernels or not evicted:
+            return
+        resident = {e.fingerprint for e in self._entries.values()}
+        for entry in evicted:
+            if entry.fingerprint in resident:
+                continue
+            for key in [k for k in self._kernels if k[0] == entry.fingerprint]:
+                del self._kernels[key]
 
     def describe(self) -> dict:
         """JSON-able store summary (the ``/stats`` section)."""
@@ -181,5 +283,6 @@ class GraphStore:
             return {
                 "resident": len(self._entries),
                 "capacity": self.capacity,
+                "kernels_resident": len(self._kernels),
                 **self.stats.as_dict(),
             }

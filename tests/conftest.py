@@ -31,6 +31,35 @@ def ampc_backend() -> str:
 
 
 @pytest.fixture(scope="session")
+def kernel_shrinkage():
+    """Sink for kernelization records, dumped as a JSON artifact.
+
+    ``tests/test_preprocess.py`` appends one record per (instance,
+    level, solver) differential comparison.  When ``KERNEL_SHRINKAGE``
+    names a path, the records are written there at session end — CI
+    uploads that file as the kernel-shrinkage artifact.
+    """
+    records: list[dict] = []
+    yield records
+    path = os.environ.get("KERNEL_SHRINKAGE")
+    if path and records:
+        shrinks = [r["vertex_shrink"] for r in records]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "suite_backend": _backend_under_test(),
+                    "comparisons": records,
+                    "all_identical": all(r["identical"] for r in records),
+                    "max_vertex_shrink": max(shrinks),
+                    "mean_vertex_shrink": sum(shrinks) / len(shrinks),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+
+
+@pytest.fixture(scope="session")
 def equivalence_summary():
     """Sink for backend-equivalence records, dumped as a JSON artifact.
 

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph import Graph
+from repro.graph.io import read_edgelist
 from repro.graph.formats import (
     load_dimacs,
     load_metis,
@@ -146,6 +147,54 @@ class TestMetis:
     def test_self_loop_in_row_skipped(self):
         g = read_metis(io.StringIO("2 1\n1 2\n1\n"))
         assert g.num_edges == 1
+
+    def test_same_row_duplicates_merge_by_sum(self):
+        # A neighbour listed twice in one row is a parallel edge and
+        # must canonicalize by weight sum, exactly like the edge-list
+        # and DIMACS readers (and the kernel's parallel-edge merge) —
+        # previously the second listing was silently dropped.
+        g = read_metis(io.StringIO("2 1 001\n2 3 2 4\n1 7\n"))
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 7.0
+
+    def test_same_row_duplicates_asymmetric_total_rejected(self):
+        # The reverse row must agree with the *merged* total.
+        with pytest.raises(ValueError, match="asymmetric"):
+            read_metis(io.StringIO("2 1 001\n2 3 2 4\n1 3\n"))
+
+    def test_unweighted_same_row_duplicates_merge(self):
+        g = read_metis(io.StringIO("3 2 001\n2 1 2 1 3 1\n1 2\n1 1\n"))
+        assert g.weight(1, 2) == 2.0 and g.weight(1, 3) == 1.0
+
+    def test_zero_weight_edges_dropped(self):
+        # Zero-capacity edges cannot affect any cut; they vanish at
+        # ingestion (the vertex set is unchanged, and the header count
+        # may reflect either the raw or the canonical view).
+        g = read_metis(io.StringIO("3 2 001\n2 0\n1 0 3 2\n2 2\n"))
+        assert g.num_vertices == 3
+        assert g.num_edges == 1 and g.weight(2, 3) == 2.0
+
+
+class TestZeroWeightIngestion:
+    def test_dimacs_zero_weight_dropped(self):
+        g = read_dimacs(io.StringIO("p cut 3 2\ne 1 2 0\ne 2 3 4\n"))
+        assert g.num_vertices == 3
+        assert g.num_edges == 1 and g.weight(2, 3) == 4.0
+
+    def test_edgelist_zero_weight_and_self_loop_dropped(self):
+        text = "3\nv 1\nv 2\nv 3\ne 1 2 0.0\ne 2 2 5.0\ne 2 3 1.5\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert g.num_edges == 1 and g.weight(2, 3) == 1.5
+
+    def test_edgelist_duplicate_edges_merge_by_sum(self):
+        text = "2\nv 1\nv 2\ne 1 2 1.5\ne 2 1 2.5\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.num_edges == 1 and g.weight(1, 2) == 4.0
+
+    def test_negative_weights_still_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            read_dimacs(io.StringIO("p cut 2 1\ne 1 2 -3\n"))
 
 
 class TestCrossFormat:
