@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+import numpy as np
+
 from ..graph import Cut, Graph
 from ..core.contraction import contract_to_size
 from ..core.keys import draw_contraction_keys
@@ -56,8 +58,19 @@ def contraction_preserves_cut(
     """
     keys = draw_contraction_keys(graph, seed=seed)
     _, blocks = contract_to_size(graph, keys, target)
-    for members in blocks.values():
-        inside = sum(1 for v in members if v in side)
-        if 0 < inside < len(members):
-            return False
-    return True
+    # Vectorized purity check: label every vertex with its block id and
+    # compare each block's inside-count against its size.
+    index = graph._index
+    n = graph.num_vertices
+    block_id = np.empty(n, dtype=np.int64)
+    in_side = np.zeros(n, dtype=np.int64)
+    for b, members in enumerate(blocks.values()):
+        for v in members:
+            block_id[index[v]] = b
+    for v in side:
+        i = index.get(v)
+        if i is not None:  # foreign side vertices can never be members
+            in_side[i] = 1
+    inside = np.bincount(block_id, weights=in_side, minlength=len(blocks))
+    sizes = np.bincount(block_id, minlength=len(blocks))
+    return bool(np.all((inside == 0) | (inside == sizes)))

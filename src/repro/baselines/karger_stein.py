@@ -18,6 +18,7 @@ from typing import Hashable
 from ..core.contraction import contract_to_size
 from ..core.keys import draw_contraction_keys
 from ..graph import Cut, Graph, lift_cut
+from .stoer_wagner import stoer_wagner_min_cut
 
 Vertex = Hashable
 
@@ -25,7 +26,12 @@ _SQRT2 = math.sqrt(2.0)
 
 
 def karger_stein_min_cut(graph: Graph, *, seed: int = 0, base: int = 6) -> Cut:
-    """One invocation of the recursive contraction algorithm."""
+    """One invocation of the recursive contraction algorithm.
+
+    The contraction step is one key draw + one vectorized quotient per
+    copy (:func:`~repro.core.contraction.contract_to_size`); the base
+    case is the columnar Stoer–Wagner.
+    """
     if graph.num_vertices < 2:
         raise ValueError("need n >= 2")
     return _recurse(graph, seed, base)
@@ -34,8 +40,6 @@ def karger_stein_min_cut(graph: Graph, *, seed: int = 0, base: int = 6) -> Cut:
 def _recurse(graph: Graph, seed: int, base: int) -> Cut:
     n = graph.num_vertices
     if n <= base:
-        from .stoer_wagner import stoer_wagner_min_cut
-
         return stoer_wagner_min_cut(graph)
     target = max(2, math.ceil(n / _SQRT2))
     if target >= n:
@@ -52,8 +56,6 @@ def _recurse(graph: Graph, seed: int, base: int) -> Cut:
         if best is None or lifted.weight < best.weight:
             best = lifted
     if best is None:  # both copies degenerated (tiny/odd graphs)
-        from .stoer_wagner import stoer_wagner_min_cut
-
         return stoer_wagner_min_cut(graph)
     return best
 

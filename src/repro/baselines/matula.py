@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
+import numpy as np
+
 from ..graph import Cut, Graph
 from ..graph.sparsify import ni_edge_starts
 
@@ -83,31 +85,36 @@ def matula_min_cut(graph: Graph, *, eps: float = 0.5) -> MatulaResult:
     while work.num_vertices > 2:
         stages += 1
         best = _best_singleton(graph, work, blocks, best)
-        delta = min(work.degree(v) for v in work.vertices())
+        delta = float(work.degree_vector().min())
         k = delta / (2.0 + eps)
 
+        # Contract every edge whose NI level interval pokes above k,
+        # selected in one vectorized pass over the edge columns.
         scan = ni_edge_starts(work)
-        rep = {v: v for v in work.vertices()}
-        merged = False
-        dsu_parent = {v: v for v in work.vertices()}
-
-        def find(v: Vertex) -> Vertex:
-            while dsu_parent[v] != v:
-                dsu_parent[v] = dsu_parent[dsu_parent[v]]
-                v = dsu_parent[v]
-            return v
-
-        for u, v, w in work.edges():
-            if scan.start(u, v) + w > k:
-                ru, rv = find(u), find(v)
-                if ru != rv:
-                    dsu_parent[ru] = rv
-                    merged = True
-        if not merged:  # impossible by the counting argument; belt & braces
+        us, vs, ws = work.edge_arrays()
+        hit = np.flatnonzero(scan.levels_for(work) + ws > k)
+        if len(hit) == 0:  # impossible by the counting argument; belt & braces
             raise AssertionError(
                 "Matula invariant violated: no contractible edge found"
             )
-        rep = {v: find(v) for v in work.vertices()}
+        work_vertices = work.vertices()
+        dsu_parent = list(range(work.num_vertices))
+
+        def find(x: int) -> int:
+            while dsu_parent[x] != x:
+                dsu_parent[x] = dsu_parent[dsu_parent[x]]
+                x = dsu_parent[x]
+            return x
+
+        # The first certified edge always merges (fresh DSU, distinct
+        # endpoints), so a non-empty hit set guarantees progress.
+        for iu, iv in zip(us[hit].tolist(), vs[hit].tolist()):
+            ru, rv = find(iu), find(iv)
+            if ru != rv:
+                dsu_parent[ru] = rv
+        rep = {
+            v: work_vertices[find(i)] for i, v in enumerate(work_vertices)
+        }
         work, new_blocks = work.quotient(rep)
         blocks = {
             r: [orig for member in members for orig in blocks[member]]

@@ -22,51 +22,82 @@ Vertex = Hashable
 
 
 def stoer_wagner_min_cut(graph: Graph) -> Cut:
-    """Exact minimum cut of a connected graph with ``n >= 2``."""
+    """Exact minimum cut of a connected graph with ``n >= 2``.
+
+    Runs entirely over dense vertex indices: the working adjacency is
+    a list of ``{neighbor_index: weight}`` maps seeded straight from
+    the graph's edge columns (in edge-insertion order, matching
+    :meth:`Graph.adjacency`), and the maximum-adjacency heap holds
+    ``(-w, rank, index)`` entries where ``rank`` is the vertex's
+    position in sorted label order — so equal-connectivity ties
+    resolve exactly as the label-keyed heap of the scalar
+    implementation did, without hashing or comparing labels inside
+    the phase loop.
+    """
     n = graph.num_vertices
     if n < 2:
         raise ValueError("min cut needs n >= 2")
 
+    vertices = graph.vertices()
+    # Label-order rank: the scalar implementation broke heap ties by
+    # comparing vertex labels.  Unorderable (mixed-type) label sets —
+    # where the old code could only crash if a tie actually arose —
+    # fall back to insertion order.
+    try:
+        by_label = sorted(range(n), key=vertices.__getitem__)
+    except TypeError:
+        by_label = range(n)
+    rank = [0] * n
+    for r, i in enumerate(by_label):
+        rank[i] = r
+    us, vs, ws = graph.edge_arrays()
     # Working adjacency over "supervertices"; merged[x] = original
-    # vertices absorbed into x.
-    adj: dict[Vertex, dict[Vertex, float]] = {
-        v: dict(nbrs) for v, nbrs in graph.adjacency().items()
-    }
-    merged: dict[Vertex, list[Vertex]] = {v: [v] for v in graph.vertices()}
+    # vertex indices absorbed into x.
+    adj: list[dict[int, float]] = [{} for _ in range(n)]
+    for iu, iv, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+        adj[iu][iv] = w
+        adj[iv][iu] = w
+    merged: list[list[int] | None] = [[i] for i in range(n)]
 
+    alive = n
+    first_alive = 0  # supervertices die in t-role only, never the start
     best_weight = float("inf")
-    best_side: list[Vertex] | None = None
+    best_side: list[int] | None = None
 
-    while len(adj) > 1:
+    while alive > 1:
         # --- one maximum-adjacency phase --------------------------------
-        start = next(iter(adj))
-        in_a = {start}
+        while merged[first_alive] is None:
+            first_alive += 1
+        start = first_alive
+        in_a = bytearray(n)
+        in_a[start] = 1
         # lazy-deletion priority queue on connectivity to A
-        weight_to_a: dict[Vertex, float] = {}
-        heap: list[tuple[float, Vertex]] = []
+        weight_to_a = [0.0] * n
+        heap: list[tuple[float, int, int]] = []
         for u, w in adj[start].items():
             weight_to_a[u] = w
-            heapq.heappush(heap, (-w, u))
+            heap.append((-w, rank[u], u))
+        heapq.heapify(heap)
         order = [start]
-        while len(order) < len(adj):
+        while len(order) < alive:
             while True:
-                neg_w, u = heapq.heappop(heap)
-                if u not in in_a and weight_to_a.get(u) == -neg_w:
+                neg_w, _, u = heapq.heappop(heap)
+                if not in_a[u] and weight_to_a[u] == -neg_w:
                     break
-            in_a.add(u)
+            in_a[u] = 1
             order.append(u)
             for nbr, w in adj[u].items():
-                if nbr not in in_a:
-                    weight_to_a[nbr] = weight_to_a.get(nbr, 0.0) + w
-                    heapq.heappush(heap, (-weight_to_a[nbr], nbr))
+                if not in_a[nbr]:
+                    weight_to_a[nbr] += w
+                    heapq.heappush(heap, (-weight_to_a[nbr], rank[nbr], nbr))
         s, t = order[-2], order[-1]
-        phase_weight = weight_to_a.get(t, 0.0)
+        phase_weight = weight_to_a[t]
         if phase_weight < best_weight:
             best_weight = phase_weight
-            best_side = list(merged[t])
+            best_side = list(merged[t])  # type: ignore[arg-type]
         # --- merge t into s ---------------------------------------------
-        merged[s].extend(merged[t])
-        del merged[t]
+        merged[s].extend(merged[t])  # type: ignore[union-attr, arg-type]
+        merged[t] = None
         for nbr, w in adj[t].items():
             if nbr == s:
                 continue
@@ -74,10 +105,11 @@ def stoer_wagner_min_cut(graph: Graph) -> Cut:
             adj[nbr][s] = adj[s][nbr]
             del adj[nbr][t]
         adj[s].pop(t, None)
-        del adj[t]
+        adj[t] = {}
+        alive -= 1
 
     assert best_side is not None
-    return Cut.of(graph, best_side)
+    return Cut.of(graph, [vertices[i] for i in best_side])
 
 
 def exact_min_cut_weight(graph: Graph) -> float:

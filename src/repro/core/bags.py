@@ -55,13 +55,16 @@ def replay_min_singleton(graph: Graph, keys: ContractionKeys) -> ReplayResult:
         return root
 
     adj: dict[Vertex, dict[Vertex, float]] = {v: {} for v in graph.vertices()}
-    boundary: dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+    # Singleton boundaries are exactly the weighted degrees — read them
+    # off the graph's cached degree vector (bit-identical accumulation).
+    deg = graph.degree_vector()
+    boundary: dict[Vertex, float] = {
+        v: float(deg[i]) for i, v in enumerate(graph.vertices())
+    }
     members: dict[Vertex, int] = {v: 1 for v in graph.vertices()}
     for u, v, w in graph.edges():
         adj[u][v] = adj[u].get(v, 0.0) + w
         adj[v][u] = adj[v].get(u, 0.0) + w
-        boundary[u] += w
-        boundary[v] += w
 
     n = graph.num_vertices
     best = min(boundary.values())

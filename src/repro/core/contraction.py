@@ -17,20 +17,58 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from ..graph import DSU, Graph
+from ..graph import Graph
 from .keys import ContractionKeys
 
 Vertex = Hashable
+
+
+class _IndexDSU:
+    """Union–find over dense vertex indices (flat-array storage).
+
+    Mirrors :class:`repro.graph.DSU` decision-for-decision — union by
+    size with the first argument's root surviving ties, path halving —
+    so the elected representatives (which become quotient vertex
+    labels downstream) are identical to the hashable implementation's,
+    just without per-operation dict hashing.
+    """
+
+    __slots__ = ("parent", "size", "count")
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.count = n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        size = self.size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        size[ra] += size[rb]
+        self.count -= 1
+        return True
 
 
 def mst_of_keys(
     graph: Graph, keys: ContractionKeys
 ) -> list[tuple[int, Vertex, Vertex]]:
     """Kruskal on contraction keys: the unique MST, as (key, u, v) ascending."""
-    dsu = DSU(graph.vertices())
+    index = graph._index
+    dsu = _IndexDSU(graph.num_vertices)
     mst: list[tuple[int, Vertex, Vertex]] = []
     for k, u, v in keys.edges_by_key():
-        if dsu.union(u, v):
+        if dsu.union(index[u], index[v]):
             mst.append((k, u, v))
     return mst
 
@@ -46,19 +84,22 @@ def contract_to_size(
     self-loops dropped) and the representative->members blocks mapping
     for lifting cuts back.  Contracts nothing if the graph is already
     at or below the target.
+
+    One pass: a flat-array DSU labels every vertex with its block's
+    representative, then a single vectorized :meth:`Graph.quotient`
+    materialises the contracted graph — no incremental edge merging.
     """
     if target_vertices < 1:
         raise ValueError("target_vertices must be >= 1")
     n = graph.num_vertices
-    dsu = DSU(graph.vertices())
-    remaining = n
-    if remaining > target_vertices:
-        for k, u, v in mst_of_keys(graph, keys):
-            if dsu.union(u, v):
-                remaining -= 1
-                if remaining <= target_vertices:
-                    break
-    representative = {v: dsu.find(v) for v in graph.vertices()}
+    vertices = graph.vertices()
+    index = graph._index
+    dsu = _IndexDSU(n)
+    if n > target_vertices:
+        for _, u, v in keys.edges_by_key():
+            if dsu.union(index[u], index[v]) and dsu.count <= target_vertices:
+                break
+    representative = {v: vertices[dsu.find(i)] for i, v in enumerate(vertices)}
     return graph.quotient(representative)
 
 

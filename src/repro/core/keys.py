@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable
+
+import numpy as np
 
 from ..graph import Graph
 
@@ -43,21 +45,44 @@ class ContractionKeys:
     key: dict[EdgeId, int]
     max_key: int
     key_space: int
+    _ordered: list[tuple[int, Hashable, Hashable]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def of(self, u: Hashable, v: Hashable) -> int:
         return self.key[(u, v)]
 
     def edges_by_key(self) -> list[tuple[int, Hashable, Hashable]]:
-        """(key, u, v) triples, ascending, one per undirected edge."""
-        seen = set()
-        out = []
-        for (u, v), k in self.key.items():
-            if (v, u) in seen:
-                continue
-            seen.add((u, v))
-            out.append((k, u, v))
-        out.sort()
-        return out
+        """(key, u, v) triples, ascending, one per undirected edge.
+
+        Cached after the first call (keys are immutable); callers must
+        not mutate the returned list.
+        """
+        if self._ordered is None:
+            seen = set()
+            out = []
+            for (u, v), k in self.key.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                out.append((k, u, v))
+            out.sort()
+            object.__setattr__(self, "_ordered", out)
+        return self._ordered
+
+
+def _spread_ranks(m: int, key_space: int) -> list[int]:
+    """Rank ``1..m`` spread over ``[1, key_space]`` preserving order.
+
+    With ``m <= n^2 < n^3`` the spreading keeps keys unique; on tiny
+    key spaces where the stride collapses, fall back to the raw ranks.
+    """
+    stride = max(1, key_space // (m + 1))
+    ranks = np.arange(1, m + 1, dtype=np.int64)
+    kvals = np.minimum(np.int64(key_space), ranks * stride)
+    if len(np.unique(kvals)) != m:
+        kvals = ranks
+    return kvals.tolist()
 
 
 def draw_contraction_keys(graph: Graph, *, seed: int = 0) -> ContractionKeys:
@@ -65,29 +90,37 @@ def draw_contraction_keys(graph: Graph, *, seed: int = 0) -> ContractionKeys:
     rng = random.Random(seed)
     n = graph.num_vertices
     key_space = max(1, n**3)
-    clocked: list[tuple[float, Hashable, Hashable]] = []
-    for u, v, w in graph.edges():
-        # Exp(1)/w: smaller for heavier edges => contracted earlier.
-        clock = -math.log(max(rng.random(), 1e-300)) / w
-        clocked.append((clock, u, v))
-    clocked.sort(key=lambda t: t[0])
-    m = len(clocked)
+    us, vs, ws = graph.edge_arrays()
+    m = len(ws)
+    # The uniform draws must come from the Python RNG one edge at a
+    # time, in edge-storage order — the reproducibility contract ties
+    # seeds to this exact stream.  Everything downstream (clocks,
+    # ordering, rank spreading) is vectorized over the columns.
+    unif = np.fromiter((rng.random() for _ in range(m)), np.float64, count=m)
+    # Exp(1)/w: smaller for heavier edges => contracted earlier.  The
+    # per-element math.log keeps clock values bit-identical to the
+    # scalar implementation (SIMD log kernels may round differently).
+    clocks = np.fromiter(
+        (-math.log(c) for c in np.maximum(unif, 1e-300).tolist()),
+        np.float64,
+        count=m,
+    )
+    clocks /= ws
     key: dict[EdgeId, int] = {}
+    ordered: list[tuple[int, Hashable, Hashable]] = []
     if m:
-        # Spread ranks over [1, key_space] preserving order; with
-        # m <= n^2 < n^3 the spreading keeps keys unique.
-        stride = max(1, key_space // (m + 1))
-        for rank, (_, u, v) in enumerate(clocked, start=1):
-            k = min(key_space, rank * stride)
+        order = np.argsort(clocks, kind="stable")
+        kvals = _spread_ranks(m, key_space)
+        V = graph.vertices()
+        for k, iu, iv in zip(kvals, us[order].tolist(), vs[order].tolist()):
+            u, v = V[iu], V[iv]
             key[(u, v)] = k
             key[(v, u)] = k
-        # Guard against stride collapse on tiny key spaces.
-        if len({k for k in key.values()}) != m:
-            for rank, (_, u, v) in enumerate(clocked, start=1):
-                key[(u, v)] = rank
-                key[(v, u)] = rank
-    max_key = max(key.values()) if key else 0
-    return ContractionKeys(key=key, max_key=max_key, key_space=key_space)
+            ordered.append((k, u, v))
+    max_key = ordered[-1][0] if ordered else 0
+    return ContractionKeys(
+        key=key, max_key=max_key, key_space=key_space, _ordered=ordered
+    )
 
 
 def draw_uniform_keys(graph: Graph, *, seed: int = 0) -> ContractionKeys:
@@ -107,14 +140,13 @@ def draw_uniform_keys(graph: Graph, *, seed: int = 0) -> ContractionKeys:
     rng.shuffle(edges)
     m = len(edges)
     key: dict[EdgeId, int] = {}
-    stride = max(1, key_space // (m + 1)) if m else 1
-    for rank, (u, v) in enumerate(edges, start=1):
-        k = min(key_space, rank * stride)
-        key[(u, v)] = k
-        key[(v, u)] = k
-    if m and len({k for k in key.values()}) != m:
-        for rank, (u, v) in enumerate(edges, start=1):
-            key[(u, v)] = rank
-            key[(v, u)] = rank
-    max_key = max(key.values()) if key else 0
-    return ContractionKeys(key=key, max_key=max_key, key_space=key_space)
+    ordered: list[tuple[int, Hashable, Hashable]] = []
+    if m:
+        for k, (u, v) in zip(_spread_ranks(m, key_space), edges):
+            key[(u, v)] = k
+            key[(v, u)] = k
+            ordered.append((k, u, v))
+    max_key = ordered[-1][0] if ordered else 0
+    return ContractionKeys(
+        key=key, max_key=max_key, key_space=key_space, _ordered=ordered
+    )

@@ -1,4 +1,11 @@
-"""Graph substrate: weighted graphs, cuts, union-find, serialization."""
+"""Graph substrate: columnar weighted graphs, cuts, union-find,
+serialization.
+
+:class:`Graph` stores its edge set in numpy columns with a cached CSR
+adjacency view (see the module docstring of :mod:`repro.graph.graph`
+for the representation and its invalidation discipline); the structure
+operations every solver bottoms out in — quotient, induced subgraph,
+components, cut evaluation — are vectorized over those columns."""
 
 from .cuts import Cut, KCut, kcut_weight, lift_cut, min_singleton_cut, singleton_cut_weight
 from .dispatch import load_any, save_any

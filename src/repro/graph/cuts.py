@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
+import numpy as np
+
 from .graph import Graph
 
 
@@ -71,8 +73,12 @@ def singleton_cut_weight(graph: Graph, v: Hashable) -> float:
 
 
 def min_singleton_cut(graph: Graph) -> Cut:
-    """Best singleton cut of the graph (baseline / sanity bound)."""
-    best_v = min(graph.vertices(), key=lambda v: (graph.degree(v),))
+    """Best singleton cut of the graph (baseline / sanity bound).
+
+    Served from the cached degree vector; ``argmin`` keeps the
+    first-index tie-break of the scalar scan.
+    """
+    best_v = graph.vertices()[int(np.argmin(graph.degree_vector()))]
     return Cut.of(graph, [best_v])
 
 

@@ -48,8 +48,10 @@ above, applied at the ``lambda_hat`` candidate bound.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Iterator
+
+import numpy as np
 
 from .graph import Graph
 
@@ -64,17 +66,45 @@ class NIScan:
     ``starts`` maps each edge (keyed exactly as :meth:`Graph.edges`
     yields it, i.e. ``(u, v)`` with the graph's internal orientation)
     to its start level ``r(e) >= 0``.  ``order`` is the vertex scan
-    order (a maximum-adjacency order).
+    order (a maximum-adjacency order).  ``start_levels``, when present,
+    is the same information as a float column aligned with the scanned
+    graph's edge rows (the fast path for vectorized consumers; absent
+    on hand-built scans).
     """
 
     starts: dict[EdgeKey, float]
     order: list[Vertex]
+    start_levels: np.ndarray | None = field(default=None, compare=False)
+    #: the graph :func:`ni_edge_starts` scanned — the only graph whose
+    #: edge rows ``start_levels`` is aligned with
+    scanned_graph: Graph | None = field(default=None, repr=False, compare=False)
 
     def start(self, u: Vertex, v: Vertex) -> float:
         """Start level of edge ``{u, v}`` regardless of orientation."""
         if (u, v) in self.starts:
             return self.starts[(u, v)]
         return self.starts[(v, u)]
+
+    def levels_for(self, graph: Graph) -> np.ndarray:
+        """Start levels as a column aligned with ``graph``'s edge rows.
+
+        The fast path (returning :attr:`start_levels` as-is) applies
+        only when ``graph`` *is* the scanned graph with its edge count
+        unchanged; any other graph goes through the endpoint-keyed
+        lookups, which raise ``KeyError`` on edges the scan never saw —
+        the same contract the dict-only implementation had.
+        """
+        if (
+            self.start_levels is not None
+            and graph is self.scanned_graph
+            and len(self.start_levels) == graph.num_edges
+        ):
+            return self.start_levels
+        return np.fromiter(
+            (self.start(u, v) for u, v, _ in graph.edges()),
+            np.float64,
+            count=graph.num_edges,
+        )
 
     def intervals(self, graph: Graph) -> Iterator[tuple[EdgeKey, float, float]]:
         """Yield ``((u, v), lo, hi)`` level intervals, ``hi - lo = w``."""
@@ -87,72 +117,85 @@ def ni_edge_starts(graph: Graph, *, first: Vertex | None = None) -> NIScan:
     """Scan-first search: start levels for every edge (NI '92).
 
     ``first`` seeds the scan (defaults to the graph's first vertex);
-    disconnected graphs are handled by restarting the scan at an
-    arbitrary unscanned vertex (attachment 0) whenever the frontier
+    disconnected graphs are handled by restarting the scan at the
+    lowest-index unscanned vertex (attachment 0) whenever the frontier
     drains, exactly as the forest partition requires.
 
-    Runs in ``O(m log n)`` with a lazy-deletion heap.
+    Runs in ``O(m log n)`` with a lazy-deletion heap, entirely over
+    dense vertex indices: the adjacency is an edge-id CSR built from
+    the graph's columns, attachments live in a flat float list, and
+    start levels are recorded per edge row (the ``start_levels``
+    column of the returned scan).
     """
     vertices = graph.vertices()
-    if not vertices:
-        return NIScan(starts={}, order=[])
-    adj = graph.adjacency()
-    if first is not None and first not in adj:
+    n = len(vertices)
+    if n == 0:
+        return NIScan(starts={}, order=[], start_levels=np.empty(0))
+    if first is not None and first not in graph._index:
         raise ValueError(f"seed vertex {first!r} not in graph")
 
-    ekeys = {(u, v) for u, v, _ in graph.edges()}
+    us, vs, _ = graph.edge_arrays()
+    m = len(us)
+    # The graph's cached edge-id CSR: per vertex, incident (neighbor,
+    # weight, edge row) triples in edge-insertion order — the same
+    # order the dict-based adjacency yielded, so attachment
+    # accumulation is bit-identical.
+    indptr, nbr_a, nw_a, ne_a = graph.csr()
+    nbr = nbr_a.tolist()
+    nw = nw_a.tolist()
+    ne = ne_a.tolist()
+    ptr = indptr.tolist()
+
     # r[v]: total weight of already-assigned edges into v (= attachment
-    # of v to the scanned set).  The heap holds (-r, tiebreak, v)
-    # entries; stale entries are skipped on pop.
-    r: dict[Vertex, float] = {v: 0.0 for v in vertices}
-    scanned: set[Vertex] = set()
-    starts: dict[EdgeKey, float] = {}
+    # of v to the scanned set).  The heap holds (-r, v) entries (the
+    # vertex index doubles as the deterministic tiebreak); stale
+    # entries are skipped on pop.
+    r = [0.0] * n
+    scanned = bytearray(n)
+    start_levels = np.zeros(m, dtype=np.float64)
     order: list[Vertex] = []
 
-    heap: list[tuple[float, int, Vertex]] = []
-    tiebreak = {v: i for i, v in enumerate(vertices)}
-    if first is None:
-        first = vertices[0]
-    heapq.heappush(heap, (0.0, tiebreak[first], first))
-    remaining = [v for v in reversed(vertices) if v != first]
+    first_i = 0 if first is None else graph._index[first]
+    heap: list[tuple[float, int]] = [(0.0, first_i)]
+    fresh = 0  # restart pointer: lowest index possibly unscanned
+    scanned_count = 0
 
-    while len(scanned) < len(vertices):
-        u: Vertex | None = None
+    while scanned_count < n:
+        u = -1
         while heap:
-            neg_r, _, cand = heapq.heappop(heap)
-            if cand not in scanned and -neg_r == r[cand]:
+            neg_r, cand = heapq.heappop(heap)
+            if not scanned[cand] and -neg_r == r[cand]:
                 u = cand
                 break
-        if u is None:
+        if u < 0:
             # frontier drained: restart in a fresh component
-            while remaining and remaining[-1] in scanned:
-                remaining.pop()
-            if not remaining:
+            while fresh < n and scanned[fresh]:
+                fresh += 1
+            if fresh >= n:
                 break
-            u = remaining.pop()
-        scanned.add(u)
-        order.append(u)
-        for v, w in adj[u].items():
-            if v in scanned:
+            u = fresh
+        scanned[u] = 1
+        scanned_count += 1
+        order.append(vertices[u])
+        for j in range(ptr[u], ptr[u + 1]):
+            v = nbr[j]
+            if scanned[v]:
                 continue
-            key = (u, v) if (u, v) in ekeys else (v, u)
-            starts[key] = r[v]
-            r[v] += w
-            heapq.heappush(heap, (-r[v], tiebreak[v], v))
-    return NIScan(starts=starts, order=order)
+            start_levels[ne[j]] = r[v]
+            r[v] += nw[j]
+            heapq.heappush(heap, (-r[v], v))
 
-
-def _edge_keys(graph: Graph) -> set[EdgeKey]:
-    """Set of edge keys in the graph's own orientation (cached per call)."""
-    # Graph yields each edge once with a fixed orientation; collect once.
-    cache = getattr(graph, "_sparsify_edge_keys", None)
-    if cache is None or len(cache) != graph.num_edges:
-        cache = {(u, v) for u, v, _ in graph.edges()}
-        try:
-            graph._sparsify_edge_keys = cache  # type: ignore[attr-defined]
-        except AttributeError:  # pragma: no cover - Graph always allows it
-            pass
-    return cache
+    V = vertices
+    starts = {
+        (V[iu], V[iv]): lo
+        for iu, iv, lo in zip(us.tolist(), vs.tolist(), start_levels.tolist())
+    }
+    return NIScan(
+        starts=starts,
+        order=order,
+        start_levels=start_levels,
+        scanned_graph=graph,
+    )
 
 
 def ni_certificate(graph: Graph, k: float, *, scan: NIScan | None = None) -> Graph:
@@ -161,19 +204,18 @@ def ni_certificate(graph: Graph, k: float, *, scan: NIScan | None = None) -> Gra
     Every cut of ``G_k`` is sandwiched as ``min(k, w_G(δS)) <=
     w_{G_k}(δS) <= w_G(δS)``; edges entirely above level ``k`` vanish.
     Isolated-by-sparsification vertices are kept so ``G_k`` has the
-    same vertex set.
+    same vertex set.  One mask-and-clip pass over the edge columns.
     """
     if k < 0:
         raise ValueError(f"certificate parameter must be >= 0, got {k}")
     if scan is None:
         scan = ni_edge_starts(graph)
-    cert = Graph(vertices=graph.vertices())
-    for u, v, w in graph.edges():
-        lo = scan.start(u, v)
-        keep = min(w, k - lo)
-        if keep > 0:
-            cert.add_edge(u, v, keep)
-    return cert
+    us, vs, ws = graph.edge_arrays()
+    keep = np.minimum(ws, k - scan.levels_for(graph))
+    mask = keep > 0
+    return Graph._from_columns(
+        graph.vertices(), us[mask], vs[mask], keep[mask]
+    )
 
 
 def ni_forest_partition(graph: Graph) -> list[list[tuple[Vertex, Vertex]]]:
@@ -218,5 +260,5 @@ def sparsify_preserving_min_cut(
         raise ValueError(f"slack < 1 may destroy minimum cuts (got {slack})")
     if graph.num_vertices == 0 or graph.num_edges == 0:
         return graph.copy()
-    delta = min(graph.degree(v) for v in graph.vertices())
+    delta = float(graph.degree_vector().min())
     return ni_certificate(graph, slack * delta, scan=scan)

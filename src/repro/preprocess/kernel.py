@@ -66,6 +66,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
+import numpy as np
+
 from ..graph import Cut, Graph, KCut
 from ..graph.sparsify import ni_edge_starts, sparsify_preserving_min_cut
 
@@ -347,12 +349,9 @@ def _prune_degree_one(kernel: CutKernel) -> int:
     if not removed:
         return 0
     old_edges = g.num_edges
-    kernel.graph = Graph(
-        vertices=list(adj),
-        edges=(
-            (u, v, w) for u, v, w in g.edges() if u in adj and v in adj
-        ),
-    )
+    # Surviving vertices keep their relative order, so the masked
+    # column slice equals the old rebuild-by-add_edge graph exactly.
+    kernel.graph = g.induced_subgraph(adj)
     kernel.steps.append(
         ReductionStep(
             name="degree-one",
@@ -370,14 +369,7 @@ def _prune_degree_one(kernel: CutKernel) -> int:
 # ----------------------------------------------------------------------
 def _min_degree_vertex(g: Graph) -> Vertex:
     """Deterministic argmin of weighted degree (first index wins ties)."""
-    best_v = None
-    best_d = float("inf")
-    for v in g.vertices():
-        d = g.degree(v)
-        if d < best_d:
-            best_d = d
-            best_v = v
-    return best_v
+    return g.vertices()[int(np.argmin(g.degree_vector()))]
 
 
 def _contract_certified_edges(kernel: CutKernel, *, use_ni: bool) -> int:
@@ -399,42 +391,38 @@ def _contract_certified_edges(kernel: CutKernel, *, use_ni: bool) -> int:
     kernel._record_candidate(kernel.blocks[_min_degree_vertex(g)])
     lam = kernel._best_candidate.weight
 
-    scan = ni_edge_starts(g) if use_ni else None
-    index = {v: i for i, v in enumerate(g.vertices())}
-    certified: list[tuple[float, int, int]] = []
-    edges = list(g.edges())
-    for eid, (u, v, w) in enumerate(edges):
-        cert = w if scan is None else scan.start(u, v) + w
-        if cert >= lam:
-            certified.append((-cert, index[u], eid))
-    if not certified:
+    us, vs, ws = g.edge_arrays()
+    certs = ws if not use_ni else ni_edge_starts(g).levels_for(g) + ws
+    hit = np.flatnonzero(certs >= lam)
+    if len(hit) == 0:
         return 0
+    # Contract strongest certificates first (ties by endpoint index,
+    # then edge row — the (-cert, u, eid) sort order), never below 2
+    # vertices (the guard keeps the kernel a valid solver input;
+    # stopping early is always allowed — contracting any subset of
+    # certified edges is exact).
+    hit = hit[np.lexsort((hit, us[hit], -certs[hit]))]
 
-    # Contract strongest certificates first, never below 2 vertices
-    # (the guard keeps the kernel a valid solver input; stopping early
-    # is always allowed — contracting any subset of certified edges is
-    # exact).
-    certified.sort()
-    parent = {v: v for v in g.vertices()}
+    vertices = g.vertices()
+    parent = list(range(n))
 
-    def find(x: Vertex) -> Vertex:
+    def find(x: int) -> int:
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
     remaining = n
-    for _, _, eid in certified:
+    for iu, iv in zip(us[hit].tolist(), vs[hit].tolist()):
         if remaining <= 2:
             break
-        u, v, _w = edges[eid]
-        ru, rv = find(u), find(v)
+        ru, rv = find(iu), find(iv)
         if ru != rv:
             parent[ru] = rv
             remaining -= 1
     if remaining == n:
         return 0
-    rep = {v: find(v) for v in g.vertices()}
+    rep = {v: vertices[find(i)] for i, v in enumerate(vertices)}
     quotient, new_blocks = g.quotient(rep)
     kernel.blocks = {
         r: [orig for member in members for orig in kernel.blocks[member]]
@@ -561,43 +549,42 @@ def kernelize_for_kcut(
         return kernel
 
     # Candidate: k-1 lightest singletons against the rest.
-    by_degree = sorted(
-        graph.vertices(), key=lambda v: (graph.degree(v), graph.index_of(v))
-    )
-    singles = by_degree[: k - 1]
+    vertices = graph.vertices()
+    deg = graph.degree_vector()
+    by_degree = np.lexsort((np.arange(n), deg))  # (degree, index) order
+    singles = [vertices[i] for i in by_degree[: k - 1].tolist()]
     single_set = set(singles)
-    rest = [v for v in graph.vertices() if v not in single_set]
+    rest = [v for v in vertices if v not in single_set]
     kernel.candidate = KCut.of(graph, [[v] for v in singles] + [rest])
     bound = kernel.candidate.weight
     if bound <= 0:  # >= k components already: optimum is 0, nothing to do
         return kernel
 
-    index = {v: i for i, v in enumerate(graph.vertices())}
-    heavy = sorted(
-        ((w, u, v) for u, v, w in graph.edges() if w >= bound),
-        key=lambda t: (-t[0], index[t[1]], index[t[2]]),
-    )
-    if not heavy:
+    us, vs, ws = graph.edge_arrays()
+    hit = np.flatnonzero(ws >= bound)
+    if len(hit) == 0:
         return kernel
-    parent = {v: v for v in graph.vertices()}
+    # Heaviest first, ties by endpoint indices — the (-w, iu, iv) sort.
+    hit = hit[np.lexsort((vs[hit], us[hit], -ws[hit]))]
+    parent = list(range(n))
 
-    def find(x: Vertex) -> Vertex:
+    def find(x: int) -> int:
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
     remaining = n
-    for _, u, v in heavy:
+    for iu, iv in zip(us[hit].tolist(), vs[hit].tolist()):
         if remaining <= k:
             break
-        ru, rv = find(u), find(v)
+        ru, rv = find(iu), find(iv)
         if ru != rv:
             parent[ru] = rv
             remaining -= 1
     if remaining == n:
         return kernel
-    rep = {v: find(v) for v in graph.vertices()}
+    rep = {v: vertices[find(i)] for i, v in enumerate(vertices)}
     kernel.graph, kernel.blocks = graph.quotient(rep)
     kernel.contracted = n - remaining
     return kernel

@@ -2,8 +2,12 @@
 
 A one-shot CLI re-parses its input on every invocation; a query engine
 loads each graph **once**, fingerprints it (content hash over the
-columnar edge structure, :meth:`repro.graph.Graph.fingerprint`), and
-keeps it resident so every later query skips parsing and hashing.
+columnar edge structure, :meth:`repro.graph.Graph.fingerprint` — one
+pass over the edge columns), and keeps it resident so every later
+query skips parsing and hashing.  Residency also keeps the graph's
+lazily built derived views (CSR adjacency, degree vector) warm across
+queries: registered graphs are treated as frozen, so those caches —
+like the kernels below — never go stale.
 Graphs are addressed by a caller-chosen name; the fingerprint makes
 result caches content-addressed, so re-registering the same graph under
 a new name (or after an eviction) still hits warm cache entries.

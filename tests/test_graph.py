@@ -135,6 +135,88 @@ class TestStructureOps:
         assert h.num_edges == 2
 
 
+class TestCsrCacheInvalidation:
+    """neighbors()/degree() are served from cached views that must be
+    dropped on any mutation — mutate-after-read returns fresh results."""
+
+    def test_neighbors_fresh_after_add_edge(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        assert sorted(g.neighbors(0)) == [1, 2]
+        g.add_edge(0, 3)
+        assert sorted(g.neighbors(0)) == [1, 2, 3]
+        assert g.neighbors(3) == [0]
+
+    def test_neighbors_fresh_after_remove_edge(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        assert sorted(g.neighbors(0)) == [1, 2]
+        g.remove_edge(0, 1)
+        assert g.neighbors(0) == [2]
+        assert g.neighbors(1) == []
+
+    def test_degree_fresh_after_mutations(self):
+        g = Graph(edges=[(0, 1, 2.0), (0, 2, 3.0)])
+        assert g.degree(0) == 5.0
+        g.add_edge(0, 1, 1.0)  # reinforce merges weights
+        assert g.degree(0) == 6.0
+        g.remove_edge(0, 2)
+        assert g.degree(0) == 3.0
+        assert g.degree(2) == 0.0
+
+    def test_degree_fresh_after_add_vertex(self):
+        g = Graph(edges=[(0, 1)])
+        assert g.degree(0) == 1.0
+        g.add_vertex(2)
+        assert g.degree(2) == 0.0
+
+    def test_csr_view_is_cached_until_mutation(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        first = g.csr()
+        assert g.csr() is first  # cached
+        g.add_edge(0, 2)
+        assert g.csr() is not first  # invalidated
+
+    def test_neighbors_in_insertion_order(self):
+        g = Graph(edges=[(0, 5), (3, 0), (0, 1)])
+        assert g.neighbors(0) == [5, 3, 1]
+
+
+class TestEdgeRemovalErrors:
+    """Missing-edge removal raises ValueError naming the endpoints —
+    not a KeyError on an internal index tuple."""
+
+    def test_remove_missing_edge(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError, match=r"no edge 0 -- 2"):
+            g.remove_edge(0, 2)
+
+    def test_remove_unknown_vertex(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError, match=r"no edge 0 -- 'ghost'"):
+            g.remove_edge(0, "ghost")
+
+    def test_without_edges_missing_edge(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match=r"no edge 0 -- 2"):
+            g.without_edges([(0, 2)])
+
+    def test_without_edges_unknown_vertex(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError, match=r"no edge 9 -- 0"):
+            g.without_edges([(9, 0)])
+
+    def test_without_edges_accepts_duplicates_and_orientations(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        h = g.without_edges([(0, 1), (1, 0)])
+        assert h.num_edges == 1 and h.has_edge(1, 2)
+
+    def test_remove_then_readd(self):
+        g = Graph(edges=[(0, 1, 4.0), (1, 2, 1.0)])
+        assert g.remove_edge(0, 1) == 4.0
+        g.add_edge(0, 1, 2.0)
+        assert g.weight(0, 1) == 2.0
+        assert g.num_edges == 2
+
+
 class TestFingerprint:
     def test_insertion_order_invariant(self):
         a = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.5)])
