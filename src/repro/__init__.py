@@ -17,7 +17,8 @@ Quickstart::
     result = ampc_min_cut(instance.graph, seed=1)
     print(result.weight, "in", result.ledger.rounds, "AMPC rounds")
 
-Long-lived serving (registry + parallel trials + Gomory–Hu cache)::
+Long-lived serving (registry + parallel trials + Gomory–Hu cache +
+in-place graph mutation)::
 
     from repro import CutService
 
@@ -25,10 +26,13 @@ Long-lived serving (registry + parallel trials + Gomory–Hu cache)::
         svc.register("g", instance.graph)
         print(svc.mincut("g", seed=1)["weight"])   # computed
         print(svc.mincut("g", seed=1)["cached"])   # True — LRU hit
+        svc.mutate("g", adds=[[0, 9, 2.0]])        # edge delta, in place
+        print(svc.mincut("g", seed=1)["cached"])   # False — recomputed
 
-See README.md for the architecture overview and quickstart;
-``repro-cut experiments`` regenerates EXPERIMENTS.md, the
-claimed-vs-measured record.
+See README.md for the quickstarts, ``docs/ARCHITECTURE.md`` for the
+subsystem map and request lifecycle, and ``docs/HTTP_API.md`` for the
+wire contract; ``repro-cut experiments`` regenerates EXPERIMENTS.md,
+the claimed-vs-measured record.
 """
 
 from .ampc import AMPCConfig, RoundLedger
@@ -44,10 +48,10 @@ from .core import (
 )
 from .graph import Cut, Graph, KCut
 from .preprocess import CutKernel, kernelize, solve_min_cut
-from .service import CutOracle, CutService, GraphStore, TrialExecutor
+from .service import CutOracle, CutService, GraphDelta, GraphStore, TrialExecutor
 from .trees import LowDepthDecomposition, low_depth_decomposition
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AMPCConfig",
@@ -56,6 +60,7 @@ __all__ = [
     "CutOracle",
     "CutService",
     "Graph",
+    "GraphDelta",
     "GraphStore",
     "KCut",
     "KCutResult",

@@ -14,6 +14,9 @@ partition the round's machines — selected per
 ``AMPC_BACKEND`` environment variable.  Backend choice never changes
 observable results, ledger accounting, or traces; the differential
 harness in ``tests/test_backend_equivalence.py`` enforces that.
+
+Where this package sits relative to the graph core, the kernelization
+pipeline and the serving layer is mapped in ``docs/ARCHITECTURE.md``.
 """
 
 from .backends import (

@@ -1,4 +1,8 @@
-"""Baselines: exact cuts, Karger variants, MPC cost model, Saran–Vazirani."""
+"""Baselines: exact cuts, Karger variants, MPC cost model, Saran–Vazirani.
+
+Every approximate result in :mod:`repro.core` is differentially tested
+against something exact here; see ``docs/ARCHITECTURE.md`` for the
+subsystem map."""
 
 from .exact_kcut import exact_min_kcut, exact_min_kcut_weight
 from .gn_mpc import (

@@ -18,7 +18,10 @@ Subcommands mirroring what a downstream user does first:
 * ``serve``   — start the long-lived JSON-over-HTTP cut-query engine
   (:mod:`repro.service`): graphs registered once, boosting trials fanned
   over a process pool, s–t queries amortised through a Gomory–Hu cache;
-* ``query``   — client for a running ``serve`` instance.
+* ``query``   — client for a running ``serve`` instance;
+* ``mutate``  — apply edge deltas (add/remove/reweight) to a graph
+  resident in a running ``serve`` instance, in place — the dynamic-
+  workload path (``POST /mutate``; see ``docs/HTTP_API.md``).
 
 Graph files are loaded by extension: ``.dimacs``/``.col``/``.max`` as
 DIMACS, ``.metis``/``.chaco`` as METIS, anything else as the native
@@ -335,10 +338,104 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "t": need(args.t, "--t"),
             },
         )
+    elif args.op == "kernelize":
+        payload = {
+            "graph": need(args.name, "--name"),
+            "level": args.preprocess or "safe",
+        }
+        if args.k is not None:
+            payload["k"] = args.k
+        resp = request_json(args.url, "/kernelize", payload)
     elif args.op == "evict":
         resp = request_json(args.url, "/evict", {"graph": need(args.name, "--name")})
     else:  # pragma: no cover - argparse choices guard this
         raise ValueError(args.op)
+    print(json.dumps(resp, indent=2, sort_keys=True))
+    return 1 if isinstance(resp, dict) and "error" in resp else 0
+
+
+def _parse_delta_edge(
+    spec: str, *, weighted: bool, verb: str, optional_weight: bool = False
+):
+    """Parse ``U,V[,W]`` CLI specs into wire rows (ints where possible).
+
+    ``optional_weight`` is ``--add``'s defaulting-to-1 shape only;
+    ``--reweight`` must name its weight (caught here, not as a remote
+    400).
+    """
+    parts = spec.split(",")
+    want = 3 if weighted else 2
+    if len(parts) != want and not (optional_weight and len(parts) == 2):
+        shape = "U,V[,W]" if optional_weight else (
+            "U,V,W" if weighted else "U,V"
+        )
+        raise SystemExit(f"error: --{verb} wants {shape}, got {spec!r}")
+    def vertex(tok: str):
+        tok = tok.strip()
+        try:
+            return int(tok)
+        except ValueError:
+            return tok
+    row = [vertex(parts[0]), vertex(parts[1])]
+    if weighted and len(parts) == 3:
+        try:
+            row.append(float(parts[2]))
+        except ValueError:
+            raise SystemExit(
+                f"error: --{verb} weight must be a number, got {parts[2]!r}"
+            ) from None
+    return row
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import request_json
+
+    payload: dict = {"graph": args.name}
+    if args.deltas_json is not None:
+        body = json.loads(Path(args.deltas_json).read_text())
+        if isinstance(body, list):
+            payload["deltas"] = body
+        elif isinstance(body, dict):
+            payload.update(
+                {
+                    k: body[k]
+                    for k in ("adds", "removes", "reweights", "deltas")
+                    if k in body
+                }
+            )
+        else:
+            print("error: --deltas-json wants a JSON object or list",
+                  file=sys.stderr)
+            return 2
+    if args.add:
+        payload["adds"] = [
+            _parse_delta_edge(s, weighted=True, verb="add",
+                              optional_weight=True)
+            for s in args.add
+        ]
+    if args.remove:
+        payload["removes"] = [
+            _parse_delta_edge(s, weighted=False, verb="remove")
+            for s in args.remove
+        ]
+    if args.reweight:
+        payload["reweights"] = [
+            _parse_delta_edge(s, weighted=True, verb="reweight")
+            for s in args.reweight
+        ]
+    if args.expect_fingerprint:
+        payload["expected_fingerprint"] = args.expect_fingerprint
+    if not any(k in payload for k in ("adds", "removes", "reweights", "deltas")):
+        print("error: nothing to apply (use --add/--remove/--reweight or "
+              "--deltas-json)", file=sys.stderr)
+        return 2
+    try:
+        resp = request_json(args.url, "/mutate", payload)
+    except (ConnectionError, RuntimeError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(json.dumps(resp, indent=2, sort_keys=True))
     return 1 if isinstance(resp, dict) and "error" in resp else 0
 
@@ -475,9 +572,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="preload a graph file (repeatable)")
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser("mutate",
+                       help="apply edge deltas to a graph on a running "
+                            "serve instance (in place)")
+    p.add_argument("--url", default="http://127.0.0.1:8008")
+    p.add_argument("--name", required=True, help="graph name on the server")
+    p.add_argument("--add", action="append", metavar="U,V[,W]",
+                   help="add (or reinforce) an edge, weight defaults to 1 "
+                        "(repeatable)")
+    p.add_argument("--remove", action="append", metavar="U,V",
+                   help="remove an edge (must exist; repeatable)")
+    p.add_argument("--reweight", action="append", metavar="U,V,W",
+                   help="set an edge's weight outright; W=0 drops the edge "
+                        "(repeatable)")
+    p.add_argument("--deltas-json", type=Path, default=None,
+                   help="JSON file with a delta object or a batched list "
+                        "of deltas")
+    p.add_argument("--expect-fingerprint", default=None,
+                   help="apply only if the resident fingerprint matches "
+                        "(optimistic concurrency; mismatch = HTTP 409)")
+    p.set_defaults(func=_cmd_mutate)
+
     p = sub.add_parser("query", help="query a running serve instance")
     p.add_argument("op", choices=["register", "mincut", "kcut", "stcut",
-                                  "graphs", "stats", "evict"])
+                                  "kernelize", "graphs", "stats", "evict"])
     p.add_argument("--url", default="http://127.0.0.1:8008")
     p.add_argument("--name", help="graph name on the server")
     p.add_argument("--file", type=Path, help="graph file (register)")

@@ -78,6 +78,32 @@ class GomoryHuTree:
                 break
         return min(best_s, best_t)
 
+    def path_edges(self, s: Vertex, t: Vertex) -> list[GomoryHuEdge]:
+        """The tree edges on the s–t path (min label = min s–t cut).
+
+        :meth:`min_cut_between` only needs the running minimum; this
+        returns the concrete :class:`GomoryHuEdge` records so callers
+        can inspect the argmin edges' recorded cut sides — the serving
+        layer's incremental oracle certifies retained answers against
+        them after graph mutations (:mod:`repro.service.oracle`).
+        """
+        if s == t:
+            raise ValueError("s == t")
+        up = {e.child: e for e in self.edges}
+        path_s: list[GomoryHuEdge] = []
+        v = s
+        seen = {v: 0}
+        while v in up:
+            path_s.append(up[v])
+            v = up[v].parent
+            seen[v] = len(path_s)
+        path_t: list[GomoryHuEdge] = []
+        v = t
+        while v not in seen:
+            path_t.append(up[v])
+            v = up[v].parent
+        return path_s[: seen[v]] + path_t
+
     def edges_by_weight(self) -> list[GomoryHuEdge]:
         """Tree edges sorted by non-decreasing weight (Theorem 2's order)."""
         return sorted(self.edges, key=lambda e: e.weight)

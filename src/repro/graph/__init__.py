@@ -5,7 +5,10 @@ serialization.
 adjacency view (see the module docstring of :mod:`repro.graph.graph`
 for the representation and its invalidation discipline); the structure
 operations every solver bottoms out in — quotient, induced subgraph,
-components, cut evaluation — are vectorized over those columns."""
+components, cut evaluation — are vectorized over those columns, as are
+the in-place mutators behind the serving layer's ``/mutate`` path
+(``set_edge_weight``, ``remove_edges``).  This package is the bottom
+layer of the subsystem map in ``docs/ARCHITECTURE.md``."""
 
 from .cuts import Cut, KCut, kcut_weight, lift_cut, min_singleton_cut, singleton_cut_weight
 from .dispatch import load_any, save_any

@@ -40,8 +40,12 @@ Derived views are cached and invalidated on mutation:
 * the row-position map ``{(iu, iv) -> row}`` backing point lookups
   (``weight``/``has_edge``) and incremental ``add_edge``.
 
-Any ``add_vertex``/``add_edge``/``remove_edge`` drops the CSR and
-degree caches, so mutate-after-read always returns fresh results.
+Any ``add_vertex``/``add_edge``/``remove_edge``/``set_edge_weight``/
+``remove_edges`` drops the CSR and degree caches, so mutate-after-read
+always returns fresh results.  The batch mutators (``remove_edges``
+mask-and-slice, ``set_edge_weight`` row writes, ``add_edge`` appends)
+are what the serving layer's ``/mutate`` path bottoms out in — see
+:mod:`repro.service.deltas`.
 
 The structural operations (``quotient``, ``induced_subgraph``,
 ``without_edges``, ``copy``, ``components``, ``cut_weight``) are
@@ -206,6 +210,67 @@ class Graph:
         self._pos = None  # row positions shifted
         self._invalidate()
         return w
+
+    def set_edge_weight(self, u: Vertex, v: Vertex, weight: float) -> float:
+        """Set edge ``{u, v}``'s weight outright; returns the old weight.
+
+        Unlike :meth:`add_edge` (which *sums* into an existing row),
+        this overwrites — the ``reweight`` op of the serving layer's
+        mutation path.  The row keeps its storage position, so edge
+        insertion order (the determinism contract above) is untouched.
+        Raises :class:`ValueError` naming the endpoints when the edge
+        is absent or the weight is not positive (reweight-to-zero is
+        canonicalized into a remove by the caller, mirroring the
+        zero-weight-drop rule of the file readers).
+        """
+        if weight <= 0:
+            raise ValueError(
+                f"edge weight must be positive, got {weight} "
+                f"for {u!r} -- {v!r}"
+            )
+        row = self._edge_row(u, v)
+        if row is None:
+            raise ValueError(f"no edge {u!r} -- {v!r} to reweight")
+        old = float(self._ws[row])
+        self._ws[row] = float(weight)
+        self._invalidate()
+        return old
+
+    def remove_edges(self, pairs: Iterable[tuple[Vertex, Vertex]]) -> list[float]:
+        """Delete a batch of edges in one mask-and-slice pass (in place).
+
+        The in-place counterpart of :meth:`without_edges`: surviving
+        rows keep their relative order (exactly what sequential
+        :meth:`remove_edge` calls would leave), so downstream per-edge
+        randomness and float accumulation are unaffected by batching.
+        Every named edge must exist — a missing edge (or unknown
+        endpoint) raises :class:`ValueError` naming the endpoints
+        *before* anything is removed, making the batch atomic.
+        Duplicate mentions are tolerated.  Returns the removed weights
+        aligned with the input pairs.
+        """
+        pairs = list(pairs)
+        drop = np.zeros(self._m, dtype=bool)
+        weights: list[float] = []
+        for u, v in pairs:
+            row = self._edge_row(u, v)
+            if row is None:
+                raise ValueError(f"no edge {u!r} -- {v!r} to remove")
+            drop[row] = True
+            weights.append(float(self._ws[row]))
+        if not pairs:
+            return weights
+        keep = ~drop
+        m = self._m
+        kept = int(keep.sum())
+        if kept != m:
+            self._us[:kept] = self._us[:m][keep]
+            self._vs[:kept] = self._vs[:m][keep]
+            self._ws[:kept] = self._ws[:m][keep]
+            self._m = kept
+            self._pos = None  # row positions shifted
+            self._invalidate()
+        return weights
 
     def _edge_row(self, u: Vertex, v: Vertex) -> int | None:
         """Storage row of edge ``{u, v}``, or None if absent/unknown."""

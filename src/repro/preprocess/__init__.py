@@ -16,6 +16,11 @@ reported weights are exact by construction).  See
 safety argument for each rule; :func:`solve_min_cut` wraps any
 ``Graph -> Cut`` solver behind the pipeline, and
 :func:`kernelize_for_kcut` is the (smaller) k-cut-safe variant.
+
+The serving layer caches kernels per ``(fingerprint, level)`` and,
+after in-place graph mutations, calls :func:`revalidate_kernel` to
+re-run only the reductions whose certificates the delta invalidated
+(see ``docs/ARCHITECTURE.md`` for the request lifecycle).
 """
 
 from .kernel import (
@@ -25,6 +30,7 @@ from .kernel import (
     ReductionStep,
     kernelize,
     kernelize_for_kcut,
+    revalidate_kernel,
     solve_min_cut,
     validate_level,
 )
@@ -36,6 +42,7 @@ __all__ = [
     "ReductionStep",
     "kernelize",
     "kernelize_for_kcut",
+    "revalidate_kernel",
     "solve_min_cut",
     "validate_level",
 ]

@@ -78,7 +78,17 @@ LEVELS = ("off", "safe", "aggressive")
 
 
 def validate_level(level: str) -> str:
-    """Normalise/validate a preprocessing level name."""
+    """Normalise/validate a preprocessing level name.
+
+    >>> validate_level(" Safe ")
+    'safe'
+    >>> validate_level(None)
+    'off'
+    >>> validate_level("turbo")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown preprocess level 'turbo'; expected one of ('off', 'safe', 'aggressive')
+    """
     if level is None:
         return "off"
     name = str(level).strip().lower()
@@ -249,6 +259,17 @@ def kernelize(graph: Graph, *, level: str = "safe") -> CutKernel:
     runs R2–R4; ``aggressive`` adds the NI contraction rule R5 and the
     final NI certificate R6.  Exact at every level — see the module
     docstring for the per-rule argument.
+
+    >>> from repro.graph import Graph
+    >>> g = Graph(edges=[(0, 1, 2.0), (1, 2, 2.0), (2, 0, 2.0),
+    ...                  (2, 3, 1.0)])          # triangle + pendant 3
+    >>> kernel = kernelize(g, level="safe")
+    >>> kernel.graph.num_vertices                # pendant contracted away
+    2
+    >>> kernel.best_candidate.weight             # the {3} singleton cut
+    1.0
+    >>> kernel.lift([kernel.graph.vertices()[0]]).weight
+    1.0
     """
     level = validate_level(level)
     kernel = CutKernel(graph, level)
@@ -289,6 +310,12 @@ def solve_min_cut(
     the minimum-cut weight and ``lift`` folds the candidates back in),
     approximate solvers keep their guarantee while running on a smaller
     graph.
+
+    >>> from repro.baselines import stoer_wagner_min_cut
+    >>> from repro.graph import Graph
+    >>> g = Graph(edges=[(0, 1, 3.0), (1, 2, 1.0), (2, 3, 3.0), (3, 0, 3.0)])
+    >>> solve_min_cut(g, stoer_wagner_min_cut, level="safe").weight
+    4.0
     """
     return kernelize(graph, level=level).solve(solver)
 
@@ -468,6 +495,62 @@ def _ni_certificate_pass(kernel: CutKernel) -> None:
         )
     )
     kernel.graph = cert
+
+
+# ----------------------------------------------------------------------
+# Incremental revalidation (the serving layer's mutation path)
+# ----------------------------------------------------------------------
+def revalidate_kernel(
+    kernel: CutKernel, graph: Graph, *, edges_added: bool
+) -> CutKernel | None:
+    """Revalidate a cached kernel after an in-place graph mutation.
+
+    The serving layer treats its kernel cache as bit-exact: a kernel
+    served warm must equal ``kernelize(mutated_graph, level)`` in every
+    bit (edge rows included — they order the randomness downstream
+    solvers draw).  Rather than always rekernelizing, this checks the
+    cheap certificates a delta can leave intact and rebuilds only the
+    reductions it actually invalidated:
+
+    * ``level == "off"`` — the kernel is an identity wrapper; a fresh
+      identity over the mutated graph is the full rebuild, for free.
+    * **still-disconnected certificate** — a kernel solved by the
+      component split (R2) stays solved under any delta that creates
+      no new edge rows: reweights keep topology, removes only
+      disconnect further.  Only R2 re-runs (one vectorized components
+      pass to re-pick the smallest witness); the contraction rounds
+      provably never execute, exactly as in a from-scratch
+      kernelization of a disconnected graph.
+
+    Any other case returns ``None`` — the contraction trajectory
+    (candidate argmins, ``lambda_hat``, certified-edge sets) is a
+    global function of the weights, so no local certificate can prove
+    it unchanged; the caller drops the cache entry and the next query
+    rekernelizes.
+
+    >>> from repro.graph import Graph
+    >>> g = Graph(edges=[(0, 1, 1.0), (2, 3, 1.0)])   # two components
+    >>> kernel = kernelize(g, level="safe")
+    >>> kernel.is_solved
+    True
+    >>> g.remove_edge(2, 3)                           # still disconnected
+    1.0
+    >>> fresh = revalidate_kernel(kernel, g, edges_added=False)
+    >>> fresh.is_solved and fresh.solved.weight == 0.0
+    True
+    >>> revalidate_kernel(kernel, g, edges_added=True) is None
+    True
+    """
+    if kernel.level == "off":
+        return CutKernel(graph, "off")
+    solved_by_split = (
+        kernel.solved is not None
+        and kernel.steps
+        and kernel.steps[0].name == "component-split"
+    )
+    if solved_by_split and not edges_added:
+        return kernelize(graph, level=kernel.level)
+    return None
 
 
 # ======================================================================

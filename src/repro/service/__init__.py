@@ -12,13 +12,26 @@ order:
 
 :class:`CutService` composes the four; :func:`make_server` /
 :func:`serve` put a stdlib JSON-over-HTTP front end on top
-(``repro-cut serve`` / ``repro-cut query``).  Future scaling PRs
-(sharding, async I/O, alternative backends) plug in behind the same
-:class:`CutService` surface.
+(``repro-cut serve`` / ``repro-cut query``).  Graphs are not frozen:
+:class:`GraphDelta` batches of edge adds/removes/reweights mutate a
+resident graph in place (``/mutate`` / ``repro-cut mutate``) with
+selective invalidation of the caches above — see
+:mod:`repro.service.deltas` and the request-lifecycle walkthrough in
+``docs/ARCHITECTURE.md``.  Future scaling PRs (sharding, async I/O,
+alternative backends) plug in behind the same :class:`CutService`
+surface.
 """
 
 from ..graph import load_any
 from .cache import LRUCache
+from .deltas import (
+    DeltaEffect,
+    FingerprintMismatch,
+    GraphDelta,
+    MutationRecord,
+    apply_delta,
+    chain_fingerprint,
+)
 from .executor import TrialExecutor, default_trials, trial_seeds
 from .oracle import CutOracle
 from .service import CutService
@@ -28,11 +41,17 @@ from .http import ServiceHTTPServer, make_server, request_json, serve
 __all__ = [
     "CutOracle",
     "CutService",
+    "DeltaEffect",
+    "FingerprintMismatch",
+    "GraphDelta",
     "GraphEntry",
     "GraphStore",
     "LRUCache",
+    "MutationRecord",
     "ServiceHTTPServer",
     "TrialExecutor",
+    "apply_delta",
+    "chain_fingerprint",
     "default_trials",
     "load_any",
     "make_server",

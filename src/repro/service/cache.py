@@ -25,6 +25,16 @@ class LRUCache:
 
     ``capacity <= 0`` disables caching entirely (every ``get`` misses,
     ``put`` is a no-op) — useful for benchmarking cold paths.
+
+    >>> cache = LRUCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")                 # refreshes "a"; "b" is now LRU
+    1
+    >>> cache.put("c", 3)              # evicts "b"
+    >>> "b" in cache, sorted(cache)
+    (False, ['a', 'c'])
+    >>> cache.stats()["evictions"]
+    1
     """
 
     def __init__(self, capacity: int = 128):
@@ -57,6 +67,17 @@ class LRUCache:
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key``'s value (no hit/miss accounting).
+
+        The mutation path's selective-invalidation sweep uses this to
+        drop or re-key entries a delta touched; removals are not
+        evictions (``evictions`` counts capacity pressure only).
+        """
+        with self._lock:
+            value = self._data.pop(key, _MISSING)
+            return default if value is _MISSING else value
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

@@ -53,7 +53,11 @@ default_trials = default_boost_trials
 
 
 def trial_seeds(seed: int, trials: int) -> list[int]:
-    """The boosting seed schedule: ``seed + BOOST_SEED_STRIDE * t``."""
+    """The boosting seed schedule: ``seed + BOOST_SEED_STRIDE * t``.
+
+    >>> trial_seeds(3, 4)
+    [3, 7922, 15841, 23760]
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
     return [seed + SEED_STRIDE * t for t in range(trials)]
@@ -160,11 +164,11 @@ class TrialExecutor:
         with zero serialization.  For pool batches the pair is memoised
         per graph *object* (the memo holds a strong reference, so
         ``id`` stays valid), sparing a warm server the O(n+m) re-pickle
-        on every repeated query over a resident graph.  Registered
-        graphs are treated as frozen (see
-        :meth:`repro.graph.Graph.fingerprint`), so object identity is a
-        sound cache key; :meth:`forget` drops the memo entry when the
-        owner evicts the graph.
+        on every repeated query over a resident graph.  Object identity
+        is a sound cache key only while the object's content is fixed,
+        so owners must call :meth:`forget` when they evict a graph *or
+        mutate it in place* (the serving layer's ``/mutate`` path does,
+        in :meth:`repro.service.service.CutService._absorb_mutation`).
         """
         if self.workers == 1 or trials == 1:
             return graph

@@ -19,10 +19,21 @@ POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?,
 POST      /kcut      ``{"graph", "k", "eps"?, "trials"?, "seed"?,
                      "preprocess"?}``
 POST      /stcut     ``{"graph", "s", "t"}``
+POST      /mutate    ``{"graph", "adds"?, "removes"?, "reweights"?}``
+                     or ``{"graph", "deltas": [...]}`` — in-place edge
+                     deltas with selective cache invalidation; stale
+                     ``"expected_fingerprint"`` → 409
+POST      /kernelize ``{"graph", "level"?, "k"?}`` — build/warm the
+                     graph's kernel, returns the reduction stats
 POST      /batch     ``{"requests": [{"op": "mincut"|..., ...}, ...]}``
                      → ``{"responses": [...]}``, one per request, errors
                      inline so one bad request doesn't kill the batch
 ========  =========  ====================================================
+
+The full wire contract, with replayed request/response examples, is
+documented in ``docs/HTTP_API.md`` (kept honest by
+``tests/test_http_api_docs.py``, which replays every example against a
+live server).
 
 ``make_server(service, port=0)`` binds an ephemeral port for tests;
 ``serve(...)`` is the blocking entry point ``repro-cut serve`` uses.
@@ -38,6 +49,7 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..graph import Graph, load_any
+from .deltas import FingerprintMismatch
 from .service import CutService
 
 _MAX_BODY = 64 * 1024 * 1024
@@ -106,6 +118,12 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, self._dispatch(op, body)
         except _BadRequest as exc:
             return 400, {"error": str(exc)}
+        except FingerprintMismatch as exc:
+            return 409, {
+                "error": str(exc),
+                "expected_fingerprint": exc.expected,
+                "fingerprint": exc.actual,
+            }
         except KeyError as exc:
             return 404, {"error": _key_error_message(exc)}
         except OSError as exc:
@@ -144,8 +162,25 @@ class _Handler(BaseHTTPRequestHandler):
                     _require(body, "s"),
                     _require(body, "t"),
                 )
+            if op == "mutate":
+                return service.mutate(
+                    _require(body, "graph"),
+                    adds=body.get("adds") or (),
+                    removes=body.get("removes") or (),
+                    reweights=body.get("reweights") or (),
+                    deltas=body.get("deltas"),
+                    expected_fingerprint=body.get("expected_fingerprint"),
+                )
+            if op == "kernelize":
+                return service.kernelize(
+                    _require(body, "graph"),
+                    level=body.get("level", "safe"),
+                    k=body.get("k"),
+                )
             if op == "evict":
                 return service.evict(_require(body, "graph"))
+        except FingerprintMismatch:
+            raise
         except (TypeError, ValueError) as exc:
             raise _BadRequest(str(exc)) from exc
         raise _BadRequest(f"unknown operation {op!r}")

@@ -15,12 +15,39 @@ while ``_lock`` guards only counters and the pair memo — so ``stats()``
 tree) and ``pair_hits`` (answered from the bounded per-pair memo
 without even walking) feed ``/stats``, which is how the acceptance
 test verifies the second query was served from cache.
+
+Surviving mutations
+-------------------
+``/mutate`` (:meth:`repro.service.service.CutService.mutate`) calls
+:meth:`CutOracle.apply_delta` instead of discarding the oracle.  s–t
+min-cut *values* are exact and unique, so a retained answer is
+automatically bit-identical to a recomputation — retention only has to
+be *sound*, and the monotone case makes it cheaply checkable:
+
+* a delta that only **increases** edge weights (adds between known
+  vertices, reinforces, upward reweights) can only raise cut values;
+* every tree edge records the concrete cut side its max-flow found
+  (``child_side``); a changed edge with both endpoints on one side of
+  that cut leaves the cut's weight untouched;
+* so on a later query, if some path edge achieving the path minimum is
+  (a) **uncrossed** by every changed pair and (b) its recorded side
+  **separates** ``s`` from ``t``, that cut still exists in the mutated
+  graph at the old weight — the value can't have dropped (it's a cut)
+  and can't have risen (increase-only), hence it is exact and the old
+  tree answers.  (Check (b) matters because Gusfield trees are only
+  flow-equivalent: recorded sides need not match tree bipartitions.)
+
+Queries whose certificate fails — and any delta that removes edges,
+lowers weights, or introduces new vertices — fall back to a rebuild
+from the mutated graph (lazily, on the next query that needs it).
+``mask_hits`` / ``mask_rebuilds`` in :meth:`stats` count how often the
+certificate saved the ``n - 1`` max-flows.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from ..flow import GomoryHuTree, gomory_hu_tree
 from ..graph import Graph
@@ -46,8 +73,21 @@ class CutOracle:
         self._lock = threading.Lock()
         self._build_lock = threading.Lock()
         self._pair_memo = LRUCache(PAIR_MEMO_CAPACITY)
+        #: bumped by every absorbed delta; a query memoises its value
+        #: only if the epoch it computed under is still current, so an
+        #: in-flight query racing a mutation can never re-populate the
+        #: just-cleared memo with a pre-mutation answer.
+        self._epoch = 0
+        #: children of tree edges whose recorded cut some delta crossed
+        #: (their labels may be stale); None = no mutation since build,
+        #: certificates not required.
+        self._touched: set[Vertex] | None = None
         self.builds = 0
         self.tree_queries = 0
+        self.mask_hits = 0
+        self.mask_rebuilds = 0
+        self.deltas_retained = 0
+        self.deltas_dropped = 0
 
     # ------------------------------------------------------------------
     def tree(self) -> GomoryHuTree:
@@ -73,40 +113,191 @@ class CutOracle:
         return self._tree is not None
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        graph: Graph,
+        changed_pairs: Iterable[tuple[Vertex, Vertex]],
+        *,
+        increase_only: bool,
+        has_new_vertices: bool,
+    ) -> str:
+        """Absorb a graph mutation; returns the action taken.
+
+        ``graph`` is the (possibly copied-on-write) mutated graph this
+        oracle now answers for.  Actions:
+
+        * ``"unbuilt"`` — no tree yet, nothing to invalidate;
+        * ``"masked"`` — increase-only delta over known vertices: the
+          tree is kept, edges whose recorded cut a changed pair crosses
+          are marked touched, and every later answer must pass the
+          certificate in :meth:`st_min_cut` or trigger a rebuild;
+        * ``"dropped"`` — removes / weight decreases / new vertices:
+          cut values may have fallen (or the tree doesn't know the
+          vertex), so the tree is discarded and rebuilt lazily.
+
+        The pair memo is cleared in every case except ``"unbuilt"``
+        with no prior tree — memoised values were computed for the old
+        content.
+        """
+        with self._build_lock:
+            self.graph = graph
+            with self._lock:
+                self._epoch += 1
+                self._pair_memo.clear()
+            if self._tree is None:
+                return "unbuilt"
+            if not increase_only or has_new_vertices:
+                with self._lock:
+                    self._tree = None
+                    self._touched = None
+                    self.deltas_dropped += 1
+                return "dropped"
+            touched = self._touched if self._touched is not None else set()
+            pairs = list(changed_pairs)
+            for e in self._tree.edges:
+                if e.child in touched:
+                    continue
+                side = e.child_side
+                for u, v in pairs:
+                    if (u in side) != (v in side):
+                        touched.add(e.child)
+                        break
+            with self._lock:
+                self._touched = touched
+                self.deltas_retained += 1
+            return "masked"
+
+    def _rebuild(self) -> GomoryHuTree:
+        """Rebuild from the (mutated) graph; clears the mask.
+
+        Bumps the epoch: a concurrent query that fetched the old masked
+        tree and then observed ``_touched is None`` would otherwise
+        skip certification against a stale tree *and* pass the memo
+        guard — the epoch bump makes its (pre-mutation-exact) value
+        non-memoisable.
+        """
+        with self._build_lock:
+            if self._touched is None and self._tree is not None:
+                return self._tree  # another thread rebuilt first
+            built = gomory_hu_tree(self.graph, engine=self.engine)
+            with self._lock:
+                self._tree = built
+                self._touched = None
+                self._epoch += 1
+                self.builds += 1
+                self.mask_rebuilds += 1
+            return built
+
+    def _snapshot(self) -> tuple[GomoryHuTree | None, set | None, int]:
+        """Consistent (tree, touched, epoch) triple.
+
+        Tree and mask must be read together: ``_rebuild`` swaps them as
+        a pair, and a torn read (old tree + cleared mask) would serve
+        uncertified stale labels.  Every writer updates both under
+        ``_lock``.
+        """
+        with self._lock:
+            return self._tree, self._touched, self._epoch
+
+    def _current(self) -> tuple[GomoryHuTree, set | None, int]:
+        """A built, consistent (tree, touched, epoch) — building lazily
+        and retrying if a concurrent delta drops the tree mid-read."""
+        while True:
+            tree, touched, epoch = self._snapshot()
+            if tree is not None:
+                return tree, touched, epoch
+            self.tree()
+
+    # ------------------------------------------------------------------
     def st_min_cut(self, s: Vertex, t: Vertex) -> float:
-        """Min s–t cut value = min edge weight on the tree path."""
+        """Min s–t cut value = min edge weight on the tree path.
+
+        After a retained (``"masked"``) mutation the path minimum is
+        only served if certified — some argmin edge is uncrossed by
+        every change *and* its recorded cut separates ``s`` from ``t``
+        (see the module docstring for why that makes the value exact).
+        Uncertified queries rebuild the tree from the mutated graph.
+        """
         if s == t:
             raise ValueError("s == t")
         key = (s, t) if repr(s) <= repr(t) else (t, s)
         value = self._pair_memo.get(key, _MISS)
         if value is not _MISS:
             return value
-        tree = self.tree()
-        value = tree.min_cut_between(s, t)
+        tree, touched, epoch = self._current()
+        if touched is None:
+            value = tree.min_cut_between(s, t)
+        else:
+            value = self._certified_value(tree, touched, s, t)
+            if value is None:
+                value = self._rebuild().min_cut_between(s, t)
+            else:
+                with self._lock:
+                    self.mask_hits += 1
         with self._lock:
             self.tree_queries += 1
-        self._pair_memo.put(key, value)
+            # Memoise only if no delta arrived while computing: the
+            # value describes the graph as of `epoch`, and a concurrent
+            # apply_delta has already cleared the memo for good reason.
+            if self._epoch == epoch:
+                self._pair_memo.put(key, value)
         return value
+
+    def _certified_value(
+        self, tree: GomoryHuTree, touched: set, s: Vertex, t: Vertex
+    ) -> float | None:
+        """Path minimum, if some argmin edge certifies it; else None."""
+        path = tree.path_edges(s, t)
+        value = min(e.weight for e in path)
+        for e in path:
+            if e.weight != value or e.child in touched:
+                continue
+            if (s in e.child_side) != (t in e.child_side):
+                return value
+        return None
 
     @property
     def pair_hits(self) -> int:
         return self._pair_memo.hits
 
     def global_min_cut(self) -> float:
-        """Global min cut = lightest tree edge (exact, not approximate)."""
-        return self.tree().min_cut_value()
+        """Global min cut = lightest tree edge (exact, not approximate).
+
+        Under a mutation mask the lightest edge certifies itself the
+        same way a path argmin does (its recorded side is a real cut of
+        unchanged weight, and increase-only deltas can't have produced
+        a lighter cut); a touched lightest edge forces a rebuild.
+        """
+        tree, touched, _ = self._current()
+        if touched is None:
+            return tree.min_cut_value()
+        value = tree.min_cut_value()
+        if any(
+            e.weight == value and e.child not in touched for e in tree.edges
+        ):
+            with self._lock:
+                self.mask_hits += 1
+            return value
+        return self._rebuild().min_cut_value()
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         with self._lock:
             built = self._tree is not None
-            builds = self.builds
-            tree_queries = self.tree_queries
+            masked = self._touched is not None
+            stats = {
+                "built": built,
+                "mode": "masked" if masked else "fresh",
+                "builds": self.builds,
+                "tree_queries": self.tree_queries,
+                "mask_hits": self.mask_hits,
+                "mask_rebuilds": self.mask_rebuilds,
+                "deltas_retained": self.deltas_retained,
+                "deltas_dropped": self.deltas_dropped,
+            }
         memo = self._pair_memo.stats()
-        return {
-            "built": built,
-            "builds": builds,
-            "tree_queries": tree_queries,
-            "pair_hits": memo["hits"],
-            "memoised_pairs": memo["size"],
-        }
+        stats["pair_hits"] = memo["hits"]
+        stats["memoised_pairs"] = memo["size"]
+        return stats

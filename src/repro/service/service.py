@@ -17,6 +17,16 @@ name (or after an eviction) still hits.  Evicting a graph releases its
 oracle; cached results survive (they are small summaries, and the LRU
 bounds them).
 
+Graphs are **mutable in place** through :meth:`CutService.mutate`
+(edge adds/removes/reweights, batched): the store applies the delta to
+the resident columnar graph, the fingerprint advances by chaining the
+delta digest, and invalidation is selective — oracle trees survive
+increase-only deltas behind per-query certificates, kernels revalidate
+where their certificates stand, solved-kernel results re-key, and
+everything else is dropped so the next query recomputes exactly what a
+cold re-upload of the mutated edge list would (see
+:mod:`repro.service.deltas` and ``docs/ARCHITECTURE.md``).
+
 Every public query method returns a JSON-able ``dict`` — the same
 payload the HTTP layer ships — with a ``"cached"`` flag so clients and
 tests can observe amortisation directly.
@@ -32,6 +42,7 @@ from typing import Hashable
 from ..graph import Graph
 from ..preprocess import validate_level
 from .cache import LRUCache
+from .deltas import GraphDelta, MutationRecord, resolve_vertex
 from .executor import TrialExecutor, default_trials
 from .oracle import CutOracle
 from .store import GraphEntry, GraphStore
@@ -40,7 +51,18 @@ Vertex = Hashable
 
 
 class CutService:
-    """Long-lived cut-query engine over a registry of resident graphs."""
+    """Long-lived cut-query engine over a registry of resident graphs.
+
+    >>> from repro.graph import Graph
+    >>> with CutService() as svc:
+    ...     entry = svc.register(
+    ...         "tri", Graph(edges=[(0, 1, 2.0), (1, 2, 1.0), (2, 0, 1.0)]))
+    ...     before = svc.stcut("tri", 0, 1)["weight"]
+    ...     resp = svc.mutate("tri", reweights=[[0, 1, 5.0]])
+    ...     after = svc.stcut("tri", 0, 1)["weight"]
+    >>> before, resp["generation"], after
+    (3.0, 1, 6.0)
+    """
 
     def __init__(
         self,
@@ -273,8 +295,8 @@ class CutService:
         """Exact s–t min-cut value via the graph's Gomory–Hu oracle."""
         entry = self.store.get(name)
         oracle = self._oracle_for(entry)
-        s = _resolve_vertex(entry.graph, s)
-        t = _resolve_vertex(entry.graph, t)
+        s = resolve_vertex(entry.graph, s)
+        t = resolve_vertex(entry.graph, t)
         was_built = oracle.built
         t0 = time.perf_counter()
         value = oracle.st_min_cut(s, t)
@@ -288,6 +310,221 @@ class CutService:
             "cached": was_built,
             "elapsed_s": time.perf_counter() - t0,
         }
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def mutate(
+        self,
+        name: str,
+        *,
+        adds: list | tuple = (),
+        removes: list | tuple = (),
+        reweights: list | tuple = (),
+        deltas: list | None = None,
+        expected_fingerprint: str | None = None,
+    ) -> dict:
+        """Apply edge deltas to a resident graph **in place** (`/mutate`).
+
+        Pass either one delta through the top-level
+        ``adds``/``removes``/``reweights`` lists (rows ``[u, v, w]`` /
+        ``[u, v]``) or a batch through ``deltas`` (a list of such
+        objects, applied in order).  Each delta is atomic — validated
+        against its pre-state before anything lands — and advances the
+        graph's fingerprint by chaining
+        (:mod:`repro.service.deltas`), so the warm path costs
+        ``O(|delta|)`` plus selective invalidation instead of the
+        re-upload's full parse + hash.
+
+        Invalidation is scoped to what the delta can touch: other
+        graphs' cache entries survive untouched; this graph's
+        Gomory–Hu oracle survives increase-only deltas behind per-query
+        certificates (:meth:`repro.service.oracle.CutOracle.apply_delta`);
+        kernels revalidate where their reduction certificates stand
+        (:func:`repro.preprocess.revalidate_kernel`); solved-kernel
+        mincut results are re-keyed to the new fingerprint.  Everything
+        else is dropped, and the next query recomputes — bit-identical
+        to a cold re-upload of the mutated edge list, which is the
+        contract ``tests/test_mutation.py`` enforces step by step.
+
+        ``expected_fingerprint`` (checked against the state before the
+        first delta) makes the call conditional — a mismatch raises
+        :class:`~repro.service.deltas.FingerprintMismatch` (HTTP 409)
+        and applies nothing.  A multi-delta batch that fails midway
+        reports the failing index; earlier deltas remain applied.
+        """
+        if deltas is not None:
+            if adds or removes or reweights:
+                raise ValueError(
+                    "pass either top-level adds/removes/reweights or a "
+                    "'deltas' list, not both"
+                )
+            parsed = [
+                d if isinstance(d, GraphDelta) else GraphDelta.from_json(d)
+                for d in deltas
+            ]
+        else:
+            parsed = [
+                GraphDelta.from_json(
+                    {"adds": adds, "removes": removes, "reweights": reweights}
+                )
+            ]
+        if not parsed:
+            raise ValueError("no deltas given")
+        t0 = time.perf_counter()
+        records: list[MutationRecord] = []
+        entry: GraphEntry | None = None
+        for i, delta in enumerate(parsed):
+            try:
+                entry, record = self.store.apply_delta(
+                    name,
+                    delta,
+                    expected_fingerprint=(
+                        expected_fingerprint if i == 0 else None
+                    ),
+                )
+            except (ValueError, KeyError) as exc:
+                if not records:
+                    raise
+                reason = exc.args[0] if exc.args else exc
+                raise ValueError(
+                    f"delta {i} of {len(parsed)} failed: {reason} "
+                    f"(deltas 0..{i - 1} remain applied; re-check /graphs "
+                    "for the current fingerprint)"
+                ) from None
+            self._absorb_mutation(entry, record)
+            records.append(record)
+        return {
+            "graph": name,
+            "fingerprint": entry.fingerprint,
+            "generation": entry.generation,
+            "mutations": entry.mutations,
+            "num_vertices": entry.num_vertices,
+            "num_edges": entry.num_edges,
+            "deltas": [r.as_dict() for r in records],
+            "elapsed_s": time.perf_counter() - t0,
+        }
+
+    def _absorb_mutation(self, entry: GraphEntry, record: MutationRecord) -> None:
+        """Service-level selective invalidation for one applied delta.
+
+        The store already moved the fingerprint and revalidated its
+        kernels; here the executor's pickled-blob memo, the per-graph
+        Gomory–Hu oracle and the result cache follow.  When the old
+        content is still resident under another name (``record.shared``,
+        after copy-on-write) nothing is invalidated — the delta cannot
+        touch the sibling's state.
+        """
+        effect = record.effect
+        if effect.is_noop:
+            record.oracle = "kept"
+            return
+        # The executor memoises pickled graphs by object identity; the
+        # mutated object's blob is stale (no-op after copy-on-write,
+        # where the object is fresh).
+        self.executor.forget(entry.graph)
+        if record.shared:
+            record.oracle = "kept"
+            return
+        old_fp, new_fp = record.old_fingerprint, record.new_fingerprint
+        with self._lock:
+            oracle = self._oracles.pop(old_fp, None)
+        if oracle is None:
+            record.oracle = "absent"
+        else:
+            record.oracle = oracle.apply_delta(
+                entry.graph,
+                effect.changed_pairs,
+                increase_only=effect.increase_only,
+                has_new_vertices=bool(effect.new_vertices),
+            )
+            with self._lock:
+                self._oracles[new_fp] = oracle
+        dropped = rekeyed = 0
+        for key in list(self.results):
+            if not (isinstance(key, tuple) and key and key[0] == old_fp):
+                continue
+            if self.results.pop(key, None) is None:
+                continue
+            fresh = self._rekeyed_result(key, new_fp)
+            if fresh is not None:
+                self.results.put((new_fp,) + key[1:], fresh)
+                rekeyed += 1
+            else:
+                dropped += 1
+        record.results_dropped = dropped
+        record.results_rekeyed = rekeyed
+
+    def _rekeyed_result(self, key: tuple, new_fp: str) -> dict | None:
+        """Regenerate a swept result under the new fingerprint, if sound.
+
+        Only mincut entries whose kernel survived revalidation *solved*
+        qualify: the cold path would answer straight from
+        ``kernel.trivial_cut()`` (rounds 0, no solver, no randomness),
+        so rebuilding the payload from the bit-identical revalidated
+        kernel reproduces the recomputation exactly — the "endpoints
+        vs. cached partition" style test with the strongest possible
+        certificate.  Everything else returns ``None`` (drop).
+        """
+        _, kind, params_tuple, seed = key
+        if kind != "mincut":
+            return None
+        params = dict(zip(params_tuple[0::2], params_tuple[1::2]))
+        level = params.get("preprocess")
+        if not level or level == "off":
+            return None
+        kernel = self.store.cached_kernel(new_fp, level)
+        if kernel is None or not kernel.is_solved:
+            return None
+        cut = kernel.trivial_cut()
+        return {
+            "graph": "",  # rewritten with the caller's name on every hit
+            "fingerprint": new_fp,
+            "algorithm": "ampc-mincut-boosted",
+            "weight": cut.weight,
+            "side": _vertex_list(cut.side),
+            "rounds": 0,
+            "trials": params["trials"],
+            "seed": seed,
+            "eps": params["eps"],
+            "elapsed_s": 0.0,
+            "preprocess": kernel.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Kernel inspection
+    # ------------------------------------------------------------------
+    def kernelize(self, name: str, *, level: str = "safe", k: int | None = None) -> dict:
+        """Build (or fetch) a resident graph's kernel (`/kernelize`).
+
+        Warms the same per-fingerprint kernel cache the queries use, so
+        a client can pay the reduction cost eagerly; ``cached`` reports
+        whether the kernel was already resident.  With ``k`` the k-cut
+        kernel is built instead.
+        """
+        entry = self.store.get(name)
+        level = validate_level(level)
+        t0 = time.perf_counter()
+        if k is None:
+            cached = self.store.has_kernel(entry.fingerprint, level)
+            kernel = self.store.kernel_for(entry, level)
+        else:
+            k = int(k)
+            cached = self.store.has_kernel(
+                entry.fingerprint, ("kcut", k, level)
+            )
+            kernel = self.store.kcut_kernel_for(entry, k, level)
+        payload = {
+            "graph": name,
+            "fingerprint": entry.fingerprint,
+            "level": level,
+            "cached": cached,
+            "kernel": kernel.stats(),
+            "elapsed_s": time.perf_counter() - t0,
+        }
+        if k is not None:
+            payload["k"] = k
+        return payload
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -322,26 +559,3 @@ class CutService:
 def _vertex_list(side) -> list:
     """A cut side as a JSON-able, deterministically ordered list."""
     return sorted(side, key=lambda v: (type(v).__name__, repr(v)))
-
-
-def _resolve_vertex(graph: Graph, v):
-    """Map a wire-format vertex id onto a graph vertex.
-
-    JSON round-trips lose the int/str distinction users type at a CLI,
-    so fall back across the two spellings before failing.
-    """
-    candidates = [v]
-    if isinstance(v, str):
-        try:
-            candidates.append(int(v))
-        except ValueError:
-            pass
-    else:
-        candidates.append(str(v))
-    for c in candidates:
-        try:
-            graph.index_of(c)
-            return c
-        except KeyError:
-            continue
-    raise KeyError(f"vertex {v!r} not in graph")

@@ -6,8 +6,11 @@ columnar edge structure, :meth:`repro.graph.Graph.fingerprint` — one
 pass over the edge columns), and keeps it resident so every later
 query skips parsing and hashing.  Residency also keeps the graph's
 lazily built derived views (CSR adjacency, degree vector) warm across
-queries: registered graphs are treated as frozen, so those caches —
-like the kernels below — never go stale.
+queries.  Registered graphs change only through the store's own
+mutation path (:meth:`GraphStore.apply_delta` — edge deltas applied in
+place, fingerprints advanced by **chaining** the delta digest), which
+selectively invalidates or revalidates derived state; out-of-band
+mutation of a registered graph is undefined behaviour.
 Graphs are addressed by a caller-chosen name; the fingerprint makes
 result caches content-addressed, so re-registering the same graph under
 a new name (or after an eviction) still hits warm cache entries.
@@ -36,11 +39,18 @@ from ..graph import Graph, load_any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..preprocess import CutKernel
+    from .deltas import GraphDelta, MutationRecord
 
 
 @dataclass
 class GraphEntry:
-    """One resident graph plus its registration metadata."""
+    """One resident graph plus its registration metadata.
+
+    ``generation`` counts content-changing deltas applied since
+    registration (``fingerprint`` is then the *chained* delta
+    fingerprint — see :func:`repro.service.deltas.chain_fingerprint`);
+    ``mutations`` counts every ``apply_delta`` call, no-ops included.
+    """
 
     name: str
     graph: Graph
@@ -49,6 +59,8 @@ class GraphEntry:
     num_edges: int
     queries: int = 0
     source: str | None = None
+    generation: int = 0
+    mutations: int = 0
 
     def describe(self) -> dict:
         """JSON-able summary (the ``/graphs`` row)."""
@@ -59,6 +71,8 @@ class GraphEntry:
             "num_edges": self.num_edges,
             "queries": self.queries,
             "source": self.source,
+            "generation": self.generation,
+            "mutations": self.mutations,
         }
 
 
@@ -71,6 +85,9 @@ class StoreStats:
     misses: int = 0
     kernel_builds: int = 0
     kernel_hits: int = 0
+    mutations: int = 0
+    kernels_revalidated: int = 0
+    kernels_dropped_on_mutate: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -81,6 +98,9 @@ class StoreStats:
             "misses": self.misses,
             "kernel_builds": self.kernel_builds,
             "kernel_hits": self.kernel_hits,
+            "mutations": self.mutations,
+            "kernels_revalidated": self.kernels_revalidated,
+            "kernels_dropped_on_mutate": self.kernels_dropped_on_mutate,
         }
 
 
@@ -90,6 +110,21 @@ class GraphStore:
     ``capacity=None`` means unbounded.  ``on_evict`` (if given) is
     called with each evicted :class:`GraphEntry` so owners of derived
     state (oracles, etc.) can release it.
+
+    >>> from repro.graph import Graph
+    >>> store = GraphStore(capacity=2)
+    >>> entry = store.register("g", Graph(edges=[(0, 1, 2.0)]))
+    >>> entry.num_edges, entry.generation
+    (1, 0)
+    >>> store.get("g") is entry
+    True
+    >>> from repro.service.deltas import GraphDelta
+    >>> entry, record = store.apply_delta(
+    ...     "g", GraphDelta.from_json({"adds": [[1, 2, 1.0]]}))
+    >>> entry.num_edges, entry.generation
+    (2, 1)
+    >>> record.new_fingerprint != record.old_fingerprint
+    True
     """
 
     def __init__(
@@ -202,6 +237,166 @@ class GraphStore:
         return entry
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        name: str,
+        delta: "GraphDelta",
+        *,
+        expected_fingerprint: str | None = None,
+    ) -> tuple[GraphEntry, "MutationRecord"]:
+        """Mutate the resident graph under ``name`` in place.
+
+        The tentpole path of the dynamic-workload scenario: the delta
+        is validated against the pre-state (atomic — a rejected delta
+        changes nothing), applied through the columnar mutators of
+        :class:`~repro.graph.Graph`, and the entry's fingerprint
+        advances by **chaining** the delta digest
+        (:func:`repro.service.deltas.chain_fingerprint`, ``O(|delta|)``
+        instead of an ``O(m log m)`` re-hash).  The entry counts as
+        most-recently-used.
+
+        ``expected_fingerprint`` is optimistic concurrency: when given
+        and stale, :class:`~repro.service.deltas.FingerprintMismatch`
+        (HTTP 409) is raised and nothing is applied.
+
+        Invalidation is *selective*:
+
+        * if another resident entry still holds the old content (same
+          fingerprint), the graph is **copied on write** first, so the
+          sibling's graph object — and every kernel/oracle built from
+          it — stays frozen and nothing of the old content is dropped;
+        * otherwise the old fingerprint's kernels are revalidated where
+          a certificate survives the delta
+          (:func:`repro.preprocess.revalidate_kernel` — re-keyed to the
+          new fingerprint, counted in ``kernels_revalidated``) and
+          dropped where not;
+        * a no-op delta (content and row order bit-identical) keeps the
+          fingerprint and invalidates nothing.
+
+        Result-cache and oracle invalidation live one layer up in
+        :meth:`repro.service.service.CutService.mutate`, which wraps
+        this and fills the remaining :class:`MutationRecord` fields.
+
+        Concurrency caveat: the store's own state is mutated under its
+        lock, but a query that already fetched this entry's graph
+        object races with an in-place mutation of the same name (the
+        usual non-MVCC contract).  Copy-on-write shields only siblings
+        that share content, not in-flight readers of this entry.
+        """
+        from ..preprocess import revalidate_kernel
+        from .deltas import (
+            DeltaEffect,
+            FingerprintMismatch,
+            MutationRecord,
+            apply_delta,
+            chain_fingerprint,
+            is_noop_for,
+        )
+
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                self.stats.misses += 1
+                raise KeyError(f"no graph registered under {name!r}")
+            self._entries.move_to_end(name)
+            if (
+                expected_fingerprint is not None
+                and expected_fingerprint != entry.fingerprint
+            ):
+                raise FingerprintMismatch(
+                    name, expected_fingerprint, entry.fingerprint
+                )
+            old_fp = entry.fingerprint
+            shared = any(
+                e is not entry and e.fingerprint == old_fp
+                for e in self._entries.values()
+            )
+            if is_noop_for(entry.graph, delta):
+                # Provably-untouched content: skip copy-on-write, the
+                # column writes and the derived-cache invalidation
+                # entirely (O(|delta|) instead of O(n + m)).
+                entry.mutations += 1
+                self.stats.mutations += 1
+                return entry, MutationRecord(
+                    name=name,
+                    old_fingerprint=old_fp,
+                    new_fingerprint=old_fp,
+                    generation=entry.generation,
+                    delta=delta,
+                    effect=DeltaEffect(),
+                    shared=shared,
+                )
+            copied = False
+            if shared:
+                # Copy-on-write: siblings (and any kernel/oracle built
+                # from this object) keep the frozen old content.
+                entry.graph = entry.graph.copy()
+                copied = True
+            effect = apply_delta(entry.graph, delta)
+            entry.mutations += 1
+            self.stats.mutations += 1
+            record = MutationRecord(
+                name=name,
+                old_fingerprint=old_fp,
+                new_fingerprint=old_fp,
+                generation=entry.generation,
+                delta=delta,
+                effect=effect,
+                shared=shared,
+                copied_on_write=copied,
+            )
+            if effect.is_noop:
+                return entry, record
+            entry.fingerprint = chain_fingerprint(old_fp, delta)
+            entry.generation += 1
+            entry.num_vertices = entry.graph.num_vertices
+            entry.num_edges = entry.graph.num_edges
+            record.new_fingerprint = entry.fingerprint
+            record.generation = entry.generation
+            pending: list = []  # (level, kernel) candidates to revalidate
+            if not shared:
+                for key in [k for k in self._kernels if k[0] == old_fp]:
+                    kernel = self._kernels.pop(key)
+                    if isinstance(key[1], str):  # min-cut kernel level
+                        pending.append((key[1], kernel))
+                    else:  # k-cut kernels have no revalidation rule
+                        record.kernels_dropped += 1
+                        self.stats.kernels_dropped_on_mutate += 1
+        # Revalidation may kernelize (O(n + m)); run it outside the
+        # store lock — the same discipline as kernel_for — and install
+        # only while the new fingerprint is still resident (a second
+        # mutation or an eviction in the gap orphans the result).
+        revalidated: list = []
+        cut_drops = 0
+        for level, kernel in pending:
+            fresh = revalidate_kernel(
+                kernel,
+                entry.graph,
+                edges_added=effect.edges_added > 0 or effect.restructured > 0,
+            )
+            if fresh is None:
+                cut_drops += 1
+            else:
+                revalidated.append((level, fresh))
+        with self._lock:
+            new_fp = record.new_fingerprint
+            resident = any(
+                e.fingerprint == new_fp for e in self._entries.values()
+            )
+            if not resident:
+                cut_drops += len(revalidated)
+                revalidated = []
+            for level, fresh in revalidated:
+                self._kernels.setdefault((new_fp, level), fresh)
+                record.kernels_revalidated += 1
+                self.stats.kernels_revalidated += 1
+            record.kernels_dropped += cut_drops
+            self.stats.kernels_dropped_on_mutate += cut_drops
+        return entry, record
+
+    # ------------------------------------------------------------------
     # Kernelization cache
     # ------------------------------------------------------------------
     def kernel_for(self, entry: GraphEntry, level: str) -> "CutKernel":
@@ -209,15 +404,17 @@ class GraphStore:
 
         Built lazily, once per (fingerprint, level): every later query
         on a resident graph starts from the kernel instead of the raw
-        graph.  Registered graphs are frozen (see
-        :meth:`repro.graph.Graph.fingerprint`), so the kernel never
-        goes stale; eviction of the last entry holding a fingerprint
-        drops its kernels.
+        graph.  The fingerprint keys the cache, so a kernel can only
+        serve the content it was built from — :meth:`apply_delta`
+        moves the entry to a new fingerprint and revalidates or drops
+        its kernels; eviction of the last entry holding a fingerprint
+        drops them too.
         """
         from ..preprocess import kernelize, validate_level
 
         level = validate_level(level)
-        key = (entry.fingerprint, level)
+        fp = entry.fingerprint  # captured: a concurrent mutation moves it
+        key = (fp, level)
         with self._lock:
             kernel = self._kernels.get(key)
             if kernel is not None:
@@ -229,12 +426,11 @@ class GraphStore:
         with self._lock:
             self.stats.kernel_builds += 1
             # Cache only while the fingerprint is still resident — the
-            # entry may have been evicted mid-build, and caching then
-            # would pin the graph forever (same rule as the oracle
-            # cache in CutService._oracle_for).
+            # entry may have been evicted (or mutated) mid-build, and
+            # caching then would pin a stale kernel forever (same rule
+            # as the oracle cache in CutService._oracle_for).
             if any(
-                e.fingerprint == entry.fingerprint
-                for e in self._entries.values()
+                e.fingerprint == fp for e in self._entries.values()
             ):
                 self._kernels.setdefault(key, kernel)
                 kernel = self._kernels[key]
@@ -250,7 +446,8 @@ class GraphStore:
         from ..preprocess import kernelize_for_kcut, validate_level
 
         level = validate_level(level)
-        key = (entry.fingerprint, ("kcut", k, level))
+        fp = entry.fingerprint  # captured: a concurrent mutation moves it
+        key = (fp, ("kcut", k, level))
         with self._lock:
             kernel = self._kernels.get(key)
             if kernel is not None:
@@ -260,12 +457,27 @@ class GraphStore:
         with self._lock:
             self.stats.kernel_builds += 1
             if any(
-                e.fingerprint == entry.fingerprint
-                for e in self._entries.values()
+                e.fingerprint == fp for e in self._entries.values()
             ):
                 self._kernels.setdefault(key, kernel)
                 kernel = self._kernels[key]
         return kernel
+
+    def has_kernel(self, fingerprint: str, level_key) -> bool:
+        """Whether a kernel is cached under ``(fingerprint, level_key)``.
+
+        ``level_key`` is a level name for min-cut kernels or the
+        ``("kcut", k, level)`` tuple — the ``/kernelize`` endpoint and
+        the mutation path's result-rekey test use this to observe cache
+        state without building anything.
+        """
+        with self._lock:
+            return (fingerprint, level_key) in self._kernels
+
+    def cached_kernel(self, fingerprint: str, level_key):
+        """The cached kernel under ``(fingerprint, level_key)`` or None."""
+        with self._lock:
+            return self._kernels.get((fingerprint, level_key))
 
     def _drop_orphan_kernels(self, evicted: list[GraphEntry]) -> None:
         """Drop kernels whose fingerprint no longer has a resident entry.

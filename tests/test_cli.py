@@ -181,6 +181,70 @@ class TestServeAndQuery:
         assert main(["query", "stats", "--url", url]) == 0
         assert '"oracles"' in capsys.readouterr().out
 
+    def test_mutate_roundtrip(self, live_service, planted_file, capsys):
+        url, service = live_service
+        path, _ = planted_file
+        assert main(["query", "register", "--url", url,
+                     "--name", "g", "--file", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["mutate", "--url", url, "--name", "g",
+                     "--add", "0,2,2.5", "--reweight", "0,1,4.0"]) == 0
+        out = capsys.readouterr().out
+        assert '"generation": 1' in out
+        graph = service.store.get("g").graph
+        assert graph.weight(0, 1) == 4.0
+        assert graph.weight(0, 2) == 2.5
+        # reweight-to-zero drops the edge
+        assert main(["mutate", "--url", url, "--name", "g",
+                     "--reweight", "0,2,0"]) == 0
+        assert '"zero_reweight_drops": 1' in capsys.readouterr().out
+        assert not service.store.get("g").graph.has_edge(0, 2)
+
+    def test_mutate_deltas_json_and_conflict(
+        self, live_service, planted_file, tmp_path, capsys
+    ):
+        import json as _json
+
+        url, service = live_service
+        path, _ = planted_file
+        assert main(["query", "register", "--url", url,
+                     "--name", "g", "--file", str(path)]) == 0
+        capsys.readouterr()
+        deltas = tmp_path / "deltas.json"
+        deltas.write_text(_json.dumps(
+            [{"adds": [[0, 1, 1.0]]}, {"reweights": [[0, 1, 9.0]]}]
+        ))
+        assert main(["mutate", "--url", url, "--name", "g",
+                     "--deltas-json", str(deltas)]) == 0
+        assert '"generation": 2' in capsys.readouterr().out
+        # stale fingerprint -> server-side 409 surfaced as an error
+        assert main(["mutate", "--url", url, "--name", "g",
+                     "--add", "3,4,1.0",
+                     "--expect-fingerprint", "stale"]) == 1
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_mutate_requires_some_delta(self, live_service, capsys):
+        url, _ = live_service
+        assert main(["mutate", "--url", url, "--name", "g"]) == 2
+        assert "nothing to apply" in capsys.readouterr().err
+
+    def test_mutate_reweight_requires_weight_locally(self, capsys):
+        # caught by the CLI parser, never reaches a server
+        with pytest.raises(SystemExit, match="wants U,V,W"):
+            main(["mutate", "--url", "http://127.0.0.1:9", "--name", "g",
+                  "--reweight", "1,2"])
+
+    def test_query_kernelize(self, live_service, planted_file, capsys):
+        url, _ = live_service
+        path, _ = planted_file
+        assert main(["query", "register", "--url", url,
+                     "--name", "g", "--file", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["query", "kernelize", "--url", url, "--name", "g",
+                     "--preprocess", "aggressive"]) == 0
+        out = capsys.readouterr().out
+        assert '"cached": false' in out and '"level": "aggressive"' in out
+
     def test_query_unknown_graph_exits_nonzero(self, live_service, capsys):
         url, _ = live_service
         assert main(["query", "mincut", "--url", url, "--name", "nope"]) == 1
