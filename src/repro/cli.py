@@ -21,7 +21,12 @@ Subcommands mirroring what a downstream user does first:
 * ``query``   — client for a running ``serve`` instance;
 * ``mutate``  — apply edge deltas (add/remove/reweight) to a graph
   resident in a running ``serve`` instance, in place — the dynamic-
-  workload path (``POST /mutate``; see ``docs/HTTP_API.md``).
+  workload path (``POST /mutate``; see ``docs/HTTP_API.md``);
+* ``loadgen`` — open-loop load generator against a running ``serve``
+  instance: fixed arrival rate, bounded in-flight window, mixed
+  upload/query/mutate/batch traffic, per-op p50/p95/p99 latency and
+  optional SLO gating (:mod:`repro.obs.loadgen`;
+  see ``docs/OBSERVABILITY.md``).
 
 Graph files are loaded by extension: ``.dimacs``/``.col``/``.max`` as
 DIMACS, ``.metis``/``.chaco`` as METIS, anything else as the native
@@ -252,6 +257,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import Tracer
     from .service import CutService, serve
 
     service = CutService(
@@ -260,6 +266,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         result_cache_capacity=args.result_cache,
         ampc_backend=args.ampc_backend,
         preprocess=args.preprocess,
+        tracer=Tracer(capacity=args.trace_capacity, enabled=not args.no_trace),
     )
     for spec in args.graph or []:
         name, sep, path = spec.partition("=")
@@ -274,7 +281,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         serve(service, host=args.host, port=args.port)
     finally:
+        if args.trace_out is not None:
+            count = service.tracer.export_jsonl(str(args.trace_out))
+            print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
         service.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import LoadGen, LoadGenConfig, check_slos
+    from .obs.loadgen import write_report
+
+    mix = None
+    if args.mix:
+        mix = {}
+        for spec in args.mix:
+            op, sep, weight = spec.partition("=")
+            if not sep:
+                print(f"error: --mix wants OP=WEIGHT, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            try:
+                mix[op] = float(weight)
+            except ValueError:
+                print(f"error: --mix weight must be a number, got {weight!r}",
+                      file=sys.stderr)
+                return 2
+    kwargs = {} if mix is None else {"mix": mix}
+    try:
+        config = LoadGenConfig(
+            url=args.url,
+            rate=args.rate,
+            duration_s=args.duration,
+            max_inflight=args.max_inflight,
+            graphs=args.graphs,
+            graph_n=args.graph_n,
+            seed=args.seed,
+            probe_s=args.probe,
+            **kwargs,
+        )
+        report = LoadGen(config).run()
+    except (ValueError, ConnectionError, RuntimeError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output is not None:
+        write_report(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    floors = {}
+    if args.slo:
+        for spec in args.slo:
+            key, sep, bound = spec.partition("=")
+            if not sep:
+                print(f"error: --slo wants KEY=BOUND, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            try:
+                floors[key] = float(bound)
+            except ValueError:
+                print(f"error: --slo bound must be a number, got {bound!r}",
+                      file=sys.stderr)
+                return 2
+    if floors:
+        try:
+            violations = check_slos(report, floors)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if violations:
+            for line in violations:
+                print(f"SLO violation: {line}", file=sys.stderr)
+            return 1
+        print(f"all {len(floors)} SLOs hold", file=sys.stderr)
     return 0
 
 
@@ -570,7 +651,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU capacity of the query-result cache")
     p.add_argument("--graph", action="append", metavar="NAME=PATH",
                    help="preload a graph file (repeatable)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="disable request tracing (GET /trace serves an "
+                        "empty buffer; error bodies carry trace_id=null)")
+    p.add_argument("--trace-capacity", type=int, default=4096,
+                   help="span ring-buffer size (oldest spans drop first)")
+    p.add_argument("--trace-out", type=Path, default=None,
+                   help="on shutdown, write buffered spans to this JSONL file")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="open-loop load generator against a running "
+                            "serve instance")
+    p.add_argument("--url", default="http://127.0.0.1:8008")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="target arrival rate, requests/second")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds of scheduled arrivals")
+    p.add_argument("--max-inflight", type=int, default=16,
+                   help="bounded concurrency window (worker threads)")
+    p.add_argument("--mix", action="append", metavar="OP=WEIGHT",
+                   help="traffic mix weight, e.g. --mix mincut=4 "
+                        "(ops: mincut stcut mutate batch upload; "
+                        "repeatable, default 4/4/1/1/1)")
+    p.add_argument("--graphs", type=int, default=2,
+                   help="planted-cut graphs registered as the query corpus")
+    p.add_argument("--graph-n", type=int, default=48,
+                   help="vertices per corpus graph")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule + payload RNG seed (same seed, same run)")
+    p.add_argument("--probe", type=float, default=0.0,
+                   help="seconds of closed-loop saturation probe after the "
+                        "open-loop phase (0 = skip)")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the JSON report here instead of stdout")
+    p.add_argument("--slo", action="append", metavar="KEY=BOUND",
+                   help="SLO gate, e.g. --slo mincut_p99_s=0.5 "
+                        "--slo min_rps=20 (exit 1 on violation; keys: "
+                        "<op>_p99_s min_rps max_error_rate "
+                        "min_saturation_rps)")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("mutate",
                        help="apply edge deltas to a graph on a running "

@@ -1,0 +1,50 @@
+"""Observability layer: structured tracing, metrics, and load generation.
+
+Three pieces, each usable standalone and wired together by the serving
+layer (:mod:`repro.service`):
+
+* :mod:`repro.obs.tracing` — :class:`Span`/:class:`Tracer`: per-request
+  span trees with monotonic timing, a bounded in-memory ring buffer,
+  JSONL export, and ``GET /trace``;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: named counters,
+  gauges and streaming log-bucket histograms (p50/p95/p99), surfaced at
+  ``GET /metrics`` and folded into ``/stats``;
+* :mod:`repro.obs.loadgen` — :class:`LoadGen`: an open-loop load
+  generator (target request rate, bounded in-flight window, mixed
+  upload/query/mutate/batch traffic) reporting per-op-class latency
+  quantiles and saturation throughput, with SLO-floor gates
+  (``repro-cut loadgen`` / ``benchmarks/bench_load.py``).
+
+See ``docs/OBSERVABILITY.md`` for the span vocabulary, the metrics
+catalog and load-harness usage.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsScope
+from .tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanContext,
+    Tracer,
+    self_times,
+    span_roots,
+)
+from .loadgen import LoadGen, LoadGenConfig, check_slos
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LoadGen",
+    "LoadGenConfig",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "check_slos",
+    "self_times",
+    "span_roots",
+]

@@ -1,0 +1,395 @@
+"""Open-loop load generator with SLO gates for the serving layer.
+
+The BENCH_*.json artifacts the repo accumulated per PR are one-shot
+microbenchmarks; nothing replayed realistic *traffic*.  This module is
+the missing harness, huggingbench-runner style:
+
+* **open-loop arrivals** — requests are scheduled at a fixed target
+  rate regardless of how fast the server answers (closed-loop clients
+  self-throttle and hide saturation; open-loop ones expose it as queue
+  delay and p99 blow-up);
+* **bounded in-flight window** — ``max_inflight`` worker threads issue
+  the scheduled requests; arrivals beyond the window queue, and their
+  latency is measured **from the scheduled arrival time**, so a server
+  that can't keep up shows it in the tail quantiles;
+* **mixed traffic** — weighted op classes over a scripted corpus:
+  graph uploads, warm/cold min-cut queries, s–t oracle queries,
+  increase-only mutations, and multi-op batches;
+* **per-op-class report** — p50/p95/p99/mean/max latency (open-loop
+  and service-only), achieved vs target RPS, error counts, scheduler
+  lag, and an optional fire-as-fast-as-possible **saturation probe**;
+* **SLO gates** — :func:`check_slos` turns a report plus a floors dict
+  into a list of violations; the CI perf leg
+  (``benchmarks/bench_load.py``) fails on any.
+
+The generator speaks plain HTTP (``repro.service.http.request_json``),
+so it drives any server — the in-process test fixture, ``repro-cut
+serve`` on another host, or the ``repro-cut loadgen --self`` one-shot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_MIX", "LoadGen", "LoadGenConfig", "check_slos"]
+
+#: default op-class weights: query-heavy with a mutation/upload trickle,
+#: the regime the ROADMAP's serving tier is built for
+DEFAULT_MIX = {
+    "mincut": 4.0,
+    "stcut": 4.0,
+    "mutate": 1.0,
+    "batch": 1.0,
+    "upload": 1.0,
+}
+
+
+@dataclass
+class LoadGenConfig:
+    """Knobs of one load-generation run (all durations in seconds)."""
+
+    url: str
+    rate: float = 50.0            # open-loop target arrivals per second
+    duration_s: float = 5.0
+    max_inflight: int = 16        # bounded async in-flight window
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+    graphs: int = 2               # scripted corpus size
+    graph_n: int = 48             # vertices per corpus graph
+    seed: int = 0
+    timeout_s: float = 30.0
+    probe_s: float = 0.0          # saturation probe duration (0 = skip)
+
+    def as_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+            "max_inflight": self.max_inflight,
+            "mix": dict(self.mix),
+            "graphs": self.graphs,
+            "graph_n": self.graph_n,
+            "seed": self.seed,
+            "probe_s": self.probe_s,
+        }
+
+
+@dataclass
+class _Sample:
+    op: str
+    scheduled: float   # perf_counter at which the arrival was due
+    started: float     # perf_counter at which a worker picked it up
+    finished: float
+    error: bool
+
+    @property
+    def latency_s(self) -> float:
+        """Open-loop latency: completion measured from scheduled arrival."""
+        return self.finished - self.scheduled
+
+    @property
+    def service_s(self) -> float:
+        """Server-side view: completion measured from actual send."""
+        return self.finished - self.started
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[idx]
+
+
+class LoadGen:
+    """Drive a live server with an open-loop mixed workload.
+
+    ``run()`` registers the scripted corpus, replays the schedule,
+    optionally runs the saturation probe, and returns the JSON-able
+    report (the ``BENCH_PR6.json`` body).
+    """
+
+    def __init__(self, config: LoadGenConfig):
+        if config.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if config.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if not config.mix or any(w < 0 for w in config.mix.values()):
+            raise ValueError("mix must be non-empty with weights >= 0")
+        unknown = set(config.mix) - set(DEFAULT_MIX)
+        if unknown:
+            raise ValueError(f"unknown op classes in mix: {sorted(unknown)}")
+        self.config = config
+        self._samples: list[_Sample] = []
+        self._samples_lock = threading.Lock()
+        self._corpus_edges: list[list] = []
+        self._mut_edges: list[list] = []
+
+    # ------------------------------------------------------------------
+    # Corpus + schedule (deterministic per seed)
+    # ------------------------------------------------------------------
+    def _request_json(self, path: str, payload=None):
+        from ..service.http import request_json  # lazy: avoids an import cycle
+
+        return request_json(
+            self.config.url, path, payload, timeout=self.config.timeout_s
+        )
+
+    def _build_corpus(self) -> None:
+        from ..workloads import planted_cut  # lazy: avoids an import cycle
+
+        cfg = self.config
+        self._corpus_edges = []
+        for j in range(cfg.graphs):
+            g = planted_cut(cfg.graph_n, inner_degree=4, seed=100 + j).graph
+            edges = [[u, v, w] for u, v, w in g.edges()]
+            self._corpus_edges.append(edges)
+            self._request_json("/graphs", {"name": f"lg{j}", "edges": edges})
+        mut = planted_cut(cfg.graph_n, inner_degree=4, seed=999).graph
+        self._mut_edges = [[u, v, w] for u, v, w in mut.edges()]
+        self._request_json("/graphs", {"name": "lgmut", "edges": self._mut_edges})
+
+    def _schedule(self) -> list[tuple[str, str, dict]]:
+        """The scripted request list: (op_class, path, payload) rows."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        classes = [c for c, w in sorted(cfg.mix.items()) if w > 0]
+        weights = [cfg.mix[c] for c in classes]
+        total = max(1, int(cfg.rate * cfg.duration_s))
+        plan = []
+        for _ in range(total):
+            op = rng.choices(classes, weights=weights)[0]
+            plan.append((op, *self._payload_for(op, rng)))
+        return plan
+
+    def _payload_for(self, op: str, rng: random.Random) -> tuple[str, dict]:
+        cfg = self.config
+        graph = f"lg{rng.randrange(cfg.graphs)}"
+        if op == "mincut":
+            # a handful of seeds per graph: the steady state is warm
+            # LRU hits with a cold computation per new (graph, seed)
+            return "/mincut", {
+                "graph": graph,
+                "seed": rng.randrange(3),
+                "trials": 2,
+                "preprocess": "safe",
+            }
+        if op == "stcut":
+            s = rng.randrange(cfg.graph_n)
+            t = (s + 1 + rng.randrange(cfg.graph_n - 1)) % cfg.graph_n
+            return "/stcut", {"graph": graph, "s": s, "t": t}
+        if op == "mutate":
+            # reinforce a resident edge: increase-only, so the retained
+            # Gomory-Hu oracle stays masked instead of dropping
+            u, v, _ = self._mut_edges[rng.randrange(len(self._mut_edges))]
+            return "/mutate", {"graph": "lgmut", "adds": [[u, v, 0.5]]}
+        if op == "batch":
+            s = rng.randrange(cfg.graph_n)
+            return "/batch", {
+                "requests": [
+                    {"op": "stcut", "graph": graph, "s": s,
+                     "t": (s + 1) % cfg.graph_n},
+                    {"op": "mincut", "graph": graph, "seed": 0, "trials": 2,
+                     "preprocess": "safe"},
+                ]
+            }
+        if op == "upload":
+            j = rng.randrange(cfg.graphs)
+            return "/graphs", {"name": f"lg{j}", "edges": self._corpus_edges[j]}
+        raise ValueError(f"unknown op class {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker(self, jobs: "queue.Queue") -> None:
+        while True:
+            item = jobs.get()
+            if item is None:
+                return
+            op, path, payload, scheduled = item
+            started = time.perf_counter()
+            error = False
+            try:
+                resp = self._request_json(path, payload)
+                error = isinstance(resp, dict) and "error" in resp
+            except Exception:
+                error = True
+            finished = time.perf_counter()
+            sample = _Sample(op, scheduled, started, finished, error)
+            with self._samples_lock:
+                self._samples.append(sample)
+
+    def _probe_saturation(self) -> float:
+        """Fire warm queries as fast as the window allows; completed/s."""
+        cfg = self.config
+        deadline = time.perf_counter() + cfg.probe_s
+        done = [0] * cfg.max_inflight
+
+        def hammer(slot: int) -> None:
+            while time.perf_counter() < deadline:
+                try:
+                    self._request_json(
+                        "/stcut", {"graph": "lg0", "s": 0, "t": 1}
+                    )
+                except Exception:
+                    continue
+                done[slot] += 1
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in range(cfg.max_inflight)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = max(time.perf_counter() - t0, 1e-9)
+        return sum(done) / elapsed
+
+    def run(self) -> dict:
+        """Execute the configured run; returns the JSON-able report."""
+        cfg = self.config
+        self._request_json("/healthz")  # fail fast on an unreachable server
+        self._build_corpus()
+        plan = self._schedule()
+        self._samples = []
+
+        jobs: queue.Queue = queue.Queue()
+        workers = [
+            threading.Thread(target=self._worker, args=(jobs,), daemon=True)
+            for _ in range(cfg.max_inflight)
+        ]
+        for w in workers:
+            w.start()
+
+        interval = 1.0 / cfg.rate
+        t0 = time.perf_counter()
+        for i, (op, path, payload) in enumerate(plan):
+            due = t0 + i * interval
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            # open loop: enqueue on schedule even if the window is busy
+            jobs.put((op, path, payload, due))
+        for _ in workers:
+            jobs.put(None)
+        for w in workers:
+            w.join()
+        wall_s = time.perf_counter() - t0
+
+        saturation_rps = self._probe_saturation() if cfg.probe_s > 0 else None
+        return self._report(plan, wall_s, saturation_rps)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, plan, wall_s: float, saturation_rps) -> dict:
+        cfg = self.config
+        by_class: dict[str, list[_Sample]] = {}
+        for s in self._samples:
+            by_class.setdefault(s.op, []).append(s)
+        op_classes = {}
+        for op, samples in sorted(by_class.items()):
+            lat = sorted(x.latency_s for x in samples)
+            svc = sorted(x.service_s for x in samples)
+            op_classes[op] = {
+                "count": len(samples),
+                "errors": sum(1 for x in samples if x.error),
+                "p50_s": _percentile(lat, 0.50),
+                "p95_s": _percentile(lat, 0.95),
+                "p99_s": _percentile(lat, 0.99),
+                "mean_s": sum(lat) / len(lat),
+                "max_s": lat[-1],
+                "service_p50_s": _percentile(svc, 0.50),
+                "service_p99_s": _percentile(svc, 0.99),
+            }
+        errors = sum(1 for s in self._samples if s.error)
+        completed = len(self._samples)
+        return {
+            "harness": "open-loop-loadgen",
+            "config": cfg.as_dict(),
+            "planned_requests": len(plan),
+            "completed_requests": completed,
+            "errors": errors,
+            "wall_s": wall_s,
+            "target_rps": cfg.rate,
+            "achieved_rps": completed / wall_s if wall_s > 0 else 0.0,
+            "max_sched_lag_s": max(
+                (s.started - s.scheduled for s in self._samples), default=0.0
+            ),
+            "op_classes": op_classes,
+            "saturation_rps": saturation_rps,
+        }
+
+
+# ----------------------------------------------------------------------
+# SLO gates
+# ----------------------------------------------------------------------
+def check_slos(report: dict, floors: dict) -> list[str]:
+    """Evaluate SLO floors against a :meth:`LoadGen.run` report.
+
+    Recognised floor keys:
+
+    * ``"<op>_p99_s"`` — the op class's open-loop p99 must not exceed
+      the value (e.g. ``"mincut_p99_s": 0.5``);
+    * ``"min_rps"`` — achieved throughput must reach the value;
+    * ``"max_error_rate"`` — errors/completed must stay at or below;
+    * ``"min_saturation_rps"`` — the saturation probe (if run) must
+      reach the value.
+
+    Returns a list of human-readable violations (empty = all SLOs met).
+
+    >>> report = {"achieved_rps": 10.0, "completed_requests": 10,
+    ...           "errors": 0, "saturation_rps": None,
+    ...           "op_classes": {"stcut": {"p99_s": 0.2}}}
+    >>> check_slos(report, {"stcut_p99_s": 0.5, "min_rps": 5})
+    []
+    >>> check_slos(report, {"min_rps": 50})
+    ['achieved_rps 10.00 < floor 50.00']
+    """
+    violations = []
+    for key, floor in sorted(floors.items()):
+        if key == "min_rps":
+            if report["achieved_rps"] < floor:
+                violations.append(
+                    f"achieved_rps {report['achieved_rps']:.2f} < "
+                    f"floor {floor:.2f}"
+                )
+        elif key == "min_saturation_rps":
+            sat = report.get("saturation_rps")
+            if sat is None or sat < floor:
+                violations.append(
+                    f"saturation_rps {sat if sat is None else f'{sat:.2f}'} "
+                    f"< floor {floor:.2f}"
+                )
+        elif key == "max_error_rate":
+            completed = max(1, report["completed_requests"])
+            rate = report["errors"] / completed
+            if rate > floor:
+                violations.append(
+                    f"error rate {rate:.4f} > ceiling {floor:.4f}"
+                )
+        elif key.endswith("_p99_s"):
+            op = key[: -len("_p99_s")]
+            stats = report["op_classes"].get(op)
+            if stats is None:
+                violations.append(f"op class {op!r} absent from the report")
+            elif stats["p99_s"] > floor:
+                violations.append(
+                    f"{op} p99 {stats['p99_s'] * 1000:.1f}ms > "
+                    f"floor {floor * 1000:.1f}ms"
+                )
+        else:
+            raise ValueError(f"unknown SLO floor {key!r}")
+    return violations
+
+
+def write_report(report: dict, path: str) -> None:
+    """Dump a report as pretty JSON (the ``BENCH_PR6.json`` artifact)."""
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)

@@ -9,6 +9,10 @@ observable through ``/stats`` — so it lives here once.
 Stdlib only (``collections.OrderedDict`` + a lock); safe under the
 ``ThreadingHTTPServer`` front end where handler threads share one
 :class:`~repro.service.service.CutService`.
+
+Counters live on a :class:`~repro.obs.metrics.MetricsRegistry` scope
+(``results.hits`` etc. in ``GET /metrics``); a cache constructed
+without one gets a private scope, so standalone use needs no wiring.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator
+
+from ..obs.metrics import MetricsRegistry, MetricsScope
 
 _MISSING = object()
 
@@ -37,23 +43,41 @@ class LRUCache:
     1
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(
+        self, capacity: int = 128, *, metrics: MetricsScope | None = None
+    ):
         self.capacity = int(capacity)
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        if metrics is None:
+            metrics = MetricsRegistry().scope("cache")
+        self._hits = metrics.counter("hits")
+        self._misses = metrics.counter("misses")
+        self._evictions = metrics.counter("evictions")
+
+    # counters stay readable as plain ints (``cache.hits``) — the
+    # pre-registry attribute contract the oracle and tests rely on
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
         with self._lock:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
-                self.misses += 1
+                self._misses.inc()
                 return default
             self._data.move_to_end(key)
-            self.hits += 1
+            self._hits.inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -66,7 +90,7 @@ class LRUCache:
             self._data[key] = value
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return ``key``'s value (no hit/miss accounting).

@@ -45,6 +45,8 @@ from ..core import (
 from ..core.kcut import KCutResult
 from ..core.mincut import MinCutResult
 from ..graph import Graph
+from ..obs.metrics import MetricsRegistry, MetricsScope
+from ..obs.tracing import NULL_TRACER, Tracer
 
 #: re-exported under the serving layer's historical names; the single
 #: source of truth is ``repro.core.mincut`` (shared with the booster)
@@ -126,7 +128,14 @@ class TrialExecutor:
     manager.
     """
 
-    def __init__(self, workers: int = 1, *, ampc_backend: str | None = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        ampc_backend: str | None = None,
+        metrics: MetricsScope | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -141,20 +150,39 @@ class TrialExecutor:
         self._ref_memo: OrderedDict[int, tuple[Graph, tuple[str, bytes]]] = (
             OrderedDict()
         )
-        self.trials_run = 0
-        self.batches = 0
+        if metrics is None:
+            metrics = MetricsRegistry().scope("executor")
+        self._trials_run = metrics.counter("trials_run")
+        self._batches = metrics.counter("batches")
+        self._tracer = tracer
+
+    @property
+    def trials_run(self) -> int:
+        return self._trials_run.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
 
     # ------------------------------------------------------------------
     def _run_batch(self, fn: Callable, arg_tuples: Sequence[tuple]) -> list:
         """Run ``fn(*args)`` for each tuple, preserving input order."""
-        with self._lock:
-            self.batches += 1
-            self.trials_run += len(arg_tuples)
-        if self.workers == 1 or len(arg_tuples) == 1:
-            return [fn(*args) for args in arg_tuples]
-        pool = self._ensure_pool()
-        futures = [pool.submit(fn, *args) for args in arg_tuples]
-        return [f.result() for f in futures]  # submission order, not completion
+        self._batches.inc()
+        self._trials_run.inc(len(arg_tuples))
+        pooled = self.workers > 1 and len(arg_tuples) > 1
+        with self._tracer.span("executor.fanout") as sp:
+            if sp:
+                sp.set(
+                    trials=len(arg_tuples),
+                    workers=self.workers,
+                    pooled=pooled,
+                )
+            if not pooled:
+                return [fn(*args) for args in arg_tuples]
+            pool = self._ensure_pool()
+            futures = [pool.submit(fn, *args) for args in arg_tuples]
+            # submission order, not completion
+            return [f.result() for f in futures]
 
     def _graph_ref(self, graph: Graph, trials: int):
         """The graph itself (serial) or one (digest, pickle) pair (pool).
@@ -271,15 +299,16 @@ class TrialExecutor:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         with self._lock:
-            return {
-                "workers": self.workers,
-                "ampc_backend": self.ampc_backend
-                or os.environ.get("AMPC_BACKEND")
-                or "serial",
-                "pool_live": self._pool is not None,
-                "batches": self.batches,
-                "trials_run": self.trials_run,
-            }
+            pool_live = self._pool is not None
+        return {
+            "workers": self.workers,
+            "ampc_backend": self.ampc_backend
+            or os.environ.get("AMPC_BACKEND")
+            or "serial",
+            "pool_live": pool_live,
+            "batches": self.batches,
+            "trials_run": self.trials_run,
+        }
 
     def shutdown(self) -> None:
         with self._lock:

@@ -11,6 +11,10 @@ method    path       body / result
 GET       /healthz   liveness probe
 GET       /graphs    list of registered-graph descriptions
 GET       /stats     cache/pool/oracle counters (the observability seam)
+GET       /metrics   the full metrics-registry snapshot (counters,
+                     gauges, latency histograms with p50/p95/p99)
+GET       /trace     recent finished spans from the tracer ring buffer
+                     (``?limit=N`` caps the count)
 POST      /graphs    ``{"name", "edges": [[u,v,w],...]}`` or
                      ``{"name", "path": "file-on-server"}``
 POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?,
@@ -35,6 +39,18 @@ documented in ``docs/HTTP_API.md`` (kept honest by
 ``tests/test_http_api_docs.py``, which replays every example against a
 live server).
 
+Observability: every request runs under an ``http.request`` root span
+(child spans cover body parse, store lookup, kernelization, cache
+tiers, oracle path and executor fan-out — see ``docs/OBSERVABILITY.md``
+for the vocabulary), every error response carries the request's
+``trace_id`` so failures correlate with exported spans, and per-op
+latency histograms feed ``GET /metrics`` and the ``requests`` section
+of ``/stats``.  The root span closes and the request is counted
+*before* the reply bytes are written, so a client holding a response
+always finds its own request in ``/trace`` and ``/metrics``
+(read-your-own-trace; the recorded duration excludes the socket
+write).
+
 ``make_server(service, port=0)`` binds an ephemeral port for tests;
 ``serve(...)`` is the blocking entry point ``repro-cut serve`` uses.
 A tiny ``urllib`` client (:func:`request_json`) backs ``repro-cut
@@ -44,7 +60,9 @@ query`` and the end-to-end tests.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -77,35 +95,99 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         service = self.server.service
-        if self.path == "/healthz":
-            self._reply(200, {"ok": True})
-        elif self.path == "/graphs":
-            self._reply(200, {"graphs": service.graphs()})
-        elif self.path == "/stats":
-            self._reply(200, service.stats())
-        else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        op = path.lstrip("/") or "unknown"
+        t0 = time.perf_counter()
+        with service.tracer.span("http.request") as root:
+            if root:
+                root.set(method="GET", path=path, op=op)
+            if path == "/healthz":
+                status, payload = 200, {"ok": True}
+            elif path == "/graphs":
+                status, payload = 200, {"graphs": service.graphs()}
+            elif path == "/stats":
+                status, payload = 200, service.stats()
+            elif path == "/metrics":
+                status, payload = 200, service.metrics_payload()
+            elif path == "/trace":
+                query = urllib.parse.parse_qs(parsed.query)
+                try:
+                    limit = int(query["limit"][0]) if "limit" in query else None
+                except ValueError:
+                    limit = None
+                status, payload = 200, {
+                    "spans": service.tracer.snapshot(limit),
+                    "stats": service.tracer.stats(),
+                }
+            else:
+                status, payload = 404, {"error": f"unknown path {path!r}"}
+            if status >= 400:
+                payload = _with_trace_id(root, payload)
+            if root:
+                root.set(status=status)
+        # span closed and metrics recorded *before* the reply bytes go
+        # out: a client that has the response can immediately read its
+        # own request in /trace and /metrics (the recorded duration
+        # excludes the socket write)
+        service.observe_request(
+            op, time.perf_counter() - t0, error=status >= 400
+        )
+        self._reply(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        try:
-            body = self._read_json()
-        except ValueError as exc:
-            self._reply(400, {"error": str(exc)})
-            return
-        if self.path == "/batch":
-            requests = body.get("requests")
-            if not isinstance(requests, list):
-                self._reply(400, {"error": "batch body needs a 'requests' list"})
-                return
-            responses = []
-            for item in requests:
-                op = item.get("op") if isinstance(item, dict) else None
-                _, payload = self._dispatch_safe(op, item)
-                responses.append(payload)
-            self._reply(200, {"responses": responses})
-            return
-        status, payload = self._dispatch_safe(self.path.lstrip("/"), body)
+        service = self.server.service
+        tracer = service.tracer
+        op = self.path.lstrip("/") or "unknown"
+        t0 = time.perf_counter()
+        with tracer.span("http.request") as root:
+            if root:
+                root.set(method="POST", path=self.path, op=op)
+            try:
+                with tracer.span("http.parse") as sp:
+                    body = self._read_json()
+                    if sp:
+                        sp.set(
+                            content_length=int(
+                                self.headers.get("Content-Length") or 0
+                            )
+                        )
+            except ValueError as exc:
+                status, payload = 400, {"error": str(exc)}
+            else:
+                if self.path == "/batch":
+                    status, payload = self._handle_batch(root, body)
+                else:
+                    status, payload = self._dispatch_safe(op, body)
+            if status >= 400:
+                payload = _with_trace_id(root, payload)
+            if root:
+                root.set(status=status)
+        # as in do_GET: trace + metrics land before the reply is sent
+        service.observe_request(
+            op, time.perf_counter() - t0, error=status >= 400
+        )
         self._reply(status, payload)
+
+    def _handle_batch(self, root, body: dict) -> tuple[int, dict]:
+        """``/batch``: dispatch each item, errors inline (with trace_id)."""
+        requests = body.get("requests")
+        if not isinstance(requests, list):
+            return 400, {"error": "batch body needs a 'requests' list"}
+        tracer = self.server.service.tracer
+        responses = []
+        for i, item in enumerate(requests):
+            op = item.get("op") if isinstance(item, dict) else None
+            with tracer.span("batch.item") as sp:
+                if sp:
+                    sp.set(op=op, index=i)
+                status, payload = self._dispatch_safe(op, item)
+                if sp:
+                    sp.set(status=status)
+            if status >= 400:
+                payload = _with_trace_id(root, payload)
+            responses.append(payload)
+        return 200, {"responses": responses}
 
     def _dispatch_safe(self, op: str | None, body) -> tuple[int, dict]:
         """Dispatch with every failure mapped to a JSON (status, body).
@@ -213,6 +295,18 @@ class _Handler(BaseHTTPRequestHandler):
 
 class _BadRequest(Exception):
     """Maps to HTTP 400."""
+
+
+def _with_trace_id(root, payload: dict) -> dict:
+    """Stamp the request's trace id onto an error payload.
+
+    Every 4xx/5xx body (and every inline ``/batch`` error) carries the
+    ``trace_id`` of its ``http.request`` span, so a failure seen by a
+    client is correlatable with the exported span tree.  ``None`` when
+    the service runs with tracing disabled.
+    """
+    payload["trace_id"] = root.trace_id if root else None
+    return payload
 
 
 def _key_error_message(exc: KeyError) -> str:

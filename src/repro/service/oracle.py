@@ -51,6 +51,8 @@ from typing import Hashable, Iterable
 
 from ..flow import GomoryHuTree, gomory_hu_tree
 from ..graph import Graph
+from ..obs.metrics import MetricsRegistry, MetricsScope
+from ..obs.tracing import NULL_TRACER, Tracer
 from .cache import LRUCache
 
 Vertex = Hashable
@@ -66,13 +68,40 @@ _MISS = object()
 class CutOracle:
     """Per-graph oracle answering s–t min-cut queries from one GH tree."""
 
-    def __init__(self, graph: Graph, *, engine: str = "dinic"):
+    #: the registry-counter fields behind the ``stats()`` dict; each
+    #: oracle owns a private scope so per-fingerprint stats stay
+    #: distinguishable (the service aggregates them for ``/metrics``)
+    COUNTER_FIELDS = (
+        "builds",
+        "tree_queries",
+        "mask_hits",
+        "mask_rebuilds",
+        "deltas_retained",
+        "deltas_dropped",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        engine: str = "dinic",
+        metrics: MetricsScope | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
         self.graph = graph
         self.engine = engine
         self._tree: GomoryHuTree | None = None
         self._lock = threading.Lock()
         self._build_lock = threading.Lock()
-        self._pair_memo = LRUCache(PAIR_MEMO_CAPACITY)
+        if metrics is None:
+            metrics = MetricsRegistry().scope("oracle")
+        self._counters = {
+            f: metrics.counter(f) for f in self.COUNTER_FIELDS
+        }
+        self._tracer = tracer
+        self._pair_memo = LRUCache(
+            PAIR_MEMO_CAPACITY, metrics=metrics.scope("pairs")
+        )
         #: bumped by every absorbed delta; a query memoises its value
         #: only if the epoch it computed under is still current, so an
         #: in-flight query racing a mutation can never re-populate the
@@ -82,12 +111,17 @@ class CutOracle:
         #: (their labels may be stale); None = no mutation since build,
         #: certificates not required.
         self._touched: set[Vertex] | None = None
-        self.builds = 0
-        self.tree_queries = 0
-        self.mask_hits = 0
-        self.mask_rebuilds = 0
-        self.deltas_retained = 0
-        self.deltas_dropped = 0
+
+    def __getattr__(self, name: str) -> int:
+        # counter reads stay plain ints (``oracle.builds``), matching
+        # the pre-registry attribute contract
+        try:
+            return self.__dict__["_counters"][name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def _inc(self, name: str) -> None:
+        self._counters[name].inc()
 
     # ------------------------------------------------------------------
     def tree(self) -> GomoryHuTree:
@@ -102,10 +136,16 @@ class CutOracle:
             return tree
         with self._build_lock:
             if self._tree is None:
-                built = gomory_hu_tree(self.graph, engine=self.engine)
+                with self._tracer.span("oracle.build") as sp:
+                    if sp:
+                        sp.set(
+                            engine=self.engine,
+                            num_vertices=self.graph.num_vertices,
+                        )
+                    built = gomory_hu_tree(self.graph, engine=self.engine)
                 with self._lock:
                     self._tree = built
-                    self.builds += 1
+                    self._inc("builds")
             return self._tree
 
     @property
@@ -152,7 +192,7 @@ class CutOracle:
                 with self._lock:
                     self._tree = None
                     self._touched = None
-                    self.deltas_dropped += 1
+                    self._inc("deltas_dropped")
                 return "dropped"
             touched = self._touched if self._touched is not None else set()
             pairs = list(changed_pairs)
@@ -166,7 +206,7 @@ class CutOracle:
                         break
             with self._lock:
                 self._touched = touched
-                self.deltas_retained += 1
+                self._inc("deltas_retained")
             return "masked"
 
     def _rebuild(self) -> GomoryHuTree:
@@ -181,13 +221,20 @@ class CutOracle:
         with self._build_lock:
             if self._touched is None and self._tree is not None:
                 return self._tree  # another thread rebuilt first
-            built = gomory_hu_tree(self.graph, engine=self.engine)
+            with self._tracer.span("oracle.build") as sp:
+                if sp:
+                    sp.set(
+                        engine=self.engine,
+                        num_vertices=self.graph.num_vertices,
+                        rebuild=True,
+                    )
+                built = gomory_hu_tree(self.graph, engine=self.engine)
             with self._lock:
                 self._tree = built
                 self._touched = None
                 self._epoch += 1
-                self.builds += 1
-                self.mask_rebuilds += 1
+                self._inc("builds")
+                self._inc("mask_rebuilds")
             return built
 
     def _snapshot(self) -> tuple[GomoryHuTree | None, set | None, int]:
@@ -223,27 +270,36 @@ class CutOracle:
         if s == t:
             raise ValueError("s == t")
         key = (s, t) if repr(s) <= repr(t) else (t, s)
-        value = self._pair_memo.get(key, _MISS)
-        if value is not _MISS:
-            return value
-        tree, touched, epoch = self._current()
-        if touched is None:
-            value = tree.min_cut_between(s, t)
-        else:
-            value = self._certified_value(tree, touched, s, t)
-            if value is None:
-                value = self._rebuild().min_cut_between(s, t)
+        with self._tracer.span("oracle.query") as sp:
+            value = self._pair_memo.get(key, _MISS)
+            if value is not _MISS:
+                if sp:
+                    sp.set(tier="memo")
+                return value
+            tree, touched, epoch = self._current()
+            if touched is None:
+                value = tree.min_cut_between(s, t)
+                tier = "tree"
             else:
-                with self._lock:
-                    self.mask_hits += 1
-        with self._lock:
-            self.tree_queries += 1
-            # Memoise only if no delta arrived while computing: the
-            # value describes the graph as of `epoch`, and a concurrent
-            # apply_delta has already cleared the memo for good reason.
-            if self._epoch == epoch:
-                self._pair_memo.put(key, value)
-        return value
+                value = self._certified_value(tree, touched, s, t)
+                if value is None:
+                    value = self._rebuild().min_cut_between(s, t)
+                    tier = "rebuild"
+                else:
+                    tier = "certified"
+                    with self._lock:
+                        self._inc("mask_hits")
+            if sp:
+                sp.set(tier=tier)
+            with self._lock:
+                self._inc("tree_queries")
+                # Memoise only if no delta arrived while computing: the
+                # value describes the graph as of `epoch`, and a
+                # concurrent apply_delta has already cleared the memo
+                # for good reason.
+                if self._epoch == epoch:
+                    self._pair_memo.put(key, value)
+            return value
 
     def _certified_value(
         self, tree: GomoryHuTree, touched: set, s: Vertex, t: Vertex
@@ -278,7 +334,7 @@ class CutOracle:
             e.weight == value and e.child not in touched for e in tree.edges
         ):
             with self._lock:
-                self.mask_hits += 1
+                self._inc("mask_hits")
             return value
         return self._rebuild().min_cut_value()
 

@@ -40,6 +40,8 @@ from pathlib import Path
 from typing import Hashable
 
 from ..graph import Graph
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..preprocess import validate_level
 from .cache import LRUCache
 from .deltas import GraphDelta, MutationRecord, resolve_vertex
@@ -73,12 +75,32 @@ class CutService:
         flow_engine: str = "dinic",
         ampc_backend: str | None = None,
         preprocess: str = "off",
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
+        #: service-wide instrument registry — every component below
+        #: registers its counters/histograms here, so ``GET /metrics``
+        #: is one snapshot() pass (oracles keep per-fingerprint private
+        #: scopes, aggregated by :meth:`metrics_payload`)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: request-lifecycle span source; pass ``Tracer(enabled=False)``
+        #: to turn tracing off (the disabled path is a no-op — see
+        #: ``tests/test_tracing.py``)
+        self.tracer = tracer if tracer is not None else Tracer()
         self.store = GraphStore(
-            capacity=store_capacity, on_evict=self._release_oracle
+            capacity=store_capacity,
+            on_evict=self._release_oracle,
+            metrics=self.metrics.scope("store"),
         )
-        self.executor = TrialExecutor(workers=workers, ampc_backend=ampc_backend)
-        self.results = LRUCache(result_cache_capacity)
+        self.executor = TrialExecutor(
+            workers=workers,
+            ampc_backend=ampc_backend,
+            metrics=self.metrics.scope("executor"),
+            tracer=self.tracer,
+        )
+        self.results = LRUCache(
+            result_cache_capacity, metrics=self.metrics.scope("results")
+        )
         self.flow_engine = flow_engine
         #: default kernelization level for mincut/kcut queries; each
         #: query may override it with its own ``preprocess`` field.
@@ -94,11 +116,27 @@ class CutService:
         self, name: str, graph: Graph, *, source: str | None = None
     ) -> dict:
         """Admit a graph; returns its ``/graphs`` description."""
-        entry = self.store.register(name, graph, source=source)
-        return entry.describe()
+        with self.tracer.span("register") as sp:
+            entry = self.store.register(name, graph, source=source)
+            if sp:
+                sp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    num_vertices=entry.num_vertices,
+                    num_edges=entry.num_edges,
+                )
+            return entry.describe()
 
     def register_file(self, name: str, path: Path | str) -> dict:
-        return self.store.register_file(name, path).describe()
+        with self.tracer.span("register") as sp:
+            entry = self.store.register_file(name, path)
+            if sp:
+                sp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    source=str(path),
+                )
+            return entry.describe()
 
     def evict(self, name: str) -> dict:
         return self.store.evict(name).describe()
@@ -122,7 +160,9 @@ class CutService:
         with self._lock:
             oracle = self._oracles.get(entry.fingerprint)
             if oracle is None:
-                oracle = CutOracle(entry.graph, engine=self.flow_engine)
+                oracle = CutOracle(
+                    entry.graph, engine=self.flow_engine, tracer=self.tracer
+                )
                 # Only cache the oracle while its graph is still
                 # resident: the entry may have been evicted between the
                 # caller's store.get() and this point, and an oracle
@@ -156,67 +196,96 @@ class CutService:
         per fingerprint, resident alongside the graph) and the winning
         cut is lifted back; the response carries the kernel stats.
         """
-        entry = self.store.get(name)
-        level = validate_level(
-            preprocess if preprocess is not None else self.preprocess
-        )
-        kernel = (
-            self.store.kernel_for(entry, level) if level != "off" else None
-        )
-        solved = kernel is not None and kernel.is_solved
-        if trials is None:
-            target_n = (
-                kernel.graph.num_vertices if kernel is not None else entry.num_vertices
+        tracer = self.tracer
+        with tracer.span("query.mincut") as qsp:
+            with tracer.span("store.lookup") as sp:
+                entry = self.store.get(name)
+                if sp:
+                    sp.set(graph=name, fingerprint=entry.fingerprint)
+            level = validate_level(
+                preprocess if preprocess is not None else self.preprocess
             )
-            trials = 0 if solved else default_trials(max(2, target_n))
-        key = (
-            entry.fingerprint,
-            "mincut",
-            (
-                "eps", eps, "trials", trials, "max_copies", max_copies,
-                "preprocess", level,
-            ),
-            seed,
-        )
-        cached = self.results.get(key)
-        if cached is not None:
-            # Content-addressed hit: rewrite the name the caller used
-            # (the cached payload may have been computed under another).
-            return {**cached, "graph": name, "cached": True}
-        t0 = time.perf_counter()
-        if solved:
-            cut = kernel.trivial_cut()
-            rounds = 0
-        elif kernel is not None:
-            result = self.executor.run_mincut(
-                kernel.graph, eps=eps, trials=trials, seed=seed,
-                max_copies=max_copies,
+            kernel = None
+            if level != "off":
+                with tracer.span("kernel") as sp:
+                    kernel = self.store.kernel_for(entry, level)
+                    if sp:
+                        sp.set(
+                            level=level,
+                            solved=kernel.is_solved,
+                            shrink=kernel.graph.num_vertices
+                            / max(1, entry.num_vertices),
+                        )
+            solved = kernel is not None and kernel.is_solved
+            if trials is None:
+                target_n = (
+                    kernel.graph.num_vertices
+                    if kernel is not None
+                    else entry.num_vertices
+                )
+                trials = 0 if solved else default_trials(max(2, target_n))
+            key = (
+                entry.fingerprint,
+                "mincut",
+                (
+                    "eps", eps, "trials", trials, "max_copies", max_copies,
+                    "preprocess", level,
+                ),
+                seed,
             )
-            cut = kernel.lift(result.cut.side)
-            rounds = result.ledger.rounds
-        else:
-            result = self.executor.run_mincut(
-                entry.graph, eps=eps, trials=trials, seed=seed,
-                max_copies=max_copies,
-            )
-            cut = result.cut
-            rounds = result.ledger.rounds
-        payload = {
-            "graph": name,
-            "fingerprint": entry.fingerprint,
-            "algorithm": "ampc-mincut-boosted",
-            "weight": cut.weight,
-            "side": _vertex_list(cut.side),
-            "rounds": rounds,
-            "trials": trials,
-            "seed": seed,
-            "eps": eps,
-            "elapsed_s": time.perf_counter() - t0,
-        }
-        if kernel is not None:
-            payload["preprocess"] = kernel.stats()
-        self.results.put(key, payload)
-        return {**payload, "cached": False}
+            with tracer.span("cache.lookup") as sp:
+                cached = self.results.get(key)
+                if sp:
+                    sp.set(tier="hit" if cached is not None else "miss")
+            if qsp:
+                qsp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    algorithm="ampc-mincut-boosted",
+                    cached=cached is not None,
+                )
+            if cached is not None:
+                # Content-addressed hit: rewrite the name the caller
+                # used (the cached payload may have been computed under
+                # another).
+                return {**cached, "graph": name, "cached": True}
+            t0 = time.perf_counter()
+            if solved:
+                cut = kernel.trivial_cut()
+                rounds = 0
+            elif kernel is not None:
+                result = self.executor.run_mincut(
+                    kernel.graph, eps=eps, trials=trials, seed=seed,
+                    max_copies=max_copies,
+                )
+                with tracer.span("lift") as sp:
+                    cut = kernel.lift(result.cut.side)
+                    if sp:
+                        sp.set(side=len(cut.side))
+                rounds = result.ledger.rounds
+            else:
+                result = self.executor.run_mincut(
+                    entry.graph, eps=eps, trials=trials, seed=seed,
+                    max_copies=max_copies,
+                )
+                cut = result.cut
+                rounds = result.ledger.rounds
+            payload = {
+                "graph": name,
+                "fingerprint": entry.fingerprint,
+                "algorithm": "ampc-mincut-boosted",
+                "weight": cut.weight,
+                "side": _vertex_list(cut.side),
+                "rounds": rounds,
+                "trials": trials,
+                "seed": seed,
+                "eps": eps,
+                "elapsed_s": time.perf_counter() - t0,
+            }
+            if kernel is not None:
+                payload["preprocess"] = kernel.stats()
+            self.results.put(key, payload)
+            return {**payload, "cached": False}
 
     def kcut(
         self,
@@ -236,39 +305,65 @@ class CutService:
         like the min-cut kernel) and the winning partition is lifted
         back to the original vertex set.
         """
-        entry = self.store.get(name)
-        level = validate_level(
-            preprocess if preprocess is not None else self.preprocess
-        )
-        kernel = (
-            self.store.kcut_kernel_for(entry, k, level)
-            if level != "off"
-            else None
-        )
-        key = (
-            entry.fingerprint,
-            "kcut",
-            (
-                "k", k, "eps", eps, "trials", trials, "max_copies", max_copies,
-                "preprocess", level,
-            ),
-            seed,
-        )
-        cached = self.results.get(key)
-        if cached is not None:
-            return {**cached, "graph": name, "cached": True}
-        t0 = time.perf_counter()
-        target = (
-            kernel.graph if kernel is not None and kernel.reduced else entry.graph
-        )
-        result = self.executor.run_kcut(
-            target, k, eps=eps, trials=trials, seed=seed,
-            max_copies=max_copies,
-        )
-        if kernel is not None:
-            if kernel.reduced:
-                result.kcut = kernel.lift(result.kcut.parts)
-            result.kernel_stats = kernel.stats()
+        tracer = self.tracer
+        with tracer.span("query.kcut") as qsp:
+            with tracer.span("store.lookup") as sp:
+                entry = self.store.get(name)
+                if sp:
+                    sp.set(graph=name, fingerprint=entry.fingerprint)
+            level = validate_level(
+                preprocess if preprocess is not None else self.preprocess
+            )
+            kernel = None
+            if level != "off":
+                with tracer.span("kernel") as sp:
+                    kernel = self.store.kcut_kernel_for(entry, k, level)
+                    if sp:
+                        sp.set(level=level, reduced=kernel.reduced)
+            key = (
+                entry.fingerprint,
+                "kcut",
+                (
+                    "k", k, "eps", eps, "trials", trials, "max_copies",
+                    max_copies, "preprocess", level,
+                ),
+                seed,
+            )
+            with tracer.span("cache.lookup") as sp:
+                cached = self.results.get(key)
+                if sp:
+                    sp.set(tier="hit" if cached is not None else "miss")
+            if qsp:
+                qsp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    algorithm="apx-split-kcut",
+                    cached=cached is not None,
+                )
+            if cached is not None:
+                return {**cached, "graph": name, "cached": True}
+            t0 = time.perf_counter()
+            target = (
+                kernel.graph
+                if kernel is not None and kernel.reduced
+                else entry.graph
+            )
+            result = self.executor.run_kcut(
+                target, k, eps=eps, trials=trials, seed=seed,
+                max_copies=max_copies,
+            )
+            if kernel is not None:
+                if kernel.reduced:
+                    with tracer.span("lift"):
+                        result.kcut = kernel.lift(result.kcut.parts)
+                result.kernel_stats = kernel.stats()
+            return self._kcut_payload(
+                name, entry, k, result, trials, seed, eps, key, t0
+            )
+
+    def _kcut_payload(
+        self, name, entry, k, result, trials, seed, eps, key, t0
+    ) -> dict:
         payload = {
             "graph": name,
             "fingerprint": entry.fingerprint,
@@ -293,13 +388,28 @@ class CutService:
 
     def stcut(self, name: str, s: Vertex, t: Vertex) -> dict:
         """Exact s–t min-cut value via the graph's Gomory–Hu oracle."""
-        entry = self.store.get(name)
-        oracle = self._oracle_for(entry)
-        s = resolve_vertex(entry.graph, s)
-        t = resolve_vertex(entry.graph, t)
-        was_built = oracle.built
-        t0 = time.perf_counter()
-        value = oracle.st_min_cut(s, t)
+        tracer = self.tracer
+        with tracer.span("query.stcut") as qsp:
+            with tracer.span("store.lookup") as sp:
+                entry = self.store.get(name)
+                if sp:
+                    sp.set(graph=name, fingerprint=entry.fingerprint)
+            oracle = self._oracle_for(entry)
+            s = resolve_vertex(entry.graph, s)
+            t = resolve_vertex(entry.graph, t)
+            was_built = oracle.built
+            t0 = time.perf_counter()
+            value = oracle.st_min_cut(s, t)
+            if qsp:
+                qsp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    algorithm="gomory-hu",
+                    cached=was_built,
+                )
+            return self._stcut_payload(name, entry, s, t, value, was_built, t0)
+
+    def _stcut_payload(self, name, entry, s, t, value, was_built, t0) -> dict:
         return {
             "graph": name,
             "fingerprint": entry.fingerprint,
@@ -371,39 +481,62 @@ class CutService:
             ]
         if not parsed:
             raise ValueError("no deltas given")
-        t0 = time.perf_counter()
-        records: list[MutationRecord] = []
-        entry: GraphEntry | None = None
-        for i, delta in enumerate(parsed):
-            try:
-                entry, record = self.store.apply_delta(
-                    name,
-                    delta,
-                    expected_fingerprint=(
-                        expected_fingerprint if i == 0 else None
-                    ),
+        tracer = self.tracer
+        with tracer.span("mutate") as msp:
+            t0 = time.perf_counter()
+            records: list[MutationRecord] = []
+            entry: GraphEntry | None = None
+            for i, delta in enumerate(parsed):
+                try:
+                    with tracer.span("mutate.apply") as sp:
+                        entry, record = self.store.apply_delta(
+                            name,
+                            delta,
+                            expected_fingerprint=(
+                                expected_fingerprint if i == 0 else None
+                            ),
+                        )
+                        if sp:
+                            sp.set(
+                                graph=name,
+                                fingerprint=record.new_fingerprint,
+                                noop=record.effect.is_noop,
+                                copied_on_write=record.copied_on_write,
+                            )
+                except (ValueError, KeyError) as exc:
+                    if not records:
+                        raise
+                    reason = exc.args[0] if exc.args else exc
+                    raise ValueError(
+                        f"delta {i} of {len(parsed)} failed: {reason} "
+                        f"(deltas 0..{i - 1} remain applied; re-check "
+                        "/graphs for the current fingerprint)"
+                    ) from None
+                with tracer.span("mutate.invalidate") as sp:
+                    self._absorb_mutation(entry, record)
+                    if sp:
+                        sp.set(
+                            oracle=record.oracle,
+                            results_dropped=record.results_dropped,
+                            results_rekeyed=record.results_rekeyed,
+                        )
+                records.append(record)
+            if msp:
+                msp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    deltas=len(records),
                 )
-            except (ValueError, KeyError) as exc:
-                if not records:
-                    raise
-                reason = exc.args[0] if exc.args else exc
-                raise ValueError(
-                    f"delta {i} of {len(parsed)} failed: {reason} "
-                    f"(deltas 0..{i - 1} remain applied; re-check /graphs "
-                    "for the current fingerprint)"
-                ) from None
-            self._absorb_mutation(entry, record)
-            records.append(record)
-        return {
-            "graph": name,
-            "fingerprint": entry.fingerprint,
-            "generation": entry.generation,
-            "mutations": entry.mutations,
-            "num_vertices": entry.num_vertices,
-            "num_edges": entry.num_edges,
-            "deltas": [r.as_dict() for r in records],
-            "elapsed_s": time.perf_counter() - t0,
-        }
+            return {
+                "graph": name,
+                "fingerprint": entry.fingerprint,
+                "generation": entry.generation,
+                "mutations": entry.mutations,
+                "num_vertices": entry.num_vertices,
+                "num_edges": entry.num_edges,
+                "deltas": [r.as_dict() for r in records],
+                "elapsed_s": time.perf_counter() - t0,
+            }
 
     def _absorb_mutation(self, entry: GraphEntry, record: MutationRecord) -> None:
         """Service-level selective invalidation for one applied delta.
@@ -536,6 +669,7 @@ class CutService:
             # Gomory–Hu build in progress can't wedge the whole service.
             snapshot = dict(self._oracles)
         oracles = {fp: oracle.stats() for fp, oracle in snapshot.items()}
+        store_stats = self.store.stats
         return {
             "uptime_s": time.time() - self.started_at,
             "preprocess": self.preprocess,
@@ -543,7 +677,65 @@ class CutService:
             "results": self.results.stats(),
             "executor": self.executor.stats(),
             "oracles": oracles,
+            "mutation": {
+                "deltas_applied": store_stats.deltas_applied,
+                "cow_copies": store_stats.cow_copies,
+                "kernel_revalidations": store_stats.kernels_revalidated,
+            },
+            "requests": self.request_summary(),
+            "tracer": self.tracer.stats(),
         }
+
+    def observe_request(self, op: str, seconds: float, *, error: bool = False) -> None:
+        """Record one served request into the per-op-class instruments.
+
+        Called by the HTTP layer with the op name (``mincut``,
+        ``stcut``, ``mutate``, ``graphs``, ``batch``, ...) and the
+        handler-side wall time; feeds the ``requests.*`` histograms
+        behind ``/metrics`` and the ``requests`` section of ``/stats``.
+        """
+        scope = self.metrics.scope("requests").scope(op)
+        scope.counter("count").inc()
+        if error:
+            scope.counter("errors").inc()
+        scope.histogram("latency_s").record(seconds)
+
+    def request_summary(self) -> dict:
+        """Per-op-class latency tiles (the ``requests`` /stats section)."""
+        summary: dict[str, dict] = {}
+        for name, hist in self.metrics.histograms("requests.").items():
+            op = name[len("requests."):].rsplit(".", 1)[0]
+            digest = hist.summary()
+            errors = self.metrics.counter(f"requests.{op}.errors").value
+            summary[op] = {
+                "count": digest["count"],
+                "errors": errors,
+                "p50_s": digest["p50"],
+                "p95_s": digest["p95"],
+                "p99_s": digest["p99"],
+                "mean_s": digest["mean"],
+            }
+        return summary
+
+    def metrics_payload(self) -> dict:
+        """The ``GET /metrics`` body: one registry snapshot plus the
+        per-fingerprint oracle counters aggregated under ``oracle.*``."""
+        snap = self.metrics.snapshot()
+        with self._lock:
+            oracles = list(self._oracles.values())
+        agg = {f: 0 for f in CutOracle.COUNTER_FIELDS}
+        pair_hits = 0
+        for oracle in oracles:
+            for f in CutOracle.COUNTER_FIELDS:
+                agg[f] += getattr(oracle, f)
+            pair_hits += oracle.pair_hits
+        snap["counters"].update(
+            {f"oracle.{f}": v for f, v in sorted(agg.items())}
+        )
+        snap["counters"]["oracle.pair_hits"] = pair_hits
+        snap["gauges"]["oracles.resident"] = len(oracles)
+        snap["gauges"]["uptime_s"] = time.time() - self.started_at
+        return snap
 
     def close(self) -> None:
         self.executor.shutdown()

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from ..graph import Graph, load_any
+from ..obs.metrics import MetricsRegistry, MetricsScope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..preprocess import CutKernel
@@ -76,32 +77,46 @@ class GraphEntry:
         }
 
 
-@dataclass
 class StoreStats:
-    registered: int = 0
-    replaced: int = 0
-    evictions: int = 0
-    hits: int = 0
-    misses: int = 0
-    kernel_builds: int = 0
-    kernel_hits: int = 0
-    mutations: int = 0
-    kernels_revalidated: int = 0
-    kernels_dropped_on_mutate: int = 0
+    """Store counters, registry-backed (``store.*`` in ``GET /metrics``).
+
+    Attribute reads return plain ints (``store.stats.hits``) — the
+    shape the tests and ``/stats`` consumers always saw — while the
+    underlying instruments are shared with the service-wide
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    FIELDS = (
+        "registered",
+        "replaced",
+        "evictions",
+        "hits",
+        "misses",
+        "kernel_builds",
+        "kernel_hits",
+        "mutations",
+        "kernels_revalidated",
+        "kernels_dropped_on_mutate",
+        "deltas_applied",
+        "cow_copies",
+    )
+
+    def __init__(self, metrics: MetricsScope | None = None):
+        if metrics is None:
+            metrics = MetricsRegistry().scope("store")
+        self._counters = {f: metrics.counter(f) for f in self.FIELDS}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counters[name].inc(n)
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def as_dict(self) -> dict:
-        return {
-            "registered": self.registered,
-            "replaced": self.replaced,
-            "evictions": self.evictions,
-            "hits": self.hits,
-            "misses": self.misses,
-            "kernel_builds": self.kernel_builds,
-            "kernel_hits": self.kernel_hits,
-            "mutations": self.mutations,
-            "kernels_revalidated": self.kernels_revalidated,
-            "kernels_dropped_on_mutate": self.kernels_dropped_on_mutate,
-        }
+        return {f: self._counters[f].value for f in self.FIELDS}
 
 
 class GraphStore:
@@ -132,6 +147,7 @@ class GraphStore:
         *,
         capacity: int | None = None,
         on_evict: Callable[[GraphEntry], None] | None = None,
+        metrics: MetricsScope | None = None,
     ):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
@@ -139,7 +155,7 @@ class GraphStore:
         self._entries: OrderedDict[str, GraphEntry] = OrderedDict()
         self._lock = threading.RLock()
         self._on_evict = on_evict
-        self.stats = StoreStats()
+        self.stats = StoreStats(metrics)
         # kernelization cache: (fingerprint, level) -> CutKernel and
         # (fingerprint, ("kcut", k, level)) -> KCutKernel, so every
         # preprocessed query on a resident graph starts from the
@@ -174,13 +190,13 @@ class GraphStore:
             if replaced is not None:
                 # The old holder leaves the store like any eviction, so
                 # derived state (oracles) keyed on its content is freed.
-                self.stats.replaced += 1
+                self.stats.inc("replaced")
                 evicted.append(replaced)
             self._entries[name] = entry
-            self.stats.registered += 1
+            self.stats.inc("registered")
             while self.capacity is not None and len(self._entries) > self.capacity:
                 _, old = self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.inc("evictions")
                 evicted.append(old)
             self._drop_orphan_kernels(evicted)
         for old in evicted:
@@ -200,10 +216,10 @@ class GraphStore:
         with self._lock:
             entry = self._entries.get(name)
             if entry is None:
-                self.stats.misses += 1
+                self.stats.inc("misses")
                 raise KeyError(f"no graph registered under {name!r}")
             self._entries.move_to_end(name)
-            self.stats.hits += 1
+            self.stats.inc("hits")
             entry.queries += 1
             return entry
 
@@ -230,7 +246,7 @@ class GraphStore:
             if name not in self._entries:
                 raise KeyError(f"no graph registered under {name!r}")
             entry = self._entries.pop(name)
-            self.stats.evictions += 1
+            self.stats.inc("evictions")
             self._drop_orphan_kernels([entry])
         if self._on_evict is not None:
             self._on_evict(entry)
@@ -298,7 +314,7 @@ class GraphStore:
         with self._lock:
             entry = self._entries.get(name)
             if entry is None:
-                self.stats.misses += 1
+                self.stats.inc("misses")
                 raise KeyError(f"no graph registered under {name!r}")
             self._entries.move_to_end(name)
             if (
@@ -318,7 +334,7 @@ class GraphStore:
                 # column writes and the derived-cache invalidation
                 # entirely (O(|delta|) instead of O(n + m)).
                 entry.mutations += 1
-                self.stats.mutations += 1
+                self.stats.inc("mutations")
                 return entry, MutationRecord(
                     name=name,
                     old_fingerprint=old_fp,
@@ -334,9 +350,10 @@ class GraphStore:
                 # from this object) keep the frozen old content.
                 entry.graph = entry.graph.copy()
                 copied = True
+                self.stats.inc("cow_copies")
             effect = apply_delta(entry.graph, delta)
             entry.mutations += 1
-            self.stats.mutations += 1
+            self.stats.inc("mutations")
             record = MutationRecord(
                 name=name,
                 old_fingerprint=old_fp,
@@ -349,6 +366,7 @@ class GraphStore:
             )
             if effect.is_noop:
                 return entry, record
+            self.stats.inc("deltas_applied")
             entry.fingerprint = chain_fingerprint(old_fp, delta)
             entry.generation += 1
             entry.num_vertices = entry.graph.num_vertices
@@ -363,7 +381,7 @@ class GraphStore:
                         pending.append((key[1], kernel))
                     else:  # k-cut kernels have no revalidation rule
                         record.kernels_dropped += 1
-                        self.stats.kernels_dropped_on_mutate += 1
+                        self.stats.inc("kernels_dropped_on_mutate")
         # Revalidation may kernelize (O(n + m)); run it outside the
         # store lock — the same discipline as kernel_for — and install
         # only while the new fingerprint is still resident (a second
@@ -391,9 +409,9 @@ class GraphStore:
             for level, fresh in revalidated:
                 self._kernels.setdefault((new_fp, level), fresh)
                 record.kernels_revalidated += 1
-                self.stats.kernels_revalidated += 1
+                self.stats.inc("kernels_revalidated")
             record.kernels_dropped += cut_drops
-            self.stats.kernels_dropped_on_mutate += cut_drops
+            self.stats.inc("kernels_dropped_on_mutate", cut_drops)
         return entry, record
 
     # ------------------------------------------------------------------
@@ -418,13 +436,13 @@ class GraphStore:
         with self._lock:
             kernel = self._kernels.get(key)
             if kernel is not None:
-                self.stats.kernel_hits += 1
+                self.stats.inc("kernel_hits")
                 return kernel
         # Kernelize outside the lock: reductions are O(m) per round and
         # must not wedge concurrent store lookups.
         kernel = kernelize(entry.graph, level=level)
         with self._lock:
-            self.stats.kernel_builds += 1
+            self.stats.inc("kernel_builds")
             # Cache only while the fingerprint is still resident — the
             # entry may have been evicted (or mutated) mid-build, and
             # caching then would pin a stale kernel forever (same rule
@@ -451,11 +469,11 @@ class GraphStore:
         with self._lock:
             kernel = self._kernels.get(key)
             if kernel is not None:
-                self.stats.kernel_hits += 1
+                self.stats.inc("kernel_hits")
                 return kernel
         kernel = kernelize_for_kcut(entry.graph, k, level=level)
         with self._lock:
-            self.stats.kernel_builds += 1
+            self.stats.inc("kernel_builds")
             if any(
                 e.fingerprint == fp for e in self._entries.values()
             ):

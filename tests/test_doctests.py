@@ -14,6 +14,10 @@ import importlib
 import pytest
 
 MODULES = [
+    "repro.obs",
+    "repro.obs.loadgen",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
     "repro.preprocess",
     "repro.preprocess.kernel",
     "repro.service",
@@ -30,6 +34,9 @@ MODULES = [
 #: docstring-audit satellite's enforcement hook (purely wiring modules
 #: like http.py may legitimately have none)
 MUST_HAVE_EXAMPLES = {
+    "repro.obs.loadgen",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
     "repro.preprocess.kernel",
     "repro.service.cache",
     "repro.service.deltas",

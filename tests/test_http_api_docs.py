@@ -37,9 +37,13 @@ FENCE = re.compile(r"```json\n(.*?)```", re.DOTALL)
 WILDCARD = "..."
 
 
-def parse_examples():
-    """Yield (method, path, expect_status, request_body, response)."""
-    text = DOC.read_text()
+def parse_examples(doc: Path = DOC):
+    """Yield (method, path, expect_status, request_body, response).
+
+    ``doc`` defaults to HTTP_API.md; tests/test_observability_docs.py
+    reuses the parser (and the matcher below) for OBSERVABILITY.md.
+    """
+    text = doc.read_text()
     examples = []
     for match in MARKER.finditer(text):
         method, path, expect = match.group(1), match.group(2), match.group(3)
@@ -121,8 +125,9 @@ def test_examples_exist():
     assert len(examples) >= 10
     documented_paths = {p for _, p, _, _, _ in examples}
     # every endpoint of the wire protocol appears with an example
-    for path in ("/healthz", "/graphs", "/stats", "/mincut", "/kcut",
-                 "/stcut", "/kernelize", "/mutate", "/batch", "/evict"):
+    for path in ("/healthz", "/graphs", "/stats", "/metrics", "/trace",
+                 "/mincut", "/kcut", "/stcut", "/kernelize", "/mutate",
+                 "/batch", "/evict"):
         assert path in documented_paths, f"no example for {path}"
 
 

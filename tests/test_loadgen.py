@@ -1,0 +1,134 @@
+"""Open-loop load generator contracts (repro.obs.loadgen).
+
+A real (tiny) run against an in-process server, plus the pure parts:
+the schedule is deterministic in the seed, the report carries every
+op class it scheduled, and ``check_slos`` reads floors honestly.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import LoadGen, LoadGenConfig, check_slos
+from repro.obs.loadgen import _percentile
+from repro.service import CutService, make_server
+
+
+@pytest.fixture()
+def server():
+    service = CutService()
+    srv = make_server(service)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        service.close()
+
+
+def _config(url, **overrides):
+    base = dict(
+        url=url, rate=40.0, duration_s=1.0, max_inflight=8,
+        graphs=1, graph_n=24, seed=2, probe_s=0.2,
+    )
+    base.update(overrides)
+    return LoadGenConfig(**base)
+
+
+def test_run_reports_every_op_class(server):
+    report = LoadGen(_config(server.url)).run()
+    assert report["harness"] == "open-loop-loadgen"
+    assert report["planned_requests"] == 40
+    assert report["completed_requests"] == 40
+    assert report["errors"] == 0
+    assert set(report["op_classes"]) <= set(LoadGenConfig(url="x").mix)
+    for op, row in report["op_classes"].items():
+        assert row["count"] >= 1, op
+        assert 0 <= row["p50_s"] <= row["p95_s"] <= row["p99_s"] <= row["max_s"]
+        assert row["service_p50_s"] <= row["p50_s"] + 1e-9  # queue wait included
+    assert report["achieved_rps"] > 0
+    assert report["saturation_rps"] > 0  # probe_s > 0 ran the probe
+    assert report["config"]["seed"] == 2
+
+
+def test_schedule_is_deterministic_in_the_seed():
+    # mutate/upload payloads reference the registered corpus, so the
+    # offline schedule check sticks to the pure query classes
+    mix = {"mincut": 2.0, "stcut": 2.0, "batch": 1.0}
+    cfg = LoadGenConfig(
+        url="http://unused", rate=100, duration_s=2.0, seed=7, mix=mix
+    )
+    a = LoadGen(cfg)._schedule()
+    b = LoadGen(cfg)._schedule()
+    assert a == b
+    assert len(a) == 200
+    other = LoadGen(
+        LoadGenConfig(
+            url="http://unused", rate=100, duration_s=2.0, seed=8, mix=mix
+        )
+    )._schedule()
+    assert a != other
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="rate"):
+        LoadGen(LoadGenConfig(url="x", rate=0))
+    with pytest.raises(ValueError, match="max_inflight"):
+        LoadGen(LoadGenConfig(url="x", max_inflight=0))
+    with pytest.raises(ValueError, match="mix"):
+        LoadGen(LoadGenConfig(url="x", mix={}))
+    with pytest.raises(ValueError, match="unknown op classes"):
+        LoadGen(LoadGenConfig(url="x", mix={"nosuch": 1.0}))
+
+
+def test_unreachable_server_raises_connection_error():
+    with pytest.raises(ConnectionError):
+        LoadGen(_config("http://127.0.0.1:9", probe_s=0.0)).run()
+
+
+def test_percentile_indexing():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert _percentile(values, 0.5) == 2.0
+    assert _percentile(values, 0.99) == 4.0
+    assert _percentile([5.0], 0.5) == 5.0
+
+
+def _fake_report():
+    return {
+        "achieved_rps": 30.0,
+        "completed_requests": 98,
+        "planned_requests": 100,
+        "errors": 2,
+        "saturation_rps": 120.0,
+        "op_classes": {
+            "mincut": {"count": 50, "errors": 0, "p99_s": 0.4},
+            "stcut": {"count": 48, "errors": 2, "p99_s": 0.1},
+        },
+    }
+
+
+def test_check_slos_passes_on_met_floors():
+    assert check_slos(_fake_report(), {
+        "mincut_p99_s": 0.5,
+        "stcut_p99_s": 0.2,
+        "min_rps": 25.0,
+        "max_error_rate": 0.05,
+        "min_saturation_rps": 100.0,
+    }) == []
+
+
+def test_check_slos_reports_each_violation():
+    violations = check_slos(_fake_report(), {
+        "mincut_p99_s": 0.3,     # 0.4 > 0.3
+        "min_rps": 35.0,         # 30 < 35
+        "max_error_rate": 0.01,  # 2/98 > 1%
+        "min_saturation_rps": 150.0,
+    })
+    assert len(violations) == 4
+    assert any(v.startswith("mincut p99") for v in violations)
+
+
+def test_check_slos_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown SLO"):
+        check_slos(_fake_report(), {"p99_of_nothing": 1.0})

@@ -1,0 +1,343 @@
+"""The tracing core's contracts (repro.obs.tracing + its service wiring).
+
+Four properties carry the observability tentpole:
+
+* **nesting** — spans form one tree per request, across thread and
+  process executor boundaries (the ``parent=tracer.context()``
+  handshake), and the context-local current span is restored on exit;
+* **bounded memory** — the ring buffer never exceeds its capacity
+  under concurrent load, and the ``finished == buffered + dropped``
+  accounting is exact;
+* **near-zero disabled cost** — a disabled tracer's ``span()`` is a
+  shared no-op; the acceptance floor is that the spans of a warm query
+  would cost <5% of the query itself;
+* **honest error correlation** — every HTTP error body (400/404/409/
+  500 and inline ``/batch`` errors) carries the request's ``trace_id``.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer, self_times, span_roots
+from repro.service import CutService, make_server, request_json
+from repro.workloads import planted_cut
+
+
+@pytest.fixture()
+def service():
+    svc = CutService()
+    svc.register("g", planted_cut(24, seed=3).graph)
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+@pytest.fixture()
+def server(service):
+    srv = make_server(service)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Nesting
+# ----------------------------------------------------------------------
+def test_spans_nest_and_restore_current():
+    tracer = Tracer(capacity=16)
+    assert tracer.current() is None
+    with tracer.span("outer") as outer:
+        assert tracer.current() is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+        assert tracer.current() is outer
+    assert tracer.current() is None
+    spans = tracer.snapshot()
+    assert [s["name"] for s in spans] == ["inner", "outer"]  # finish order
+    assert len(span_roots(spans)) == 1
+
+
+def test_sibling_traces_are_distinct():
+    tracer = Tracer(capacity=16)
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    a, b = tracer.snapshot()
+    assert a["trace_id"] != b["trace_id"]
+    assert a["parent_id"] is None and b["parent_id"] is None
+
+
+def test_exception_marks_error_and_propagates():
+    tracer = Tracer(capacity=16)
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("kaput")
+    (span,) = tracer.snapshot()
+    assert span["status"] == "error"
+    assert "RuntimeError: kaput" in span["attrs"]["error"]
+    assert tracer.current() is None  # context restored despite the raise
+
+
+def test_cross_thread_parenting_via_context_handshake():
+    tracer = Tracer(capacity=16)
+    with tracer.span("submit") as submit:
+        ctx = tracer.context()
+        assert ctx is not None and ctx.span_id == submit.span_id
+
+        def work():
+            # a fresh thread has no ambient span: without the handshake
+            # this would start a brand-new trace
+            assert tracer.current() is None
+            with tracer.span("worker", parent=ctx) as w:
+                w.set(thread=True)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(work).result()
+    worker, submit_d = tracer.snapshot()
+    assert worker["name"] == "worker"
+    assert worker["parent_id"] == submit_d["span_id"]
+    assert worker["trace_id"] == submit_d["trace_id"]
+
+
+def test_process_executor_fanout_stays_in_the_request_tree():
+    """workers>1, trials>1 → a pooled executor.fanout span, still one tree."""
+    svc = CutService(workers=2)
+    try:
+        svc.register("g", planted_cut(24, seed=3).graph)
+        svc.tracer.clear()
+        svc.mincut("g", trials=2, seed=1)
+        spans = svc.tracer.snapshot()
+    finally:
+        svc.close()
+    by_name = {s["name"]: s for s in spans}
+    fanout = by_name["executor.fanout"]
+    assert fanout["attrs"]["pooled"] is True
+    assert fanout["attrs"]["trials"] == 2
+    root = by_name["query.mincut"]
+    # the fan-out is inside the query's trace even though the trials
+    # themselves ran in worker processes (which cannot share the ring)
+    assert fanout["trace_id"] == root["trace_id"]
+    assert len(span_roots(spans)) == 1
+
+
+# ----------------------------------------------------------------------
+# Ring-buffer bounds
+# ----------------------------------------------------------------------
+def test_ring_bound_holds_under_concurrent_load():
+    tracer = Tracer(capacity=64)
+    threads, spans_each = 8, 200
+
+    def hammer(i):
+        for j in range(spans_each):
+            with tracer.span(f"t{i}.{j}") as sp:
+                sp.set(i=i, j=j)
+
+    workers = [threading.Thread(target=hammer, args=(i,)) for i in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+    stats = tracer.stats()
+    total = threads * spans_each
+    assert stats["buffered"] == 64  # exactly at capacity, never beyond
+    assert stats["finished"] == total
+    assert stats["finished"] == stats["buffered"] + stats["dropped"]
+    assert len(tracer.snapshot()) == 64
+
+
+def test_snapshot_limit_and_drain():
+    tracer = Tracer(capacity=8)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [s["name"] for s in tracer.snapshot(limit=2)] == ["s3", "s4"]
+    drained = tracer.drain()
+    assert len(drained) == 5
+    assert tracer.snapshot() == []
+    assert tracer.stats()["finished"] == 5  # drain clears the ring, not history
+
+
+def test_export_jsonl_roundtrip(tmp_path):
+    tracer = Tracer(capacity=8)
+    with tracer.span("outer"):
+        with tracer.span("inner") as sp:
+            sp.set(graph="g")
+    path = tmp_path / "spans.jsonl"
+    assert tracer.export_jsonl(str(path)) == 2
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in rows] == ["inner", "outer"]
+    assert rows[0]["attrs"] == {"graph": "g"}
+
+
+# ----------------------------------------------------------------------
+# Disabled-tracer overhead
+# ----------------------------------------------------------------------
+def test_disabled_tracer_is_shared_noop():
+    tracer = Tracer(enabled=False)
+    cm1, cm2 = tracer.span("a"), tracer.span("b")
+    assert cm1 is cm2  # one shared object, zero allocation per span
+    with cm1 as sp:
+        assert sp is NULL_SPAN
+        assert not sp  # falsy → call sites skip attribute work entirely
+        sp.set(anything="ignored")
+    assert tracer.snapshot() == []
+    assert tracer.current() is None
+    tracer.annotate(ignored=True)  # no ambient span, cheap no-op
+
+
+def test_disabled_tracer_overhead_under_5_percent(server, service):
+    """The spans of a warm query must cost <5% of the query itself.
+
+    Measured structurally: (per-disabled-span cost x spans the warm
+    query emits) vs the median warm-query latency over the wire — the
+    request lifecycle those spans instrument.  Medians over repeats
+    keep scheduler noise out of the ratio.
+    """
+    payload = {"graph": "g", "s": 0, "t": 23}
+    request_json(server.url, "/stcut", payload)  # build the oracle once
+    service.tracer.clear()
+    request_json(server.url, "/stcut", payload)
+    spans_per_query = len(service.tracer.snapshot())
+    assert spans_per_query >= 5  # http.request/.parse, query, store, oracle
+
+    def median(samples):
+        return sorted(samples)[len(samples) // 2]
+
+    repeats, inner = 7, 20
+    query_samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            request_json(server.url, "/stcut", payload)
+        query_samples.append((time.perf_counter() - t0) / inner)
+
+    disabled = Tracer(capacity=1, enabled=False)
+    span_samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(2000):
+            with disabled.span("x") as sp:
+                if sp:
+                    sp.set(graph="g")
+        span_samples.append((time.perf_counter() - t0) / 2000)
+
+    query_s = median(query_samples)
+    overhead = median(span_samples) * spans_per_query
+    assert overhead < 0.05 * query_s, (
+        f"{spans_per_query} disabled spans cost {overhead * 1e6:.2f}us, "
+        f">=5% of a {query_s * 1e6:.1f}us warm query"
+    )
+
+
+# ----------------------------------------------------------------------
+# Self-time accounting over the wire
+# ----------------------------------------------------------------------
+def test_warm_query_trace_self_time_accounts_for_root(server, service):
+    request_json(server.url, "/stcut", {"graph": "g", "s": 0, "t": 23})
+    service.tracer.clear()
+    request_json(server.url, "/stcut", {"graph": "g", "s": 0, "t": 23})
+    spans = service.tracer.snapshot()
+    roots = [s for s in spans if s["parent_id"] is None]
+    assert len(roots) == 1 and roots[0]["name"] == "http.request"
+    root = roots[0]
+    assert {s["name"] for s in spans} >= {
+        "http.request", "http.parse", "query.stcut", "store.lookup",
+        "oracle.query",
+    }
+    times = self_times(spans)
+    assert all(t >= -1e-9 for t in times.values())
+    # a proper tree's self times sum back to the root's duration: the
+    # span vocabulary accounts for >=95% of the traced wall time
+    assert sum(times.values()) >= 0.95 * root["duration_s"]
+    assert sum(times.values()) <= root["duration_s"] * 1.0001
+
+
+# ----------------------------------------------------------------------
+# trace_id on every HTTP error body
+# ----------------------------------------------------------------------
+def _post_raw(url, path, data: bytes):
+    import urllib.error
+    import urllib.request
+
+    req = urllib.request.Request(
+        url + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_error_responses_carry_trace_id(server, service, monkeypatch):
+    # 400: unparseable body
+    status, body = _post_raw(server.url, "/mincut", b"{nope")
+    assert status == 400 and body["trace_id"]
+    # 400: bad request shape
+    resp = request_json(server.url, "/mincut", {"graph": "g", "eps": "x"})
+    assert resp["trace_id"]
+    # 404: unknown path and unknown graph
+    status, body = _post_raw(server.url, "/nosuch", b"{}")
+    assert status == 400 and body["trace_id"]  # unknown op is a 400
+    resp = request_json(server.url, "/stcut", {"graph": "nope", "s": 0, "t": 1})
+    assert "no graph registered" in resp["error"] and resp["trace_id"]
+    # 409: stale fingerprint
+    resp = request_json(
+        server.url,
+        "/mutate",
+        {"graph": "g", "adds": [[0, 1, 1.0]], "expected_fingerprint": "stale"},
+    )
+    assert resp["expected_fingerprint"] == "stale" and resp["trace_id"]
+    # 500: handler blows up
+    def boom(*a, **k):
+        raise RuntimeError("wired to fail")
+
+    monkeypatch.setattr(service, "mincut", boom)
+    resp = request_json(server.url, "/mincut", {"graph": "g"})
+    assert "internal error" in resp["error"] and resp["trace_id"]
+    # inline /batch errors carry the enclosing request's trace_id
+    resp = request_json(
+        server.url,
+        "/batch",
+        {"requests": [
+            {"op": "stcut", "graph": "g", "s": 0, "t": 23},
+            {"op": "stcut", "graph": "nope", "s": 0, "t": 1},
+        ]},
+    )
+    ok, bad = resp["responses"]
+    assert "trace_id" not in ok
+    assert bad["trace_id"]
+    # every distinct error above belongs to a distinct trace, and the
+    # ids resolve against the ring buffer
+    buffered = {s["trace_id"] for s in service.tracer.snapshot()}
+    assert bad["trace_id"] in buffered
+
+
+def test_trace_id_is_null_when_tracing_disabled():
+    svc = CutService(tracer=Tracer(capacity=1, enabled=False))
+    srv = make_server(svc)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        resp = request_json(srv.url, "/stcut", {"graph": "nope", "s": 0, "t": 1})
+        assert resp["trace_id"] is None
+        trace = request_json(srv.url, "/trace")
+        assert trace == {"spans": [], "stats": {
+            "enabled": False, "capacity": 1, "buffered": 0,
+            "finished": 0, "dropped": 0,
+        }}
+    finally:
+        srv.shutdown()
+        svc.close()
