@@ -320,6 +320,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             graph_n=args.graph_n,
             seed=args.seed,
             probe_s=args.probe,
+            decrease_fraction=args.decrease_fraction,
             **kwargs,
         )
         report = LoadGen(config).run()
@@ -683,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe", type=float, default=0.0,
                    help="seconds of closed-loop saturation probe after the "
                         "open-loop phase (0 = skip)")
+    p.add_argument("--decrease-fraction", type=float, default=0.25,
+                   help="fraction of mutate ops that decrease an edge "
+                        "weight (exercises localized Gomory-Hu repair; "
+                        "0 = increase-only)")
     p.add_argument("--output", type=Path, default=None,
                    help="write the JSON report here instead of stdout")
     p.add_argument("--slo", action="append", metavar="KEY=BOUND",

@@ -6,6 +6,7 @@ from .gomory_hu import (
     GomoryHuTree,
     gomory_hu_tree,
     gomory_hu_tree_contracted,
+    repair_gomory_hu,
 )
 from .push_relabel import PushRelabelSolver, min_st_cut_push_relabel
 
@@ -19,4 +20,5 @@ __all__ = [
     "gomory_hu_tree_contracted",
     "min_st_cut",
     "min_st_cut_push_relabel",
+    "repair_gomory_hu",
 ]

@@ -20,7 +20,7 @@ pairs on small random graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from ..graph import Graph
 from .dinic import DinicSolver
@@ -177,6 +177,140 @@ def gomory_hu_tree(graph: Graph, *, engine: str = "dinic") -> GomoryHuTree:
         for v in vertices[1:]
     )
     return GomoryHuTree(graph=graph, edges=edges)
+
+
+def repair_gomory_hu(
+    tree: GomoryHuTree,
+    graph: Graph,
+    changed: Iterable[tuple[Vertex, Vertex, float, float]],
+    *,
+    engine: str = "dinic",
+    max_flows: int | None = None,
+) -> tuple[GomoryHuTree, tuple[Vertex, ...]] | None:
+    """Localized Gomory–Hu repair after a mixed-sign weight delta.
+
+    ``tree`` is a Gusfield tree whose edge labels were exact min-cut
+    values of some earlier graph state; ``changed`` lists the **net**
+    weight changes ``(u, v, old, new)`` since that state (``0.0`` means
+    the pair was / is absent).  ``graph`` is the current (mutated)
+    graph — it must be connected and have the same vertex set as the
+    tree.  Returns ``(repaired_tree, repaired_children)`` with every
+    label an exact min-cut value of ``graph``, or ``None`` when the
+    repair would not beat a full rebuild (see ``max_flows``).
+
+    Which edges can be kept verbatim?  Each tree edge records the
+    concrete cut side its max-flow found (``child_side``).  Let ``D``
+    be the decreased pairs and ``L = min over D of the *new* s–t
+    min-cut value`` (one max-flow per decreased pair; ``+inf`` when
+    ``D`` is empty).  A tree edge ``e`` is kept iff
+
+    * no net pair crosses ``e.child_side`` (its recorded cut's weight
+      is unchanged — an upper bound at the old label), **and**
+    * ``e.weight <= L`` (the *L-guard*, the lower bound): any
+      child–parent cut either crosses no net pair (weight still
+      ``>= e.weight`` by the old tree's exactness), crosses a
+      decreased pair ``(u, v)`` (then it separates ``u`` from ``v``,
+      so its new weight is ``>= lambda_new(u, v) >= L >= e.weight``),
+      or crosses only increases (new weight ``>=`` old ``>=
+      e.weight``).
+
+    Without the L-guard, keeping every uncrossed edge is **unsound**:
+    an uncrossed heavy edge's label can go stale when a decrease
+    elsewhere opens a cheaper child–parent cut that crosses the
+    decreased pair.  Every other edge is recomputed with one max-flow
+    on ``graph``.  Kept edges keep their recorded side verbatim, so
+    repairs compose: sides only change when their edge is recomputed.
+
+    The repaired tree is *flow-equivalent light*: every label is an
+    exact min-cut value of its own (child, parent) pair, which makes
+    the tree-path minimum a lower bound for any ``s``–``t`` query (the
+    min-cut triangle inequality) and the minimum label the exact
+    global min cut.  The matching upper bound needs a per-query
+    certificate — some argmin path edge whose recorded side separates
+    ``s`` from ``t`` — exactly the check
+    :meth:`repro.service.oracle.CutOracle.st_min_cut` already applies
+    to masked trees.
+
+    ``max_flows`` caps the total flow budget (the L-flows plus the
+    recomputed edges); when the repair would exceed it the function
+    returns ``None`` and the caller should rebuild instead.
+    """
+    net = [(u, v, old, new) for u, v, old, new in changed if old != new]
+    if len(graph.components()) != 1:
+        raise ValueError("graph must be connected")
+    tree_vertices = {e.child for e in tree.edges}
+    tree_vertices.update(e.parent for e in tree.edges)
+    if tree_vertices != set(graph.vertices()):
+        return None
+    if not net:
+        return GomoryHuTree(graph=graph, edges=tree.edges), ()
+    decreased = [(u, v) for u, v, old, new in net if new < old]
+    if max_flows is not None and len(decreased) > max_flows:
+        return None
+
+    if engine == "dinic":
+        solver = DinicSolver(graph)
+    elif engine == "push_relabel":
+        from .push_relabel import PushRelabelSolver
+
+        solver = PushRelabelSolver(graph)
+    else:
+        raise ValueError(f"unknown flow engine {engine!r}")
+
+    # One max-flow per decreased pair establishes L; the flow results
+    # are kept so a recomputed tree edge whose endpoints *are* a
+    # decreased pair reuses its L-flow instead of paying a second one.
+    limit = float("inf")
+    dec_flows: dict[frozenset, object] = {}
+    for u, v in decreased:
+        res = solver.max_flow(u, v)
+        dec_flows[frozenset((u, v))] = (u, res)
+        limit = min(limit, res.value)
+
+    def crossed(side: frozenset) -> bool:
+        return any((u in side) != (v in side) for u, v, _, _ in net)
+
+    recompute = tuple(
+        e.child
+        for e in tree.edges
+        if e.weight > limit or crossed(e.child_side)
+    )
+    todo = set(recompute)
+    fresh_flows = sum(
+        1
+        for e in tree.edges
+        if e.child in todo
+        and frozenset((e.child, e.parent)) not in dec_flows
+    )
+    if max_flows is not None and len(decreased) + fresh_flows > max_flows:
+        return None
+
+    all_vertices = frozenset(graph.vertices())
+    edges = []
+    for e in tree.edges:
+        if e.child in todo:
+            reuse = dec_flows.get(frozenset((e.child, e.parent)))
+            if reuse is not None:
+                source, res = reuse
+                side = (
+                    res.source_side
+                    if source == e.child
+                    else all_vertices - res.source_side
+                )
+            else:
+                res = solver.max_flow(e.child, e.parent)
+                side = res.source_side
+            edges.append(
+                GomoryHuEdge(
+                    child=e.child,
+                    parent=e.parent,
+                    weight=res.value,
+                    child_side=side,
+                )
+            )
+        else:
+            edges.append(e)
+    return GomoryHuTree(graph=graph, edges=tuple(edges)), recompute
 
 
 def gomory_hu_tree_contracted(

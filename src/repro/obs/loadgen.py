@@ -64,6 +64,11 @@ class LoadGenConfig:
     seed: int = 0
     timeout_s: float = 30.0
     probe_s: float = 0.0          # saturation probe duration (0 = skip)
+    #: fraction of mutate ops that *decrease* a weight (downward
+    #: reweight of a resident edge, never to zero) instead of the
+    #: increase-only reinforcement — so mixed traffic exercises the
+    #: localized Gomory–Hu repair path, not just the masked one
+    decrease_fraction: float = 0.25
 
     def as_dict(self) -> dict:
         return {
@@ -76,6 +81,7 @@ class LoadGenConfig:
             "graph_n": self.graph_n,
             "seed": self.seed,
             "probe_s": self.probe_s,
+            "decrease_fraction": self.decrease_fraction,
         }
 
 
@@ -123,6 +129,8 @@ class LoadGen:
         unknown = set(config.mix) - set(DEFAULT_MIX)
         if unknown:
             raise ValueError(f"unknown op classes in mix: {sorted(unknown)}")
+        if not 0.0 <= config.decrease_fraction <= 1.0:
+            raise ValueError("decrease_fraction must be in [0, 1]")
         self.config = config
         self._samples: list[_Sample] = []
         self._samples_lock = threading.Lock()
@@ -181,11 +189,27 @@ class LoadGen:
         if op == "stcut":
             s = rng.randrange(cfg.graph_n)
             t = (s + 1 + rng.randrange(cfg.graph_n - 1)) % cfg.graph_n
+            # a slice of st-cut traffic lands on the mutated graph so
+            # the retained oracle there is actually queried between
+            # deltas (masked hits and localized repairs, not just
+            # bookkeeping)
+            if rng.random() < 0.25:
+                graph = "lgmut"
             return "/stcut", {"graph": graph, "s": s, "t": t}
         if op == "mutate":
+            u, v, w = self._mut_edges[rng.randrange(len(self._mut_edges))]
+            if rng.random() < cfg.decrease_fraction:
+                # weaken a resident edge: a genuine decrease, so the
+                # retained Gomory-Hu oracle must take the localized
+                # repair path. Halving the *initial* weight keeps the
+                # value dyadic and strictly positive, so lgmut never
+                # disconnects.
+                return "/mutate", {
+                    "graph": "lgmut",
+                    "reweights": [[u, v, w * 0.5]],
+                }
             # reinforce a resident edge: increase-only, so the retained
-            # Gomory-Hu oracle stays masked instead of dropping
-            u, v, _ = self._mut_edges[rng.randrange(len(self._mut_edges))]
+            # Gomory-Hu oracle stays masked instead of repairing
             return "/mutate", {"graph": "lgmut", "adds": [[u, v, 0.5]]}
         if op == "batch":
             s = rng.randrange(cfg.graph_n)

@@ -18,11 +18,16 @@ safety argument for each rule; :func:`solve_min_cut` wraps any
 :func:`kernelize_for_kcut` is the (smaller) k-cut-safe variant.
 
 The serving layer caches kernels per ``(fingerprint, level)`` and,
-after in-place graph mutations, calls :func:`revalidate_kernel` to
-re-run only the reductions whose certificates the delta invalidated
-(see ``docs/ARCHITECTURE.md`` for the request lifecycle).
+after in-place graph mutations, calls :func:`refresh_kernel`
+(:mod:`repro.preprocess.dynamic`) to re-run only the reductions whose
+certificates the delta invalidated — each :class:`ReductionStep` now
+records the local certificate it relied on — falling back to a lazy
+rekernelization otherwise (see ``docs/ARCHITECTURE.md`` for the
+request lifecycle).  :func:`revalidate_kernel` is the historical
+wrapper around the same rules.
 """
 
+from .dynamic import refresh_kernel
 from .kernel import (
     LEVELS,
     CutKernel,
@@ -42,6 +47,7 @@ __all__ = [
     "ReductionStep",
     "kernelize",
     "kernelize_for_kcut",
+    "refresh_kernel",
     "revalidate_kernel",
     "solve_min_cut",
     "validate_level",

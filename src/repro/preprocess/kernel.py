@@ -101,13 +101,24 @@ def validate_level(level: str) -> str:
 
 @dataclass(frozen=True)
 class ReductionStep:
-    """Accounting record for one reduction pass."""
+    """Accounting record for one reduction pass.
+
+    ``certificate`` records the local fact the pass relied on (e.g.
+    ``("disconnected", k)`` for the component split, the contracted
+    ``(leaf, neighbour)`` pairs for degree-one pruning, the
+    ``lambda_hat`` threshold for certified contraction) so the
+    mutation path (:func:`repro.preprocess.dynamic.refresh_kernel`)
+    can judge which reductions a delta invalidates.  It is
+    deliberately excluded from :meth:`as_dict`: response payloads stay
+    byte-stable whether a kernel was built cold or refreshed.
+    """
 
     name: str
     vertices_removed: int
     edges_removed: int
     candidates_recorded: int
     detail: str = ""
+    certificate: tuple = ()
 
     def as_dict(self) -> dict:
         return {
@@ -342,6 +353,7 @@ def _split_components(kernel: CutKernel) -> None:
                 f"{len(comps)} components: min cut is 0, witnessed by the "
                 f"smallest component ({len(cheapest)} vertices)"
             ),
+            certificate=("disconnected", len(comps)),
         )
     )
 
@@ -352,11 +364,25 @@ def _split_components(kernel: CutKernel) -> None:
 def _prune_degree_one(kernel: CutKernel) -> int:
     """Contract degree-one kernel vertices into their neighbours."""
     g = kernel.graph
+    # Vectorized emptiness precheck: edge rows are canonical unique
+    # pairs, so a vertex's incident-row count equals its neighbour
+    # count — no count of 1 means no degree-one vertex and the O(n + m)
+    # python adjacency build below can be skipped entirely.  This is
+    # what keeps a no-op kernelization pass (and the mutation path's
+    # "no-reduction" refresh rule) genuinely cheap.
+    n = g.num_vertices
+    if n == 0:
+        return 0
+    us, vs, _ws = g.edge_arrays()
+    counts = np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)
+    if not np.any(counts == 1):
+        return 0
     adj = {v: dict(nbrs) for v, nbrs in g.adjacency().items()}
     blocks = kernel.blocks
     queue = deque(v for v in adj if len(adj[v]) == 1)
     removed = 0
     candidates = 0
+    contracted: list[tuple[Vertex, Vertex]] = []
     while queue and len(adj) > 2:
         v = queue.popleft()
         if v not in adj or len(adj[v]) != 1:
@@ -371,6 +397,7 @@ def _prune_degree_one(kernel: CutKernel) -> int:
         del adj[v]
         del adj[u][v]
         removed += 1
+        contracted.append((v, u))
         if len(adj[u]) == 1:
             queue.append(u)
     if not removed:
@@ -386,6 +413,7 @@ def _prune_degree_one(kernel: CutKernel) -> int:
             edges_removed=old_edges - kernel.graph.num_edges,
             candidates_recorded=candidates,
             detail=f"contracted {removed} degree-one vertices",
+            certificate=("degree-one", tuple(contracted)),
         )
     )
     return removed
@@ -466,6 +494,7 @@ def _contract_certified_edges(kernel: CutKernel, *, use_ni: bool) -> int:
                 f"contracted {n - remaining} vertices via edges certified "
                 f">= lambda_hat={lam:g}"
             ),
+            certificate=("lambda_hat", lam),
         )
     )
     return n - remaining
@@ -492,6 +521,7 @@ def _ni_certificate_pass(kernel: CutKernel) -> None:
                 f"{cert.num_edges} edges (reweighted; every minimum cut "
                 "preserved exactly)"
             ),
+            certificate=("ni-sparsify", g.num_edges, cert.num_edges),
         )
     )
     kernel.graph = cert
@@ -501,32 +531,18 @@ def _ni_certificate_pass(kernel: CutKernel) -> None:
 # Incremental revalidation (the serving layer's mutation path)
 # ----------------------------------------------------------------------
 def revalidate_kernel(
-    kernel: CutKernel, graph: Graph, *, edges_added: bool
+    kernel: CutKernel, graph: Graph, *, edges_added: bool = False
 ) -> CutKernel | None:
     """Revalidate a cached kernel after an in-place graph mutation.
 
-    The serving layer treats its kernel cache as bit-exact: a kernel
-    served warm must equal ``kernelize(mutated_graph, level)`` in every
-    bit (edge rows included — they order the randomness downstream
-    solvers draw).  Rather than always rekernelizing, this checks the
-    cheap certificates a delta can leave intact and rebuilds only the
-    reductions it actually invalidated:
-
-    * ``level == "off"`` — the kernel is an identity wrapper; a fresh
-      identity over the mutated graph is the full rebuild, for free.
-    * **still-disconnected certificate** — a kernel solved by the
-      component split (R2) stays solved under any delta that creates
-      no new edge rows: reweights keep topology, removes only
-      disconnect further.  Only R2 re-runs (one vectorized components
-      pass to re-pick the smallest witness); the contraction rounds
-      provably never execute, exactly as in a from-scratch
-      kernelization of a disconnected graph.
-
-    Any other case returns ``None`` — the contraction trajectory
-    (candidate argmins, ``lambda_hat``, certified-edge sets) is a
-    global function of the weights, so no local certificate can prove
-    it unchanged; the caller drops the cache entry and the next query
-    rekernelizes.
+    Compatibility wrapper around
+    :func:`repro.preprocess.dynamic.refresh_kernel`, which holds the
+    actual refresh rules (and additionally reports *which* rule fired,
+    for the serving layer's ``reductions_replayed`` accounting).
+    ``edges_added`` is retained for callers of the historical signature
+    but no longer gates anything: the refresh rules check the mutated
+    graph directly, so e.g. a delta that adds edges to a
+    still-disconnected graph now refreshes instead of dropping.
 
     >>> from repro.graph import Graph
     >>> g = Graph(edges=[(0, 1, 1.0), (2, 3, 1.0)])   # two components
@@ -535,22 +551,17 @@ def revalidate_kernel(
     True
     >>> g.remove_edge(2, 3)                           # still disconnected
     1.0
-    >>> fresh = revalidate_kernel(kernel, g, edges_added=False)
+    >>> fresh = revalidate_kernel(kernel, g)
     >>> fresh.is_solved and fresh.solved.weight == 0.0
     True
-    >>> revalidate_kernel(kernel, g, edges_added=True) is None
+    >>> g.add_edge(1, 2, 2.0); g.add_edge(2, 3, 2.0)  # reconnect: rebuild
+    >>> revalidate_kernel(kernel, g) is None
     True
     """
-    if kernel.level == "off":
-        return CutKernel(graph, "off")
-    solved_by_split = (
-        kernel.solved is not None
-        and kernel.steps
-        and kernel.steps[0].name == "component-split"
-    )
-    if solved_by_split and not edges_added:
-        return kernelize(graph, level=kernel.level)
-    return None
+    from .dynamic import refresh_kernel
+
+    refreshed, _rule = refresh_kernel(kernel, graph)
+    return refreshed
 
 
 # ======================================================================

@@ -500,6 +500,7 @@ class MutationRecord:
     copied_on_write: bool = False
     kernels_revalidated: int = 0
     kernels_dropped: int = 0
+    reductions_replayed: int = 0
     results_dropped: int = 0
     results_rekeyed: int = 0
     oracle: str = "absent"
@@ -516,6 +517,7 @@ class MutationRecord:
                 "copied_on_write": self.copied_on_write,
                 "kernels_revalidated": self.kernels_revalidated,
                 "kernels_dropped": self.kernels_dropped,
+                "reductions_replayed": self.reductions_replayed,
                 "results_dropped": self.results_dropped,
                 "results_rekeyed": self.results_rekeyed,
                 "oracle": self.oracle,

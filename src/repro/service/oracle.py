@@ -8,40 +8,55 @@ long-lived serving process: the first query on a graph pays the build,
 every later query on the same graph is near-free.
 
 The oracle is lazy (no tree until the first query) and thread-safe
-with two locks: ``_build_lock`` serialises the expensive tree build,
-while ``_lock`` guards only counters and the pair memo — so ``stats()``
-(the ``/stats`` liveness path) never blocks behind a build in progress.
-``builds``, ``tree_queries`` (answered by walking an already-built
-tree) and ``pair_hits`` (answered from the bounded per-pair memo
-without even walking) feed ``/stats``, which is how the acceptance
-test verifies the second query was served from cache.
+with two locks: ``_build_lock`` serialises the expensive tree build /
+repair, while ``_lock`` guards only counters, state snapshots and the
+pair memo — so ``stats()`` (the ``/stats`` liveness path) never blocks
+behind a build in progress.  ``builds``, ``tree_queries`` (answered by
+walking an already-built tree) and ``pair_hits`` (answered from the
+bounded per-pair memo without even walking) feed ``/stats``, which is
+how the acceptance test verifies the second query was served from
+cache.
 
-Surviving mutations
--------------------
+Surviving mutations — the fully dynamic story
+---------------------------------------------
 ``/mutate`` (:meth:`repro.service.service.CutService.mutate`) calls
 :meth:`CutOracle.apply_delta` instead of discarding the oracle.  s–t
 min-cut *values* are exact and unique, so a retained answer is
 automatically bit-identical to a recomputation — retention only has to
-be *sound*, and the monotone case makes it cheaply checkable:
+be *sound*.  The oracle tracks the **net** weight change per vertex
+pair since its last *exactness point* (the last full build or repair,
+when every tree label was an exact min-cut value) and settles lazily
+on the next query:
 
-* a delta that only **increases** edge weights (adds between known
-  vertices, reinforces, upward reweights) can only raise cut values;
-* every tree edge records the concrete cut side its max-flow found
-  (``child_side``); a changed edge with both endpoints on one side of
-  that cut leaves the cut's weight untouched;
-* so on a later query, if some path edge achieving the path minimum is
-  (a) **uncrossed** by every changed pair and (b) its recorded side
-  **separates** ``s`` from ``t``, that cut still exists in the mutated
-  graph at the old weight — the value can't have dropped (it's a cut)
-  and can't have risen (increase-only), hence it is exact and the old
-  tree answers.  (Check (b) matters because Gusfield trees are only
-  flow-equivalent: recorded sides need not match tree bipartitions.)
+* **increase-only net** (adds between known vertices, reinforcements,
+  upward reweights) — the tree is *masked*: edges whose recorded cut
+  (``child_side``) some net pair crosses are marked touched, and every
+  later answer must pass a per-query certificate (below) or trigger a
+  rebuild.  No max-flows are spent.
+* **any net decrease** (removes, downward reweights) — the tree is
+  *repaired* in place by :func:`repro.flow.gomory_hu.repair_gomory_hu`:
+  only tree edges whose recorded cut a net pair crosses, or whose
+  label exceeds the cheapest new min-cut over the decreased pairs (the
+  L-guard), are recomputed with one max-flow each; untouched subtrees
+  are kept verbatim.  A successful repair is a new exactness point.
+  When the repair cannot beat a rebuild (too many edges affected, a
+  disconnecting delta, …) the tree is dropped and rebuilt lazily —
+  ``repair_fallbacks`` counts those.
+* **new vertices** — the tree cannot know them; dropped and rebuilt
+  lazily.
 
-Queries whose certificate fails — and any delta that removes edges,
-lowers weights, or introduces new vertices — fall back to a rebuild
-from the mutated graph (lazily, on the next query that needs it).
-``mask_hits`` / ``mask_rebuilds`` in :meth:`stats` count how often the
-certificate saved the ``n - 1`` max-flows.
+The per-query certificate: a retained answer is served only if some
+path edge achieving the tree-path minimum is (a) **untouched** and (b)
+its recorded side **separates** ``s`` from ``t`` — then that cut still
+exists in the mutated graph at the served weight (upper bound), while
+the path minimum over exact labels is a lower bound by the min-cut
+triangle inequality.  Check (b) matters because Gusfield trees are
+only flow-equivalent: recorded sides need not match tree bipartitions,
+which is also why repaired trees keep certifying every answer (an
+uncertifiable query falls back to a full rebuild, counted in
+``mask_rebuilds``).  ``mask_hits`` counts certificate saves;
+``repairs`` / ``repaired_edges`` count localized repairs and the tree
+edges they recomputed.
 """
 
 from __future__ import annotations
@@ -49,11 +64,12 @@ from __future__ import annotations
 import threading
 from typing import Hashable, Iterable
 
-from ..flow import GomoryHuTree, gomory_hu_tree
+from ..flow import GomoryHuTree, gomory_hu_tree, repair_gomory_hu
 from ..graph import Graph
 from ..obs.metrics import MetricsRegistry, MetricsScope
 from ..obs.tracing import NULL_TRACER, Tracer
 from .cache import LRUCache
+from .deltas import _pair_key
 
 Vertex = Hashable
 
@@ -78,6 +94,9 @@ class CutOracle:
         "mask_rebuilds",
         "deltas_retained",
         "deltas_dropped",
+        "repairs",
+        "repaired_edges",
+        "repair_fallbacks",
     )
 
     def __init__(
@@ -102,15 +121,30 @@ class CutOracle:
         self._pair_memo = LRUCache(
             PAIR_MEMO_CAPACITY, metrics=metrics.scope("pairs")
         )
-        #: bumped by every absorbed delta; a query memoises its value
-        #: only if the epoch it computed under is still current, so an
-        #: in-flight query racing a mutation can never re-populate the
-        #: just-cleared memo with a pre-mutation answer.
+        #: bumped by every absorbed delta, repair and rebuild; a query
+        #: memoises its value only if the epoch it computed under is
+        #: still current, so an in-flight query racing a mutation can
+        #: never re-populate the just-cleared memo with a pre-mutation
+        #: answer.
         self._epoch = 0
-        #: children of tree edges whose recorded cut some delta crossed
-        #: (their labels may be stale); None = no mutation since build,
-        #: certificates not required.
+        #: children of tree edges whose labels may be stale (their
+        #: recorded cut is crossed by some net change); None = every
+        #: query may skip certificates (fresh full build, no pending
+        #: net).  A *repaired* tree keeps an **empty** set here: all
+        #: labels are exact, but certificates stay required because
+        #: repaired sides need not be tree bipartitions.
         self._touched: set[Vertex] | None = None
+        #: net weight change per pair since the last exactness point:
+        #: pair_key -> (u, v, base, new).  Pairs whose change cancels
+        #: out are removed, so masking / repair never pays for
+        #: reverted edits.  Guarded by ``_build_lock`` for writes.
+        self._net: dict = {}
+        #: True when ``_net`` changed since the last settle; queries
+        #: settle (mask or repair) before answering.
+        self._dirty = False
+        #: True when the current tree's exactness point was a repair
+        #: (certificates required even with an empty net).
+        self._repaired_base = False
 
     def __getattr__(self, name: str) -> int:
         # counter reads stay plain ints (``oracle.builds``), matching
@@ -145,6 +179,10 @@ class CutOracle:
                     built = gomory_hu_tree(self.graph, engine=self.engine)
                 with self._lock:
                     self._tree = built
+                    self._touched = None
+                    self._net = {}
+                    self._dirty = False
+                    self._repaired_base = False
                     self._inc("builds")
             return self._tree
 
@@ -158,27 +196,32 @@ class CutOracle:
     def apply_delta(
         self,
         graph: Graph,
-        changed_pairs: Iterable[tuple[Vertex, Vertex]],
+        changed: Iterable[tuple[Vertex, Vertex, float, float]],
         *,
-        increase_only: bool,
         has_new_vertices: bool,
     ) -> str:
         """Absorb a graph mutation; returns the action taken.
 
         ``graph`` is the (possibly copied-on-write) mutated graph this
-        oracle now answers for.  Actions:
+        oracle now answers for; ``changed`` lists the delta's effective
+        weight changes as ``(u, v, old, new)`` tuples (``0.0`` = pair
+        absent).  Actions:
 
         * ``"unbuilt"`` — no tree yet, nothing to invalidate;
-        * ``"masked"`` — increase-only delta over known vertices: the
-          tree is kept, edges whose recorded cut a changed pair crosses
-          are marked touched, and every later answer must pass the
-          certificate in :meth:`st_min_cut` or trigger a rebuild;
-        * ``"dropped"`` — removes / weight decreases / new vertices:
-          cut values may have fallen (or the tree doesn't know the
-          vertex), so the tree is discarded and rebuilt lazily.
+        * ``"masked"`` — the accumulated net change is increase-only
+          (or empty): the tree is kept and later answers are gated by
+          per-query certificates against the touched-edge mask;
+        * ``"repair-pending"`` — the net contains a decrease: the tree
+          is kept and a localized repair runs lazily on the next query
+          (falling back to a rebuild when repair cannot win);
+        * ``"dropped"`` — the delta introduces new vertices the tree
+          cannot know; discarded and rebuilt lazily.
 
-        The pair memo is cleared in every case except ``"unbuilt"``
-        with no prior tree — memoised values were computed for the old
+        Settling is lazy in every retained case: ``apply_delta`` only
+        folds the changes into the running per-pair net (so reverted
+        edits cancel instead of accumulating) and marks the oracle
+        dirty.  The pair memo is cleared in every case except
+        ``"unbuilt"`` — memoised values were computed for the old
         content.
         """
         with self._build_lock:
@@ -188,29 +231,112 @@ class CutOracle:
                 self._pair_memo.clear()
             if self._tree is None:
                 return "unbuilt"
-            if not increase_only or has_new_vertices:
+            if has_new_vertices:
                 with self._lock:
                     self._tree = None
                     self._touched = None
+                    self._net = {}
+                    self._dirty = False
+                    self._repaired_base = False
                     self._inc("deltas_dropped")
                 return "dropped"
-            touched = self._touched if self._touched is not None else set()
-            pairs = list(changed_pairs)
-            for e in self._tree.edges:
-                if e.child in touched:
-                    continue
-                side = e.child_side
-                for u, v in pairs:
-                    if (u in side) != (v in side):
-                        touched.add(e.child)
-                        break
+            net = self._net
+            for u, v, old, new in changed:
+                key = _pair_key(u, v)
+                prior = net.get(key)
+                base = old if prior is None else prior[2]
+                if base == new:
+                    net.pop(key, None)
+                else:
+                    net[key] = (u, v, base, new)
+            has_decrease = any(
+                new < base for _, _, base, new in net.values()
+            )
             with self._lock:
-                self._touched = touched
+                self._dirty = True
                 self._inc("deltas_retained")
-            return "masked"
+            return "repair-pending" if has_decrease else "masked"
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Fold the pending net into the tree (mask or repair).
+
+        Runs under the build lock on the first query after a retained
+        mutation.  Increase-only nets just recompute the touched-edge
+        mask (zero max-flows); nets with decreases run the localized
+        repair, falling back to a lazy full rebuild when the repair
+        cannot beat one (``repair_fallbacks``).
+        """
+        with self._build_lock:
+            if not self._dirty or self._tree is None:
+                return
+            tree = self._tree
+            net = self._net
+            has_decrease = any(
+                new < base for _, _, base, new in net.values()
+            )
+            if not has_decrease:
+                if not net and not self._repaired_base:
+                    touched = None
+                else:
+                    pairs = [(u, v) for u, v, _, _ in net.values()]
+                    touched = {
+                        e.child
+                        for e in tree.edges
+                        if any(
+                            (u in e.child_side) != (v in e.child_side)
+                            for u, v in pairs
+                        )
+                    }
+                with self._lock:
+                    self._touched = touched
+                    self._dirty = False
+                return
+            # Net contains a decrease: repair.  A disconnecting delta
+            # cannot be repaired — drop, so the next build raises the
+            # same "graph must be connected" a cold upload would.
+            n = self.graph.num_vertices
+            repaired = None
+            if len(self.graph.components()) == 1:
+                with self._tracer.span("oracle.repair") as sp:
+                    repaired = repair_gomory_hu(
+                        tree,
+                        self.graph,
+                        net.values(),
+                        engine=self.engine,
+                        max_flows=max(n - 2, 0),
+                    )
+                    if sp:
+                        sp.set(
+                            num_vertices=n,
+                            net_pairs=len(net),
+                            repaired_edges=(
+                                len(repaired[1]) if repaired else -1
+                            ),
+                        )
+            if repaired is None:
+                with self._lock:
+                    self._tree = None
+                    self._touched = None
+                    self._net = {}
+                    self._dirty = False
+                    self._repaired_base = False
+                    self._epoch += 1
+                    self._inc("repair_fallbacks")
+                return
+            new_tree, recomputed = repaired
+            with self._lock:
+                self._tree = new_tree
+                self._touched = set()
+                self._net = {}
+                self._dirty = False
+                self._repaired_base = True
+                self._epoch += 1
+                self._inc("repairs")
+                self._counters["repaired_edges"].inc(len(recomputed))
 
     def _rebuild(self) -> GomoryHuTree:
-        """Rebuild from the (mutated) graph; clears the mask.
+        """Rebuild from the (mutated) graph; clears mask and net.
 
         Bumps the epoch: a concurrent query that fetched the old masked
         tree and then observed ``_touched is None`` would otherwise
@@ -219,7 +345,11 @@ class CutOracle:
         non-memoisable.
         """
         with self._build_lock:
-            if self._touched is None and self._tree is not None:
+            if (
+                self._tree is not None
+                and self._touched is None
+                and not self._dirty
+            ):
                 return self._tree  # another thread rebuilt first
             with self._tracer.span("oracle.build") as sp:
                 if sp:
@@ -232,38 +362,47 @@ class CutOracle:
             with self._lock:
                 self._tree = built
                 self._touched = None
+                self._net = {}
+                self._dirty = False
+                self._repaired_base = False
                 self._epoch += 1
                 self._inc("builds")
                 self._inc("mask_rebuilds")
             return built
 
-    def _snapshot(self) -> tuple[GomoryHuTree | None, set | None, int]:
-        """Consistent (tree, touched, epoch) triple.
+    def _snapshot(
+        self,
+    ) -> tuple[GomoryHuTree | None, set | None, int, bool]:
+        """Consistent (tree, touched, epoch, dirty) tuple.
 
-        Tree and mask must be read together: ``_rebuild`` swaps them as
-        a pair, and a torn read (old tree + cleared mask) would serve
-        uncertified stale labels.  Every writer updates both under
-        ``_lock``.
+        Tree and mask must be read together: ``_rebuild`` / ``_settle``
+        swap them as a pair, and a torn read (old tree + cleared mask)
+        would serve uncertified stale labels.  Every writer updates
+        both under ``_lock``.
         """
         with self._lock:
-            return self._tree, self._touched, self._epoch
+            return self._tree, self._touched, self._epoch, self._dirty
 
     def _current(self) -> tuple[GomoryHuTree, set | None, int]:
-        """A built, consistent (tree, touched, epoch) — building lazily
-        and retrying if a concurrent delta drops the tree mid-read."""
+        """A built, settled, consistent (tree, touched, epoch) —
+        building / settling lazily and retrying if a concurrent delta
+        dirties the state mid-read."""
         while True:
-            tree, touched, epoch = self._snapshot()
-            if tree is not None:
+            tree, touched, epoch, dirty = self._snapshot()
+            if tree is not None and not dirty:
                 return tree, touched, epoch
-            self.tree()
+            if tree is None:
+                self.tree()
+            else:
+                self._settle()
 
     # ------------------------------------------------------------------
     def st_min_cut(self, s: Vertex, t: Vertex) -> float:
         """Min s–t cut value = min edge weight on the tree path.
 
-        After a retained (``"masked"``) mutation the path minimum is
-        only served if certified — some argmin edge is uncrossed by
-        every change *and* its recorded cut separates ``s`` from ``t``
+        After a retained mutation (masked or repaired tree) the path
+        minimum is only served if certified — some argmin edge is
+        untouched *and* its recorded cut separates ``s`` from ``t``
         (see the module docstring for why that makes the value exact).
         Uncertified queries rebuild the tree from the mutated graph.
         """
@@ -324,13 +463,16 @@ class CutOracle:
         Under a mutation mask the lightest edge certifies itself the
         same way a path argmin does (its recorded side is a real cut of
         unchanged weight, and increase-only deltas can't have produced
-        a lighter cut); a touched lightest edge forces a rebuild.
+        a lighter cut); a touched lightest edge forces a rebuild.  On a
+        repaired tree every label is exact, so the lightest edge always
+        certifies (the tree-path argument makes the minimum label the
+        exact global min cut with no side check needed).
         """
         tree, touched, _ = self._current()
         if touched is None:
             return tree.min_cut_value()
         value = tree.min_cut_value()
-        if any(
+        if not touched or any(
             e.weight == value and e.child not in touched for e in tree.edges
         ):
             with self._lock:
@@ -342,16 +484,27 @@ class CutOracle:
     def stats(self) -> dict:
         with self._lock:
             built = self._tree is not None
-            masked = self._touched is not None
+            if self._dirty:
+                mode = "pending"
+            elif self._touched is None:
+                mode = "fresh"
+            elif self._repaired_base and not self._touched:
+                mode = "repaired"
+            else:
+                mode = "masked"
             stats = {
                 "built": built,
-                "mode": "masked" if masked else "fresh",
+                "mode": mode,
                 "builds": self.builds,
                 "tree_queries": self.tree_queries,
                 "mask_hits": self.mask_hits,
                 "mask_rebuilds": self.mask_rebuilds,
                 "deltas_retained": self.deltas_retained,
                 "deltas_dropped": self.deltas_dropped,
+                "repairs": self.repairs,
+                "repaired_edges": self.repaired_edges,
+                "repair_fallbacks": self.repair_fallbacks,
+                "pending_pairs": len(self._net),
             }
         memo = self._pair_memo.stats()
         stats["pair_hits"] = memo["hits"]

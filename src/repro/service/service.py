@@ -448,14 +448,17 @@ class CutService:
 
         Invalidation is scoped to what the delta can touch: other
         graphs' cache entries survive untouched; this graph's
-        Gomory–Hu oracle survives increase-only deltas behind per-query
-        certificates (:meth:`repro.service.oracle.CutOracle.apply_delta`);
-        kernels revalidate where their reduction certificates stand
-        (:func:`repro.preprocess.revalidate_kernel`); solved-kernel
+        Gomory–Hu oracle survives arbitrary mixed-sign deltas —
+        increase-only nets mask the tree behind per-query certificates,
+        nets with decreases trigger a lazy localized repair
+        (:meth:`repro.service.oracle.CutOracle.apply_delta`); kernels
+        refresh where their reduction certificates stand
+        (:func:`repro.preprocess.refresh_kernel`); solved-kernel
         mincut results are re-keyed to the new fingerprint.  Everything
         else is dropped, and the next query recomputes — bit-identical
         to a cold re-upload of the mutated edge list, which is the
-        contract ``tests/test_mutation.py`` enforces step by step.
+        contract ``tests/test_mutation.py`` and
+        ``tests/test_dynamic_stream.py`` enforce step by step.
 
         ``expected_fingerprint`` (checked against the state before the
         first delta) makes the call conditional — a mismatch raises
@@ -567,8 +570,7 @@ class CutService:
         else:
             record.oracle = oracle.apply_delta(
                 entry.graph,
-                effect.changed_pairs,
-                increase_only=effect.increase_only,
+                effect.changed,
                 has_new_vertices=bool(effect.new_vertices),
             )
             with self._lock:

@@ -97,6 +97,7 @@ class StoreStats:
         "mutations",
         "kernels_revalidated",
         "kernels_dropped_on_mutate",
+        "reductions_replayed",
         "deltas_applied",
         "cow_copies",
     )
@@ -283,10 +284,11 @@ class GraphStore:
           fingerprint), the graph is **copied on write** first, so the
           sibling's graph object — and every kernel/oracle built from
           it — stays frozen and nothing of the old content is dropped;
-        * otherwise the old fingerprint's kernels are revalidated where
-          a certificate survives the delta
-          (:func:`repro.preprocess.revalidate_kernel` — re-keyed to the
-          new fingerprint, counted in ``kernels_revalidated``) and
+        * otherwise the old fingerprint's kernels are refreshed where
+          a reduction certificate survives the delta
+          (:func:`repro.preprocess.refresh_kernel` — re-keyed to the
+          new fingerprint, counted in ``kernels_revalidated`` with the
+          re-run reduction steps in ``reductions_replayed``) and
           dropped where not;
         * a no-op delta (content and row order bit-identical) keeps the
           fingerprint and invalidates nothing.
@@ -301,7 +303,7 @@ class GraphStore:
         usual non-MVCC contract).  Copy-on-write shields only siblings
         that share content, not in-flight readers of this entry.
         """
-        from ..preprocess import revalidate_kernel
+        from ..preprocess import refresh_kernel
         from .deltas import (
             DeltaEffect,
             FingerprintMismatch,
@@ -388,15 +390,13 @@ class GraphStore:
         # mutation or an eviction in the gap orphans the result).
         revalidated: list = []
         cut_drops = 0
+        replayed = 0
         for level, kernel in pending:
-            fresh = revalidate_kernel(
-                kernel,
-                entry.graph,
-                edges_added=effect.edges_added > 0 or effect.restructured > 0,
-            )
+            fresh, _rule = refresh_kernel(kernel, entry.graph)
             if fresh is None:
                 cut_drops += 1
             else:
+                replayed += len(fresh.steps)
                 revalidated.append((level, fresh))
         with self._lock:
             new_fp = record.new_fingerprint
@@ -406,12 +406,15 @@ class GraphStore:
             if not resident:
                 cut_drops += len(revalidated)
                 revalidated = []
+                replayed = 0
             for level, fresh in revalidated:
                 self._kernels.setdefault((new_fp, level), fresh)
                 record.kernels_revalidated += 1
                 self.stats.inc("kernels_revalidated")
             record.kernels_dropped += cut_drops
+            record.reductions_replayed += replayed
             self.stats.inc("kernels_dropped_on_mutate", cut_drops)
+            self.stats.inc("reductions_replayed", replayed)
         return entry, record
 
     # ------------------------------------------------------------------

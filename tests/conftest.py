@@ -60,6 +60,38 @@ def kernel_shrinkage():
 
 
 @pytest.fixture(scope="session")
+def dynamic_stream_summary():
+    """Sink for streaming differential records, dumped as a JSON artifact.
+
+    ``tests/test_dynamic_stream.py`` appends one record per scripted or
+    fuzzed mutation/query interleaving, carrying the repair-vs-rebuild
+    counters the warm path reported.  When ``DYNAMIC_STREAM_SUMMARY``
+    names a path, the records are written there at session end — CI
+    uploads that file as the dynamic-stream artifact.
+    """
+    records: list[dict] = []
+    yield records
+    path = os.environ.get("DYNAMIC_STREAM_SUMMARY")
+    if path and records:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "suite_backend": _backend_under_test(),
+                    "streams": records,
+                    "all_identical": all(r["identical"] for r in records),
+                    "total_steps": sum(r["steps"] for r in records),
+                    "total_repairs": sum(r["repairs"] for r in records),
+                    "total_repair_fallbacks": sum(
+                        r["repair_fallbacks"] for r in records
+                    ),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+
+
+@pytest.fixture(scope="session")
 def equivalence_summary():
     """Sink for backend-equivalence records, dumped as a JSON artifact.
 

@@ -1,0 +1,314 @@
+"""Property/fuzz layer for localized Gomory-Hu repair.
+
+``repro.flow.repair_gomory_hu`` claims that after an arbitrary
+mixed-sign net weight delta it returns a tree whose every label is an
+*exact* min-cut value of the mutated graph, with recorded cut sides
+that are real cuts of exactly that weight.  This file checks the claim
+against fresh ``gomory_hu_tree`` ground truth:
+
+* seeded-random fuzz over heterogeneous-degree graphs and random
+  decrease / remove / increase / new-edge deltas (all weights dyadic,
+  so every comparison is exact ``==``, never approx);
+* the adversarial shapes the repair theorem calls out: a delta
+  crossing the argmin tree edge, a component collapse, a
+  reweight-to-zero, and repeated decreases of the same edge
+  (repair-of-a-repair composition);
+* the contract edges: empty net keeps the tree verbatim, the
+  ``max_flows`` budget returns ``None`` instead of exceeding itself,
+  and kept edges are kept *verbatim* (untouched subtrees share the
+  original edge objects).
+"""
+
+import random
+
+import pytest
+
+from repro.flow import DinicSolver, gomory_hu_tree, repair_gomory_hu
+from repro.graph import Graph
+
+
+# ----------------------------------------------------------------------
+# Instance builders (dyadic weights throughout)
+# ----------------------------------------------------------------------
+def _graph_from(weights: dict) -> Graph:
+    vertices = sorted({v for pair in weights for v in pair})
+    g = Graph(vertices=vertices)
+    for (u, v), w in sorted(weights.items()):
+        if w > 0:
+            g.add_edge(u, v, w)
+    return g
+
+
+def _random_weights(rng: random.Random, n: int) -> dict:
+    """Connected, heterogeneous-degree, dyadic-weighted instance."""
+    weights = {}
+    for i in range(n):  # connectivity cycle
+        weights[tuple(sorted((i, (i + 1) % n)))] = rng.choice(
+            [1.0, 2.0, 4.0]
+        )
+    # a couple of hubs make degrees heterogeneous, so small decreases
+    # near a hub stay localized under the L-guard
+    for hub in (0, n // 2):
+        for _ in range(n // 2):
+            other = rng.randrange(n)
+            if other != hub:
+                key = tuple(sorted((hub, other)))
+                weights[key] = weights.get(key, 0.0) + rng.choice([0.5, 1.0])
+    for _ in range(n):  # random chords
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            key = tuple(sorted((u, v)))
+            weights.setdefault(key, rng.choice([0.25, 0.5, 1.0]))
+    return weights
+
+
+def _random_delta(rng: random.Random, weights: dict) -> dict:
+    """A mixed-sign net delta; returns {pair: (old, new)} with old != new."""
+    pairs = sorted(weights)
+    changed = {}
+    for _ in range(rng.randrange(1, 4)):
+        kind = rng.choice(["decrease", "remove", "increase", "new"])
+        if kind == "new":
+            n = max(v for pair in pairs for v in pair) + 1
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            key = tuple(sorted((u, v)))
+            old = weights.get(key, 0.0)
+            new = old + rng.choice([0.5, 1.0])
+        else:
+            key = pairs[rng.randrange(len(pairs))]
+            old = weights.get(key, 0.0)
+            if old == 0.0:
+                continue
+            if kind == "decrease":
+                new = old * 0.5
+            elif kind == "remove":
+                new = 0.0
+            else:
+                new = old + rng.choice([0.5, 2.0])
+        if old != new:
+            changed[key] = (old, new)
+    return changed
+
+
+def _apply(weights: dict, changed: dict) -> dict:
+    out = dict(weights)
+    for key, (_old, new) in changed.items():
+        if new > 0:
+            out[key] = new
+        else:
+            out.pop(key, None)
+    return out
+
+
+def _as_tuples(changed: dict) -> list:
+    return [(u, v, old, new) for (u, v), (old, new) in sorted(changed.items())]
+
+
+def _two_triangles() -> dict:
+    return {
+        (0, 1): 2.0, (0, 2): 2.0, (1, 2): 2.0,
+        (3, 4): 2.0, (3, 5): 2.0, (4, 5): 2.0,
+        (2, 3): 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# The exactness oracle
+# ----------------------------------------------------------------------
+def _assert_exact(repaired, graph: Graph) -> None:
+    """Every label is the exact min-cut value of its pair; every
+    recorded side is a real cut of exactly that weight; the tree-path
+    minimum never exceeds the true value and the certified argmin
+    check (the serving layer's upper-bound gate) is never wrong."""
+    fresh = gomory_hu_tree(graph)
+    for e in repaired.edges:
+        assert e.weight == fresh.min_cut_between(e.child, e.parent), (
+            f"stale label on ({e.child}, {e.parent})"
+        )
+        assert (e.child in e.child_side) != (e.parent in e.child_side)
+        assert graph.cut_weight(e.child_side) == e.weight, (
+            f"recorded side is not a {e.weight}-cut"
+        )
+    assert repaired.min_cut_value() == fresh.min_cut_value()
+    vertices = graph.vertices()
+    for s in vertices:
+        for t in vertices:
+            if s >= t:
+                continue
+            truth = fresh.min_cut_between(s, t)
+            value = repaired.min_cut_between(s, t)
+            assert value <= truth  # path-min is always a lower bound
+            certified = any(
+                e.weight == value and (s in e.child_side) != (t in e.child_side)
+                for e in repaired.path_edges(s, t)
+            )
+            if certified:  # ... and exact whenever a certificate exists
+                assert value == truth
+
+
+# ----------------------------------------------------------------------
+# Seeded-random fuzz
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_repair_matches_fresh_tree(seed):
+    rng = random.Random(1000 + seed)
+    weights = _random_weights(rng, n=6 + rng.randrange(7))
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = _random_delta(rng, weights)
+    mutated_weights = _apply(weights, changed)
+    mutated = _graph_from(mutated_weights)
+    if len(mutated.components()) != 1:
+        with pytest.raises(ValueError, match="connected"):
+            repair_gomory_hu(tree, mutated, _as_tuples(changed))
+        return
+    if set(mutated.vertices()) != set(_graph_from(weights).vertices()):
+        # new vertices: the tree cannot know them => defensive None
+        assert repair_gomory_hu(tree, mutated, _as_tuples(changed)) is None
+        return
+    result = repair_gomory_hu(tree, mutated, _as_tuples(changed))
+    assert result is not None  # no budget => repair always lands
+    repaired, recomputed = result
+    _assert_exact(repaired, mutated)
+    assert set(recomputed) <= {e.child for e in tree.edges}
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_repair_composes_across_rounds(seed):
+    """Repair-of-a-repair: sides recorded by one repair must be good
+    enough inputs for the next (the lazy oracle settles repeatedly)."""
+    rng = random.Random(2000 + seed)
+    weights = _random_weights(rng, n=8)
+    tree = gomory_hu_tree(_graph_from(weights))
+    for _round in range(4):
+        changed = _random_delta(rng, weights)
+        mutated_weights = _apply(weights, changed)
+        mutated = _graph_from(mutated_weights)
+        if len(mutated.components()) != 1:
+            break
+        result = repair_gomory_hu(tree, mutated, _as_tuples(changed))
+        assert result is not None
+        tree, _ = result
+        weights = mutated_weights
+        _assert_exact(tree, mutated)
+
+
+# ----------------------------------------------------------------------
+# Adversarial shapes
+# ----------------------------------------------------------------------
+def test_decrease_crossing_the_argmin_edge():
+    """Weaken the bridge that *is* the global min cut: L drops below
+    every label, so nothing is keepable — the repair must recompute
+    its way back to exactness, not keep stale labels."""
+    weights = _two_triangles()
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = {(2, 3): (1.0, 0.5)}
+    mutated = _graph_from(_apply(weights, changed))
+    repaired, recomputed = repair_gomory_hu(
+        tree, mutated, _as_tuples(changed)
+    )
+    _assert_exact(repaired, mutated)
+    assert repaired.min_cut_value() == 0.5
+    assert len(recomputed) == len(tree.edges)  # nothing was keepable
+
+
+def test_component_collapse_raises_like_cold_build():
+    weights = _two_triangles()
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = {(2, 3): (1.0, 0.0)}  # removing the bridge disconnects
+    mutated = _graph_from(_apply(weights, changed))
+    with pytest.raises(ValueError, match="connected"):
+        repair_gomory_hu(tree, mutated, _as_tuples(changed))
+
+
+def test_reweight_to_zero_keeps_exactness_when_connected():
+    weights = _two_triangles()
+    weights[(0, 3)] = 1.0  # second bridge: removing (2,3) stays connected
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = {(2, 3): (1.0, 0.0)}
+    mutated = _graph_from(_apply(weights, changed))
+    repaired, _ = repair_gomory_hu(tree, mutated, _as_tuples(changed))
+    _assert_exact(repaired, mutated)
+    assert repaired.min_cut_value() == 1.0
+
+
+def test_repeated_decrease_of_the_same_edge():
+    weights = _two_triangles()
+    tree = gomory_hu_tree(_graph_from(weights))
+    for new in (1.0, 0.5, 0.25):
+        changed = {(0, 1): (weights[(0, 1)], new)}
+        mutated_weights = _apply(weights, changed)
+        mutated = _graph_from(mutated_weights)
+        result = repair_gomory_hu(tree, mutated, _as_tuples(changed))
+        assert result is not None
+        tree, _ = result
+        weights = mutated_weights
+        _assert_exact(tree, mutated)
+
+
+# ----------------------------------------------------------------------
+# Contract edges
+# ----------------------------------------------------------------------
+def test_empty_net_keeps_every_edge_verbatim():
+    weights = _two_triangles()
+    g = _graph_from(weights)
+    tree = gomory_hu_tree(g)
+    # a round-trip delta nets to nothing after the caller's filtering;
+    # repair must cost zero flows and keep the edge tuple identically
+    repaired, recomputed = repair_gomory_hu(tree, g, [(0, 1, 2.0, 2.0)])
+    assert recomputed == ()
+    assert repaired.edges == tree.edges
+
+
+def test_localized_decrease_keeps_untouched_subtrees_verbatim():
+    """A mild decrease on a heavy pair far from the min cut: the
+    L-guard keeps most of the tree, and kept edges are the *same*
+    objects (recorded sides compose verbatim across repairs)."""
+    rng = random.Random(7)
+    weights = _random_weights(rng, n=12)
+    hub_pair = next(k for k in sorted(weights) if k[0] == 0 and weights[k] >= 1.0)
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = {hub_pair: (weights[hub_pair], weights[hub_pair] - 0.25)}
+    mutated = _graph_from(_apply(weights, changed))
+    repaired, recomputed = repair_gomory_hu(
+        tree, mutated, _as_tuples(changed)
+    )
+    _assert_exact(repaired, mutated)
+    assert len(recomputed) < len(tree.edges)  # sublinear repair
+    kept = {e.child: e for e in tree.edges if e.child not in set(recomputed)}
+    for e in repaired.edges:
+        if e.child in kept:
+            assert e is kept[e.child]  # verbatim, not just equal
+
+
+def test_budget_exhaustion_returns_none():
+    weights = _two_triangles()
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = {(2, 3): (1.0, 0.5)}  # forces a full recompute (see above)
+    mutated = _graph_from(_apply(weights, changed))
+    assert repair_gomory_hu(
+        tree, mutated, _as_tuples(changed), max_flows=2
+    ) is None
+    # a budget covering the L-flow plus every recompute still lands
+    result = repair_gomory_hu(
+        tree, mutated, _as_tuples(changed), max_flows=len(tree.edges) + 1
+    )
+    assert result is not None
+    _assert_exact(result[0], mutated)
+
+
+def test_direct_flow_agreement_spot_check():
+    """Belt and braces: repaired labels agree with DinicSolver run
+    directly on the mutated graph, not just with the fresh tree."""
+    rng = random.Random(42)
+    weights = _random_weights(rng, n=8)
+    tree = gomory_hu_tree(_graph_from(weights))
+    changed = _random_delta(rng, weights)
+    mutated = _graph_from(_apply(weights, changed))
+    if len(mutated.components()) != 1:
+        pytest.skip("rng produced a disconnecting delta")
+    repaired, _ = repair_gomory_hu(tree, mutated, _as_tuples(changed))
+    solver = DinicSolver(mutated)
+    for e in repaired.edges:
+        assert e.weight == solver.max_flow(e.child, e.parent).value

@@ -340,12 +340,31 @@ class TestStoreApplyDelta:
         assert fresh.is_solved and fresh.solved.weight == 0.0
         assert store.stats.kernels_revalidated == 1
 
-    def test_kernel_dropped_when_certificate_broken(self):
+    def test_kernel_refreshed_when_no_reduction_applies(self):
+        # two_triangles admits no safe-level reduction (no degree-one
+        # vertex, every edge below the min weighted degree), and a
+        # light chord keeps it that way — the mutated kernel is rebuilt
+        # eagerly (a no-op kernelization) instead of dropped.
         store = GraphStore()
         entry = store.register("g", two_triangles())
         store.kernel_for(entry, "safe")
         entry, record = store.apply_delta(
             "g", GraphDelta.from_json({"adds": [[0, 4, 1.0]]})
+        )
+        assert record.kernels_revalidated == 1
+        assert record.kernels_dropped == 0
+        assert record.reductions_replayed == 0  # no reductions fired
+        assert store.has_kernel(entry.fingerprint, "safe")
+
+    def test_kernel_dropped_when_certificate_broken(self):
+        # A heavy chord (>= the min weighted degree) can certify a
+        # contraction, so the no-reduction certificate fails and the
+        # kernel drops for a lazy rekernelization.
+        store = GraphStore()
+        entry = store.register("g", two_triangles())
+        store.kernel_for(entry, "safe")
+        entry, record = store.apply_delta(
+            "g", GraphDelta.from_json({"adds": [[0, 4, 5.0]]})
         )
         assert record.kernels_dropped == 1
         assert not store.has_kernel(entry.fingerprint, "safe")
@@ -362,7 +381,7 @@ class TestOracleDelta:
         # intra-triangle increase: no min cut crosses (0, 1)
         g.set_edge_weight(0, 1, 9.0)
         action = oracle.apply_delta(
-            g, [(0, 1)], increase_only=True, has_new_vertices=False
+            g, [(0, 1, 2.0, 9.0)], has_new_vertices=False
         )
         assert action == "masked"
         assert oracle.st_min_cut(0, 5) == 1.0
@@ -375,7 +394,7 @@ class TestOracleDelta:
         assert oracle.st_min_cut(0, 5) == 1.0
         g.set_edge_weight(2, 3, 6.0)  # the bridge: crosses every min cut
         action = oracle.apply_delta(
-            g, [(2, 3)], increase_only=True, has_new_vertices=False
+            g, [(2, 3, 1.0, 6.0)], has_new_vertices=False
         )
         assert action == "masked"
         value = oracle.st_min_cut(0, 5)
@@ -384,16 +403,46 @@ class TestOracleDelta:
         assert value == DinicSolver(g).max_flow(0, 5).value
         assert oracle.stats()["mask_rebuilds"] == 1
 
-    def test_decrease_drops_tree(self):
+    def test_decrease_repairs_tree(self):
+        # Regression for the all-or-nothing decrease path: a localized
+        # decrease used to drop the whole tree; now the tree is kept
+        # and repaired per tree edge, with no full rebuild
+        # (mask_rebuilds pinned at 0).
+        g = two_triangles()
+        oracle = CutOracle(g)
+        oracle.st_min_cut(0, 5)
+        g.set_edge_weight(0, 1, 0.5)  # intra-triangle decrease
+        action = oracle.apply_delta(
+            g, [(0, 1, 2.0, 0.5)], has_new_vertices=False
+        )
+        assert action == "repair-pending"
+        assert oracle.built  # tree retained, settled lazily
+        from repro.flow import DinicSolver
+
+        assert oracle.st_min_cut(0, 5) == DinicSolver(g).max_flow(0, 5).value
+        assert oracle.st_min_cut(0, 1) == DinicSolver(g).max_flow(0, 1).value
+        stats = oracle.stats()
+        assert stats["builds"] == 1  # the original build only
+        assert stats["repairs"] == 1
+        assert stats["mask_rebuilds"] == 0
+        assert 1 <= stats["repaired_edges"] < g.num_vertices - 1
+        assert stats["mode"] == "repaired"
+
+    def test_decrease_disconnecting_falls_back_like_cold(self):
+        # Removing the bridge disconnects the graph: repair is
+        # impossible, the tree drops, and the next query raises exactly
+        # what a cold build on the mutated graph would.
         g = two_triangles()
         oracle = CutOracle(g)
         oracle.st_min_cut(0, 5)
         g.remove_edge(2, 3)
         action = oracle.apply_delta(
-            g, [(2, 3)], increase_only=False, has_new_vertices=False
+            g, [(2, 3, 1.0, 0.0)], has_new_vertices=False
         )
-        assert action == "dropped"
-        assert not oracle.built
+        assert action == "repair-pending"
+        with pytest.raises(ValueError, match="connected"):
+            oracle.st_min_cut(0, 5)
+        assert oracle.stats()["repair_fallbacks"] == 1
 
     def test_stale_query_cannot_repopulate_cleared_memo(self):
         # A query that computed its value under an old epoch must not
@@ -410,7 +459,7 @@ class TestOracleDelta:
         g.remove_edge(2, 3)
         g.add_edge(2, 3, 6.0)
         oracle.apply_delta(
-            g, [(2, 3)], increase_only=False, has_new_vertices=False
+            g, [(2, 3, 1.0, 6.0)], has_new_vertices=False
         )
         assert oracle._epoch == epoch_before + 1
         assert len(oracle._pair_memo) == 0
@@ -425,7 +474,7 @@ class TestOracleDelta:
         g = two_triangles()
         oracle = CutOracle(g)
         action = oracle.apply_delta(
-            g, [(0, 1)], increase_only=True, has_new_vertices=False
+            g, [(0, 1, 2.0, 3.0)], has_new_vertices=False
         )
         assert action == "unbuilt"
 
@@ -435,15 +484,16 @@ class TestOracleDelta:
         vertices = g.vertices()
         oracle.st_min_cut(vertices[0], vertices[-1])
         # a few increase-only edits
-        edits = [(vertices[1], vertices[2]), (vertices[4], vertices[7])]
-        for u, v in edits:
+        edits = []
+        for u, v in [(vertices[1], vertices[2]), (vertices[4], vertices[7])]:
             if g.has_edge(u, v):
-                g.set_edge_weight(u, v, g.weight(u, v) + 3.0)
+                old = g.weight(u, v)
+                g.set_edge_weight(u, v, old + 3.0)
+                edits.append((u, v, old, old + 3.0))
             else:
                 g.add_edge(u, v, 3.0)
-        oracle.apply_delta(
-            g, edits, increase_only=True, has_new_vertices=False
-        )
+                edits.append((u, v, 0.0, 3.0))
+        oracle.apply_delta(g, edits, has_new_vertices=False)
         fresh = CutOracle(g)
         for s in vertices[:6]:
             for t in vertices[-4:]:
