@@ -258,33 +258,67 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .obs import Tracer
-    from .service import CutService, serve
+    from .service import CutService, make_frontend, serve
 
-    service = CutService(
+    service_kwargs = dict(
         workers=args.workers,
         store_capacity=args.store_capacity,
         result_cache_capacity=args.result_cache,
         ampc_backend=args.ampc_backend,
         preprocess=args.preprocess,
-        tracer=Tracer(capacity=args.trace_capacity, enabled=not args.no_trace),
     )
+    tracer = Tracer(capacity=args.trace_capacity, enabled=not args.no_trace)
+    frontend_kwargs = dict(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        queue_timeout_s=args.queue_timeout,
+        retry_after_s=args.retry_after,
+        coalesce=not args.no_coalesce,
+        tracer=tracer,
+    )
+    if args.shards > 1:
+        # Sharded: one CutService process per shard behind a
+        # consistent-hash ring; graphs preload through the frontend so
+        # each lands on the shard owning its fingerprint.
+        frontend = make_frontend(
+            shards=args.shards,
+            service_kwargs=service_kwargs,
+            **frontend_kwargs,
+        )
+        register = lambda name, path: frontend.backend.dispatch(  # noqa: E731
+            "graphs", {"name": name, "path": str(path)}, tracer
+        )
+    else:
+        service = CutService(tracer=tracer, **service_kwargs)
+        frontend = make_frontend(service, **frontend_kwargs)
+        register = lambda name, path: (  # noqa: E731
+            (200, service.register_file(name, Path(path)))
+        )
     for spec in args.graph or []:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
             print(f"error: --graph wants NAME=PATH, got {spec!r}", file=sys.stderr)
+            frontend.close()
             return 2
-        entry = service.register_file(name, Path(path))
+        status, entry = register(name, Path(path))
+        if status != 200:
+            print(
+                f"error: preload {name} failed: {entry.get('error')}",
+                file=sys.stderr,
+            )
+            frontend.close()
+            return 2
         print(
             f"registered {name}: n={entry['num_vertices']} "
             f"m={entry['num_edges']} fingerprint={entry['fingerprint'][:12]}"
         )
     try:
-        serve(service, host=args.host, port=args.port)
+        serve(frontend=frontend, host=args.host, port=args.port)
     finally:
         if args.trace_out is not None:
-            count = service.tracer.export_jsonl(str(args.trace_out))
+            count = frontend.tracer.export_jsonl(str(args.trace_out))
             print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
-        service.close()
+        frontend.close()
     return 0
 
 
@@ -652,6 +686,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU capacity of the query-result cache")
     p.add_argument("--graph", action="append", metavar="NAME=PATH",
                    help="preload a graph file (repeatable)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the graph store across this many "
+                        "worker processes by fingerprint (consistent "
+                        "hashing; 1 = single-process)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="bounded in-flight request window; requests "
+                        "beyond it queue, then shed with 429")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="bounded admission wait queue; a full queue "
+                        "sheds immediately with 429 + Retry-After")
+    p.add_argument("--queue-timeout", type=float, default=2.0,
+                   help="seconds a request may wait for an in-flight "
+                        "slot before being shed")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint (seconds) sent with 429s")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable coalescing of identical in-flight "
+                        "read queries")
     p.add_argument("--no-trace", action="store_true",
                    help="disable request tracing (GET /trace serves an "
                         "empty buffer; error bodies carry trace_id=null)")

@@ -36,6 +36,7 @@ normalise to sorted vertex order for reproducible files.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import TextIO
 
@@ -98,6 +99,10 @@ def read_dimacs(fp: TextIO) -> Graph:
                 raise ValueError(f"line {lineno}: malformed edge line")
             u, v = int(parts[1]), int(parts[2])
             w = float(parts[3]) if len(parts) == 4 else 1.0
+            if not math.isfinite(w):
+                raise ValueError(
+                    f"line {lineno}: edge weight must be finite, got {w}"
+                )
             if not (1 <= u <= n_declared and 1 <= v <= n_declared):
                 raise ValueError(
                     f"line {lineno}: vertex out of range 1..{n_declared}"
@@ -195,6 +200,10 @@ def read_metis(fp: TextIO) -> Graph:
         for j in range(0, len(toks), step):
             u = int(toks[j])
             w = float(toks[j + 1]) if has_ew else 1.0
+            if not math.isfinite(w):
+                raise ValueError(
+                    f"vertex {i}: edge weight must be finite, got {w}"
+                )
             if not 1 <= u <= n:
                 raise ValueError(f"vertex {i}: neighbour {u} out of range")
             if u == i:

@@ -14,6 +14,7 @@ benchmark workloads and example graphs.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import TextIO
 
@@ -47,6 +48,12 @@ def read_edgelist(fp: TextIO) -> Graph:
         elif parts[0] == "e":
             u, v = _parse(parts[1]), _parse(parts[2])
             w = float(parts[3])
+            if not math.isfinite(w):
+                # NaN/inf would poison the fingerprint (NaN != NaN
+                # breaks cache keys) and every cut comparison.
+                raise ValueError(
+                    f"edge weight for {u!r} -- {v!r} must be finite, got {w}"
+                )
             if u == v or w == 0:
                 # Self-loops and zero-weight edges cannot cross any
                 # cut; drop them (keeping the endpoints as vertices),

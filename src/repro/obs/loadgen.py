@@ -91,7 +91,9 @@ class _Sample:
     scheduled: float   # perf_counter at which the arrival was due
     started: float     # perf_counter at which a worker picked it up
     finished: float
-    error: bool
+    error: bool        # non-429 failure (4xx/5xx/exception/inline error)
+    shed: bool = False  # 429 from the admission gate: load shedding,
+    #                     by design — reported separately from errors
 
     @property
     def latency_s(self) -> float:
@@ -141,9 +143,14 @@ class LoadGen:
     # Corpus + schedule (deterministic per seed)
     # ------------------------------------------------------------------
     def _request_json(self, path: str, payload=None):
-        from ..service.http import request_json  # lazy: avoids an import cycle
+        return self._request_status_json(path, payload)[1]
 
-        return request_json(
+    def _request_status_json(self, path: str, payload=None):
+        from ..service.http import (  # lazy: avoids an import cycle
+            request_status_json,
+        )
+
+        return request_status_json(
             self.config.url, path, payload, timeout=self.config.timeout_s
         )
 
@@ -237,13 +244,20 @@ class LoadGen:
             op, path, payload, scheduled = item
             started = time.perf_counter()
             error = False
+            shed = False
             try:
-                resp = self._request_json(path, payload)
-                error = isinstance(resp, dict) and "error" in resp
+                status, resp = self._request_status_json(path, payload)
+                if status == 429:
+                    # admission-gate shed: the server staying up and
+                    # saying "not now" is the designed overload
+                    # behaviour, not a failure
+                    shed = True
+                else:
+                    error = isinstance(resp, dict) and "error" in resp
             except Exception:
                 error = True
             finished = time.perf_counter()
-            sample = _Sample(op, scheduled, started, finished, error)
+            sample = _Sample(op, scheduled, started, finished, error, shed)
             with self._samples_lock:
                 self._samples.append(sample)
 
@@ -324,6 +338,7 @@ class LoadGen:
             op_classes[op] = {
                 "count": len(samples),
                 "errors": sum(1 for x in samples if x.error),
+                "sheds": sum(1 for x in samples if x.shed),
                 "p50_s": _percentile(lat, 0.50),
                 "p95_s": _percentile(lat, 0.95),
                 "p99_s": _percentile(lat, 0.99),
@@ -333,6 +348,7 @@ class LoadGen:
                 "service_p99_s": _percentile(svc, 0.99),
             }
         errors = sum(1 for s in self._samples if s.error)
+        sheds = sum(1 for s in self._samples if s.shed)
         completed = len(self._samples)
         return {
             "harness": "open-loop-loadgen",
@@ -340,6 +356,7 @@ class LoadGen:
             "planned_requests": len(plan),
             "completed_requests": completed,
             "errors": errors,
+            "sheds": sheds,
             "wall_s": wall_s,
             "target_rps": cfg.rate,
             "achieved_rps": completed / wall_s if wall_s > 0 else 0.0,
@@ -362,7 +379,9 @@ def check_slos(report: dict, floors: dict) -> list[str]:
     * ``"<op>_p99_s"`` — the op class's open-loop p99 must not exceed
       the value (e.g. ``"mincut_p99_s": 0.5``);
     * ``"min_rps"`` — achieved throughput must reach the value;
-    * ``"max_error_rate"`` — errors/completed must stay at or below;
+    * ``"max_error_rate"`` — errors/completed must stay at or below
+      (429 sheds are *not* errors; see ``max_shed_rate``);
+    * ``"max_shed_rate"`` — 429 sheds/completed must stay at or below;
     * ``"min_saturation_rps"`` — the saturation probe (if run) must
       reach the value.
 
@@ -397,6 +416,13 @@ def check_slos(report: dict, floors: dict) -> list[str]:
             if rate > floor:
                 violations.append(
                     f"error rate {rate:.4f} > ceiling {floor:.4f}"
+                )
+        elif key == "max_shed_rate":
+            completed = max(1, report["completed_requests"])
+            rate = report.get("sheds", 0) / completed
+            if rate > floor:
+                violations.append(
+                    f"shed rate {rate:.4f} > ceiling {floor:.4f}"
                 )
         elif key.endswith("_p99_s"):
             op = key[: -len("_p99_s")]

@@ -36,26 +36,51 @@ from .executor import TrialExecutor, default_trials, trial_seeds
 from .oracle import CutOracle
 from .service import CutService
 from .store import GraphEntry, GraphStore
-from .http import ServiceHTTPServer, make_server, request_json, serve
+from .frontend import (
+    AdmissionGate,
+    Frontend,
+    HashRing,
+    InlineBackend,
+    Overloaded,
+    QueryCoalescer,
+    ShardPool,
+    make_frontend,
+)
+from .http import (
+    ServiceHTTPServer,
+    make_server,
+    request_json,
+    request_status_json,
+    serve,
+)
 
 __all__ = [
+    "AdmissionGate",
     "CutOracle",
     "CutService",
     "DeltaEffect",
     "FingerprintMismatch",
+    "Frontend",
     "GraphDelta",
     "GraphEntry",
     "GraphStore",
+    "HashRing",
+    "InlineBackend",
     "LRUCache",
     "MutationRecord",
+    "Overloaded",
+    "QueryCoalescer",
     "ServiceHTTPServer",
+    "ShardPool",
     "TrialExecutor",
     "apply_delta",
     "chain_fingerprint",
     "default_trials",
     "load_any",
+    "make_frontend",
     "make_server",
     "request_json",
+    "request_status_json",
     "serve",
     "trial_seeds",
 ]

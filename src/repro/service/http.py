@@ -1,8 +1,12 @@
 """JSON-over-HTTP front end for :class:`~repro.service.service.CutService`.
 
 Stdlib only: ``http.server.ThreadingHTTPServer`` (one thread per
-connection; the service underneath is thread-safe) plus ``json``.  The
-wire protocol is deliberately boring — every response is a JSON object,
+connection) plus ``json``.  Every POST flows through a
+:class:`~repro.service.frontend.Frontend` — bounded admission with
+429 + ``Retry-After`` shedding, coalescing of identical in-flight
+queries, and (optionally) consistent-hash sharding of the graph store
+across worker processes; see :mod:`repro.service.frontend`.  The wire
+protocol is deliberately boring — every response is a JSON object,
 errors are ``{"error": ...}`` with a 4xx status:
 
 ========  =========  ====================================================
@@ -14,9 +18,15 @@ GET       /stats     cache/pool/oracle counters (the observability seam)
 GET       /metrics   the full metrics-registry snapshot (counters,
                      gauges, latency histograms with p50/p95/p99)
 GET       /trace     recent finished spans from the tracer ring buffer
-                     (``?limit=N`` caps the count)
+                     (``?limit=N`` caps the count; a non-integer or
+                     negative limit is a 400)
+GET       /frontend  admission/coalescing config + live counters
+POST      /frontend  reconfigure admission limits at runtime
+                     (``{"max_inflight"?, "max_queue"?,
+                     "queue_timeout_s"?, "retry_after_s"?}``)
 POST      /graphs    ``{"name", "edges": [[u,v,w],...]}`` or
-                     ``{"name", "path": "file-on-server"}``
+                     ``{"name", "path": "file-on-server"}`` (non-finite
+                     weights are a 400)
 POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?,
                      "preprocess"?}`` (``preprocess`` in off/safe/
                      aggressive; responses carry the kernel stats)
@@ -34,27 +44,33 @@ POST      /batch     ``{"requests": [{"op": "mincut"|..., ...}, ...]}``
                      inline so one bad request doesn't kill the batch
 ========  =========  ====================================================
 
-The full wire contract, with replayed request/response examples, is
-documented in ``docs/HTTP_API.md`` (kept honest by
+Any POST (except ``/frontend``) may come back **429** with a
+``Retry-After`` header and ``{"error", "retry_after_s", "trace_id"}``
+body when the admission gate is saturated — clients back off and
+retry.  The full wire contract, with replayed request/response
+examples, is documented in ``docs/HTTP_API.md`` (kept honest by
 ``tests/test_http_api_docs.py``, which replays every example against a
 live server).
 
 Observability: every request runs under an ``http.request`` root span
-(child spans cover body parse, store lookup, kernelization, cache
-tiers, oracle path and executor fan-out — see ``docs/OBSERVABILITY.md``
-for the vocabulary), every error response carries the request's
-``trace_id`` so failures correlate with exported spans, and per-op
-latency histograms feed ``GET /metrics`` and the ``requests`` section
-of ``/stats``.  The root span closes and the request is counted
-*before* the reply bytes are written, so a client holding a response
-always finds its own request in ``/trace`` and ``/metrics``
-(read-your-own-trace; the recorded duration excludes the socket
-write).
+(child spans cover body parse, queue wait, shard dispatch, store
+lookup, kernelization, cache tiers, oracle path and executor fan-out —
+see ``docs/OBSERVABILITY.md`` for the vocabulary), every error
+response carries the request's ``trace_id`` so failures correlate with
+exported spans, and per-op latency histograms feed ``GET /metrics``
+and the ``requests`` section of ``/stats``.  The root span closes and
+the request is counted *before* the reply bytes are written, so a
+client holding a response always finds its own request in ``/trace``
+and ``/metrics`` (read-your-own-trace; the recorded duration excludes
+the socket write).  A client that hangs up before the reply lands is
+swallowed and counted (``http.client_disconnects``) instead of dumping
+a traceback from the handler thread.
 
 ``make_server(service, port=0)`` binds an ephemeral port for tests;
 ``serve(...)`` is the blocking entry point ``repro-cut serve`` uses.
-A tiny ``urllib`` client (:func:`request_json`) backs ``repro-cut
-query`` and the end-to-end tests.
+A tiny ``urllib`` client (:func:`request_json` /
+:func:`request_status_json`) backs ``repro-cut query``, the loadgen
+and the end-to-end tests.
 """
 
 from __future__ import annotations
@@ -66,20 +82,43 @@ import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..graph import Graph, load_any
-from .deltas import FingerprintMismatch
+from .frontend import Frontend, make_frontend
 from .service import CutService
 
 _MAX_BODY = 64 * 1024 * 1024
 
+#: Sockets idle longer than this mid-request are dropped: a client
+#: that sends headers and then stalls must not pin a handler thread
+#: forever (satellite of the Content-Length hardening).
+_SOCKET_TIMEOUT_S = 120.0
+
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that owns a :class:`CutService`."""
+    """ThreadingHTTPServer that owns a :class:`Frontend`.
+
+    ``service`` stays available (``None`` in sharded mode) so existing
+    callers and tests can keep reaching the in-process
+    :class:`CutService` behind an inline frontend.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, service: CutService, *, quiet: bool = True):
-        self.service = service
+    def __init__(
+        self,
+        address,
+        service: CutService | None = None,
+        *,
+        frontend: Frontend | None = None,
+        quiet: bool = True,
+    ):
+        if frontend is None:
+            if service is None:
+                raise ValueError("need a service or a frontend")
+            frontend = make_frontend(service)
+        self.frontend = frontend
+        self.service = service if service is not None else getattr(
+            frontend.backend, "service", None
+        )
         self.quiet = quiet
         super().__init__(address, _Handler)
 
@@ -91,35 +130,30 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
+    timeout = _SOCKET_TIMEOUT_S
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        service = self.server.service
+        frontend = self.server.frontend
         parsed = urllib.parse.urlsplit(self.path)
         path = parsed.path
         op = path.lstrip("/") or "unknown"
         t0 = time.perf_counter()
-        with service.tracer.span("http.request") as root:
+        with frontend.tracer.span("http.request") as root:
             if root:
                 root.set(method="GET", path=path, op=op)
             if path == "/healthz":
                 status, payload = 200, {"ok": True}
             elif path == "/graphs":
-                status, payload = 200, {"graphs": service.graphs()}
+                status, payload = 200, {"graphs": frontend.graphs()}
             elif path == "/stats":
-                status, payload = 200, service.stats()
+                status, payload = 200, frontend.stats()
             elif path == "/metrics":
-                status, payload = 200, service.metrics_payload()
+                status, payload = 200, frontend.metrics_payload()
+            elif path == "/frontend":
+                status, payload = 200, frontend.describe()
             elif path == "/trace":
-                query = urllib.parse.parse_qs(parsed.query)
-                try:
-                    limit = int(query["limit"][0]) if "limit" in query else None
-                except ValueError:
-                    limit = None
-                status, payload = 200, {
-                    "spans": service.tracer.snapshot(limit),
-                    "stats": service.tracer.stats(),
-                }
+                status, payload = self._trace_payload(frontend, parsed.query)
             else:
                 status, payload = 404, {"error": f"unknown path {path!r}"}
             if status >= 400:
@@ -130,16 +164,36 @@ class _Handler(BaseHTTPRequestHandler):
         # out: a client that has the response can immediately read its
         # own request in /trace and /metrics (the recorded duration
         # excludes the socket write)
-        service.observe_request(
+        frontend.observe_request(
             op, time.perf_counter() - t0, error=status >= 400
         )
         self._reply(status, payload)
 
+    @staticmethod
+    def _trace_payload(frontend: Frontend, query: str) -> tuple[int, dict]:
+        """``GET /trace``: a bad ``limit`` is a 400, not silently the
+        full snapshot — an operator typo'ing ``?limit=abc`` under
+        incident pressure must hear about it."""
+        params = urllib.parse.parse_qs(query)
+        limit = None
+        if "limit" in params:
+            raw = params["limit"][0]
+            try:
+                limit = int(raw)
+            except ValueError:
+                return 400, {
+                    "error": f"limit must be an integer, got {raw!r}"
+                }
+            if limit < 0:
+                return 400, {"error": f"limit must be >= 0, got {limit}"}
+        return 200, frontend.trace_payload(limit)
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        service = self.server.service
-        tracer = service.tracer
+        frontend = self.server.frontend
+        tracer = frontend.tracer
         op = self.path.lstrip("/") or "unknown"
         t0 = time.perf_counter()
+        headers: dict[str, str] = {}
         with tracer.span("http.request") as root:
             if root:
                 root.set(method="POST", path=self.path, op=op)
@@ -147,132 +201,54 @@ class _Handler(BaseHTTPRequestHandler):
                 with tracer.span("http.parse") as sp:
                     body = self._read_json()
                     if sp:
+                        # _read_json validated the header already
                         sp.set(
                             content_length=int(
-                                self.headers.get("Content-Length") or 0
+                                self.headers.get("Content-Length")
                             )
                         )
             except ValueError as exc:
                 status, payload = 400, {"error": str(exc)}
             else:
-                if self.path == "/batch":
-                    status, payload = self._handle_batch(root, body)
-                else:
-                    status, payload = self._dispatch_safe(op, body)
+                status, payload, headers = frontend.handle(op, body)
             if status >= 400:
                 payload = _with_trace_id(root, payload)
             if root:
                 root.set(status=status)
         # as in do_GET: trace + metrics land before the reply is sent
-        service.observe_request(
-            op, time.perf_counter() - t0, error=status >= 400
+        frontend.observe_request(
+            op,
+            time.perf_counter() - t0,
+            error=status >= 400 and status != 429,
+            shed=status == 429,
         )
-        self._reply(status, payload)
-
-    def _handle_batch(self, root, body: dict) -> tuple[int, dict]:
-        """``/batch``: dispatch each item, errors inline (with trace_id)."""
-        requests = body.get("requests")
-        if not isinstance(requests, list):
-            return 400, {"error": "batch body needs a 'requests' list"}
-        tracer = self.server.service.tracer
-        responses = []
-        for i, item in enumerate(requests):
-            op = item.get("op") if isinstance(item, dict) else None
-            with tracer.span("batch.item") as sp:
-                if sp:
-                    sp.set(op=op, index=i)
-                status, payload = self._dispatch_safe(op, item)
-                if sp:
-                    sp.set(status=status)
-            if status >= 400:
-                payload = _with_trace_id(root, payload)
-            responses.append(payload)
-        return 200, {"responses": responses}
-
-    def _dispatch_safe(self, op: str | None, body) -> tuple[int, dict]:
-        """Dispatch with every failure mapped to a JSON (status, body).
-
-        A handler must never die without replying — a thread killed by
-        an uncaught exception drops the connection mid-request and, in
-        ``/batch``, would break the errors-inline contract.
-        """
-        try:
-            return 200, self._dispatch(op, body)
-        except _BadRequest as exc:
-            return 400, {"error": str(exc)}
-        except FingerprintMismatch as exc:
-            return 409, {
-                "error": str(exc),
-                "expected_fingerprint": exc.expected,
-                "fingerprint": exc.actual,
-            }
-        except KeyError as exc:
-            return 404, {"error": _key_error_message(exc)}
-        except OSError as exc:
-            return 400, {"error": f"{type(exc).__name__}: {exc}"}
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
-
-    # ------------------------------------------------------------------
-    def _dispatch(self, op: str | None, body: dict) -> dict:
-        service = self.server.service
-        if not isinstance(body, dict):
-            raise _BadRequest("request body must be a JSON object")
-        try:
-            if op == "graphs":
-                return service.register(*_parse_registration(body))
-            if op == "mincut":
-                return service.mincut(
-                    _require(body, "graph"),
-                    eps=float(body.get("eps", 0.5)),
-                    trials=_opt_int(body, "trials"),
-                    seed=int(body.get("seed", 0)),
-                    preprocess=body.get("preprocess"),
-                )
-            if op == "kcut":
-                return service.kcut(
-                    _require(body, "graph"),
-                    int(_require(body, "k")),
-                    eps=float(body.get("eps", 0.5)),
-                    trials=int(body.get("trials", 1)),
-                    seed=int(body.get("seed", 0)),
-                    preprocess=body.get("preprocess"),
-                )
-            if op == "stcut":
-                return service.stcut(
-                    _require(body, "graph"),
-                    _require(body, "s"),
-                    _require(body, "t"),
-                )
-            if op == "mutate":
-                return service.mutate(
-                    _require(body, "graph"),
-                    adds=body.get("adds") or (),
-                    removes=body.get("removes") or (),
-                    reweights=body.get("reweights") or (),
-                    deltas=body.get("deltas"),
-                    expected_fingerprint=body.get("expected_fingerprint"),
-                )
-            if op == "kernelize":
-                return service.kernelize(
-                    _require(body, "graph"),
-                    level=body.get("level", "safe"),
-                    k=body.get("k"),
-                )
-            if op == "evict":
-                return service.evict(_require(body, "graph"))
-        except FingerprintMismatch:
-            raise
-        except (TypeError, ValueError) as exc:
-            raise _BadRequest(str(exc)) from exc
-        raise _BadRequest(f"unknown operation {op!r}")
+        self._reply(status, payload, headers)
 
     # ------------------------------------------------------------------
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        """Read and decode the request body, validating Content-Length.
+
+        The raw header value is untrusted: ``rfile.read(-1)`` on a
+        negative length blocks until the client closes the socket
+        (pinning a handler thread indefinitely), and a non-numeric
+        value used to crash the handler.  Both are a 400 now.
+        """
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise ValueError("missing Content-Length; expected a JSON body")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ValueError(
+                f"invalid Content-Length {raw_length!r}: not an integer"
+            ) from None
+        if length <= 0:
+            raise ValueError(
+                f"invalid Content-Length {length}: must be positive"
+            )
         if length > _MAX_BODY:
             raise ValueError(f"request body exceeds {_MAX_BODY} bytes")
-        raw = self.rfile.read(length) if length else b""
+        raw = self.rfile.read(length)
         if not raw:
             raise ValueError("empty request body; expected JSON")
         try:
@@ -280,21 +256,35 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ValueError(f"invalid JSON: {exc}") from exc
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        """Serialise and send; a client that already hung up is counted
+        (``http.client_disconnects``), not a handler-thread traceback."""
         data = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            self.server.frontend.note_client_disconnect()
+            self.close_connection = True
+
+    def handle_one_request(self) -> None:
+        """One request, with disconnect noise downgraded to a counter."""
+        try:
+            super().handle_one_request()
+        except (BrokenPipeError, ConnectionResetError):
+            self.server.frontend.note_client_disconnect()
+            self.close_connection = True
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if not self.server.quiet:
             super().log_message(fmt, *args)
-
-
-class _BadRequest(Exception):
-    """Maps to HTTP 400."""
 
 
 def _with_trace_id(root, payload: dict) -> dict:
@@ -309,57 +299,41 @@ def _with_trace_id(root, payload: dict) -> dict:
     return payload
 
 
-def _key_error_message(exc: KeyError) -> str:
-    # str(KeyError("x")) is "'x'" — unwrap the arg for clean JSON errors.
-    return str(exc.args[0]) if exc.args else str(exc)
-
-
-# ----------------------------------------------------------------------
-def _require(body: dict, key: str):
-    if key not in body:
-        raise _BadRequest(f"missing required field {key!r}")
-    return body[key]
-
-
-def _opt_int(body: dict, key: str) -> int | None:
-    value = body.get(key)
-    return None if value is None else int(value)
-
-
-def _parse_registration(body: dict) -> tuple[str, Graph]:
-    name = _require(body, "name")
-    if "path" in body:
-        return name, load_any(body["path"])
-    edges = _require(body, "edges")
-    graph = Graph(vertices=body.get("vertices", ()))
-    for edge in edges:
-        if not isinstance(edge, (list, tuple)) or len(edge) not in (2, 3):
-            raise _BadRequest(f"bad edge {edge!r}: want [u, v] or [u, v, w]")
-        u, v = edge[0], edge[1]
-        w = float(edge[2]) if len(edge) == 3 else 1.0
-        graph.add_edge(u, v, w)
-    return name, graph
-
-
 # ----------------------------------------------------------------------
 # Server + client entry points
 # ----------------------------------------------------------------------
 def make_server(
-    service: CutService,
+    service: CutService | None = None,
     *,
+    frontend: Frontend | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
 ) -> ServiceHTTPServer:
-    """Bind (``port=0`` → ephemeral) without starting the accept loop."""
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    """Bind (``port=0`` → ephemeral) without starting the accept loop.
+
+    Pass a live ``service`` for the classic single-process server (it
+    gets wrapped in an inline :class:`Frontend` with default admission
+    limits), or a pre-built ``frontend`` (e.g. from
+    :func:`~repro.service.frontend.make_frontend` with ``shards=4``)
+    for sharded serving.
+    """
+    return ServiceHTTPServer(
+        (host, port), service, frontend=frontend, quiet=quiet
+    )
 
 
 def serve(
-    service: CutService, *, host: str = "127.0.0.1", port: int = 8008
+    service: CutService | None = None,
+    *,
+    frontend: Frontend | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8008,
 ) -> None:
     """Blocking accept loop (Ctrl-C to stop) — ``repro-cut serve``."""
-    with make_server(service, host=host, port=port, quiet=False) as server:
+    with make_server(
+        service, frontend=frontend, host=host, port=port, quiet=False
+    ) as server:
         print(f"serving on {server.url}", flush=True)
         try:
             server.serve_forever()
@@ -367,13 +341,14 @@ def serve(
             pass
 
 
-def request_json(
+def request_status_json(
     url: str, path: str, payload: dict | None = None, *, timeout: float = 60.0
-) -> dict:
-    """One JSON round-trip: GET when ``payload`` is None, else POST.
+) -> tuple[int, dict]:
+    """One JSON round-trip returning ``(status, body)``.
 
-    4xx responses come back as their decoded ``{"error": ...}`` body
-    rather than raising, so CLI users see the server's message.
+    4xx/5xx responses come back decoded rather than raising, so
+    callers (the loadgen, the CLI) can tell a shed (429) from a real
+    error without exception plumbing.
     """
     full = url.rstrip("/") + path
     if payload is None:
@@ -386,14 +361,25 @@ def request_json(
         )
     try:
         with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return json.loads(resp.read())
+            return resp.status, json.loads(resp.read())
     except urllib.error.HTTPError as exc:
         body = exc.read()
         try:
-            return json.loads(body)
+            return exc.code, json.loads(body)
         except json.JSONDecodeError:
             raise RuntimeError(f"HTTP {exc.code}: {body[:200]!r}") from exc
     except urllib.error.URLError as exc:
         raise ConnectionError(
             f"cannot reach {full}: {exc.reason}"
         ) from exc
+
+
+def request_json(
+    url: str, path: str, payload: dict | None = None, *, timeout: float = 60.0
+) -> dict:
+    """One JSON round-trip: GET when ``payload`` is None, else POST.
+
+    4xx responses come back as their decoded ``{"error": ...}`` body
+    rather than raising, so CLI users see the server's message.
+    """
+    return request_status_json(url, path, payload, timeout=timeout)[1]

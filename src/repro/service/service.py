@@ -688,18 +688,25 @@ class CutService:
             "tracer": self.tracer.stats(),
         }
 
-    def observe_request(self, op: str, seconds: float, *, error: bool = False) -> None:
+    def observe_request(
+        self, op: str, seconds: float, *, error: bool = False,
+        shed: bool = False,
+    ) -> None:
         """Record one served request into the per-op-class instruments.
 
         Called by the HTTP layer with the op name (``mincut``,
         ``stcut``, ``mutate``, ``graphs``, ``batch``, ...) and the
         handler-side wall time; feeds the ``requests.*`` histograms
         behind ``/metrics`` and the ``requests`` section of ``/stats``.
+        A 429 from the admission gate counts as a *shed*, not an error
+        — shedding under overload is the server working as designed.
         """
         scope = self.metrics.scope("requests").scope(op)
         scope.counter("count").inc()
         if error:
             scope.counter("errors").inc()
+        if shed:
+            scope.counter("shed").inc()
         scope.histogram("latency_s").record(seconds)
 
     def request_summary(self) -> dict:

@@ -224,6 +224,14 @@ class GraphStore:
             entry.queries += 1
             return entry
 
+    def peek_fingerprint(self, name: str) -> str | None:
+        """Current fingerprint of ``name`` without touching LRU recency
+        or the hit/miss counters — the coalescer's key lookup must not
+        perturb eviction order or the store's stats."""
+        with self._lock:
+            entry = self._entries.get(name)
+            return entry.fingerprint if entry is not None else None
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._entries

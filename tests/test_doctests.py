@@ -24,6 +24,7 @@ MODULES = [
     "repro.service.cache",
     "repro.service.deltas",
     "repro.service.executor",
+    "repro.service.frontend",
     "repro.service.http",
     "repro.service.oracle",
     "repro.service.service",
@@ -41,6 +42,7 @@ MUST_HAVE_EXAMPLES = {
     "repro.service.cache",
     "repro.service.deltas",
     "repro.service.executor",
+    "repro.service.frontend",
     "repro.service.service",
     "repro.service.store",
 }
