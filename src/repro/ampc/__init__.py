@@ -25,14 +25,24 @@ from .backends import (
     ProcessBackend,
     RoundBackend,
     SerialBackend,
+    ShmBackend,
     ThreadBackend,
     available_backends,
     resolve_backend,
 )
 from .config import AMPCConfig, DEFAULT_EPS
-from .dht import DHTChain, HashTable, TableSnapshot, merge_writes, word_size
+from .dht import (
+    ColumnSnapshot,
+    ColumnTable,
+    DHTChain,
+    HashTable,
+    TableSnapshot,
+    merge_writes,
+    word_size,
+)
 from .errors import (
     AMPCError,
+    AMPCUsageError,
     MemoryLimitExceeded,
     MissingKeyError,
     ProtocolError,
@@ -54,6 +64,9 @@ __all__ = [
     "DEFAULT_EPS",
     "AMPCError",
     "AMPCRuntime",
+    "AMPCUsageError",
+    "ColumnSnapshot",
+    "ColumnTable",
     "export_trace",
     "render_phase_table",
     "render_timeline",
@@ -70,6 +83,7 @@ __all__ = [
     "RoundBackend",
     "RoundLedger",
     "SerialBackend",
+    "ShmBackend",
     "TableSnapshot",
     "ThreadBackend",
     "TotalSpaceExceeded",

@@ -14,6 +14,10 @@ delegates round execution to a :class:`RoundBackend`:
                              contiguous slice of the machine indices and
                              shipping its write buffers back to the
                              parent for the canonical index-ordered merge
+:class:`ShmBackend`          a **persistent spawn-context pool** fed
+                             picklable columnar round specs over
+                             zero-copy ``multiprocessing.shared_memory``
+                             snapshots; object-path rounds run inline
 ===========================  ===========================================
 
 Selection (first match wins): an explicit ``backend=`` argument to
@@ -31,6 +35,7 @@ import threading
 from .base import MachineResult, RoundBackend, execute_machine
 from .process import ProcessBackend
 from .serial import SerialBackend
+from .shm import ShmBackend
 from .thread import ThreadBackend
 
 #: name -> constructor for the built-in backends (CLI / env spellings)
@@ -38,6 +43,7 @@ BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "shm": ShmBackend,
 }
 
 _shared: dict[str, RoundBackend] = {}
@@ -70,7 +76,7 @@ def parse_backend_spec(spec: str) -> tuple[str, int | None]:
     if name not in BACKENDS or (workers is not None and name == "serial"):
         raise ValueError(
             f"unknown AMPC backend {spec!r}; available: {available_backends()} "
-            "(thread/process optionally take ':<workers>')"
+            "(thread/process/shm optionally take ':<workers>')"
         )
     return name, workers
 
@@ -120,6 +126,7 @@ __all__ = [
     "ProcessBackend",
     "RoundBackend",
     "SerialBackend",
+    "ShmBackend",
     "ThreadBackend",
     "available_backends",
     "execute_machine",

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence, Union
 
 from ..dht import HashTable, TableSnapshot
+from ..errors import ProtocolError
 from ..machine import MachineContext
 
 MachineProgram = Callable[[MachineContext], None]
@@ -73,8 +74,13 @@ def execute_machine(
 class RoundBackend(ABC):
     """Executes the machine programs of one synchronous round."""
 
-    #: registry / CLI name ("serial", "thread", "process")
+    #: registry / CLI name ("serial", "thread", "process", "shm")
     name: str = "abstract"
+
+    #: whether :meth:`run_column_round` is implemented.  Primitives probe
+    #: this to decide between the object path (closures) and the columnar
+    #: path (picklable round specs over array snapshots).
+    supports_columnar: bool = False
 
     @abstractmethod
     def run_round(
@@ -84,6 +90,24 @@ class RoundBackend(ABC):
         local_limit: int,
     ) -> list[MachineResult]:
         """Run every program against ``readable``; results in index order."""
+
+    def run_column_round(
+        self,
+        op: str,
+        params: dict,
+        n_machines: int,
+        keys: Any,
+        values: Any,
+        local_limit: int,
+    ) -> list[Any]:
+        """Run a columnar round spec; slice results in machine order.
+
+        Only backends advertising ``supports_columnar`` implement this;
+        the runtime never calls it otherwise.
+        """
+        raise ProtocolError(
+            f"backend {self.name!r} does not execute columnar rounds"
+        )
 
     def close(self) -> None:
         """Release pooled resources (idempotent; default: nothing)."""

@@ -56,7 +56,8 @@ class AMPCConfig:
         Multiplier hidden in the total-space ``O(.)``.
     backend:
         Round-execution backend name (``"serial"``, ``"thread"``,
-        ``"process"``; see :mod:`repro.ampc.backends`).  ``None`` defers
+        ``"process"``, ``"shm"``; see :mod:`repro.ampc.backends`).
+        ``None`` defers
         to the ``AMPC_BACKEND`` environment variable, then serial.
         Backend choice never changes observable results — only how the
         round's machines execute on the host.

@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator
 
-from .errors import MissingKeyError, TotalSpaceExceeded
+import numpy as np
+
+from .errors import AMPCUsageError, MissingKeyError, TotalSpaceExceeded
+
+#: sentinel distinguishing "absent" from a stored ``None`` value in the
+#: single-probe paths of :meth:`HashTable.put` and :func:`merge_writes`
+_MISSING = object()
 
 
 def word_size(value: Any) -> int:
@@ -69,9 +75,11 @@ class HashTable:
         return key in self._shard_of(key)
 
     def put(self, key: Any, value: Any) -> None:
+        # Single shard probe: a sentinel default tells "absent" apart
+        # from a stored None without a second ``key in shard`` lookup.
         shard = self._shard_of(key)
-        old = shard.get(key)
-        if old is not None or key in shard:
+        old = shard.get(key, _MISSING)
+        if old is not _MISSING:
             self._words -= word_size(key) + word_size(old)
         shard[key] = value
         self._words += word_size(key) + word_size(value)
@@ -156,6 +164,248 @@ class TableSnapshot:
         return f"TableSnapshot({self.name!r}, entries={len(self)})"
 
 
+class ColumnTable:
+    """One hash table ``H_i`` held as homogeneous key/value *columns*.
+
+    The columnar sibling of :class:`HashTable` for rounds whose state is
+    numeric: keys are an ``int64`` column kept sorted and unique, values
+    a single homogeneous column (``int64`` or ``float64``).  Primitives
+    pack ``(tag, index)`` identities into the int64 key space (see
+    :mod:`repro.ampc.columnar`), so a whole logical column is one
+    contiguous slice and :meth:`get_many`/:meth:`put_many` are single
+    vectorized ``searchsorted``/merge passes instead of per-key dict
+    probes.
+
+    Word accounting follows the same convention as :func:`word_size`
+    (one word per scalar): a table of ``N`` entries holds ``2 N`` words.
+    Budget and ledger semantics are identical to :class:`HashTable` —
+    the chain checks :attr:`words` against the total-space budget at
+    every :meth:`DHTChain.advance`.
+    """
+
+    def __init__(self, name: str, value_dtype: Any = np.int64):
+        self.name = name
+        self.value_dtype = np.dtype(value_dtype)
+        if self.value_dtype not in (np.dtype(np.int64), np.dtype(np.float64)):
+            raise ValueError(
+                f"ColumnTable values must be int64 or float64, "
+                f"got {self.value_dtype}"
+            )
+        self._keys = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=self.value_dtype)
+
+    # ------------------------------------------------------------------
+    def put_many(self, keys: Any, values: Any) -> None:
+        """Vectorized upsert; later entries of ``keys`` win on duplicates."""
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=self.value_dtype)
+        if keys.shape != values.shape or keys.ndim != 1:
+            raise ValueError("keys and values must be equal-length 1-d arrays")
+        if keys.size == 0:
+            return
+        all_keys = np.concatenate([self._keys, keys])
+        all_values = np.concatenate([self._values, values])
+        order = np.argsort(all_keys, kind="stable")
+        sk = all_keys[order]
+        sv = all_values[order]
+        # Stable sort keeps insertion order within equal keys, so the
+        # last element of each run is the newest write: last-writer-wins.
+        keep = np.empty(sk.size, dtype=bool)
+        keep[-1] = True
+        np.not_equal(sk[1:], sk[:-1], out=keep[:-1])
+        self._keys = sk[keep]
+        self._values = sv[keep]
+
+    def get_many(self, keys: Any, default: Any = None) -> np.ndarray:
+        """Vectorized lookup.  Missing keys raise unless ``default`` set."""
+        keys = np.asarray(keys, dtype=np.int64)
+        idx = np.searchsorted(self._keys, keys)
+        idx_c = np.minimum(idx, max(0, self._keys.size - 1))
+        found = (
+            (idx < self._keys.size) & (self._keys[idx_c] == keys)
+            if self._keys.size
+            else np.zeros(keys.shape, dtype=bool)
+        )
+        if not found.all():
+            if default is None:
+                missing = keys[~found]
+                raise MissingKeyError(int(missing[0]), self.name)
+            out = np.full(keys.shape, default, dtype=self.value_dtype)
+            out[found] = self._values[idx_c[found]]
+            return out
+        return self._values[idx_c]
+
+    def contains_many(self, keys: Any) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        if self._keys.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        idx = np.searchsorted(self._keys, keys)
+        idx_c = np.minimum(idx, self._keys.size - 1)
+        return (idx < self._keys.size) & (self._keys[idx_c] == keys)
+
+    # ------------------------------------------------------------------
+    # Scalar conveniences (same surface as HashTable where it is cheap)
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: Any) -> None:
+        self.put_many(np.array([key], dtype=np.int64), np.array([value]))
+
+    def get(self, key: int) -> Any:
+        return self.get_many(np.array([key], dtype=np.int64))[0]
+
+    def get_default(self, key: int, default: Any = None) -> Any:
+        if not self.contains(key):
+            return default
+        return self.get(key)
+
+    def contains(self, key: int) -> bool:
+        return bool(self.contains_many(np.array([key], dtype=np.int64))[0])
+
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """Total words stored: one per key plus one per value."""
+        return int(self._keys.size + self._values.size)
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._keys.tolist())
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        return zip(self._keys.tolist(), self._values.tolist())
+
+    def snapshot(self) -> "ColumnSnapshot":
+        return ColumnSnapshot(self.name, self._keys, self._values)
+
+    # ------------------------------------------------------------------
+    def merge_columns(
+        self,
+        write_lists: Iterable[tuple[Any, Any]],
+        combiner: str | None = None,
+    ) -> None:
+        """Merge per-machine columnar write buffers canonically.
+
+        ``write_lists`` must be ordered by machine index, mirroring
+        :func:`merge_writes`.  Conflicts resolve last-writer-wins in
+        that canonical order, or through ``combiner`` (``"min"`` /
+        ``"sum"``, the order-independent reductions the primitives
+        use) — so the merged table never depends on which machine
+        actually executed first.
+        """
+        parts_k = [np.asarray(k, dtype=np.int64) for k, _ in write_lists]
+        parts_v = [np.asarray(v, dtype=self.value_dtype) for _, v in write_lists]
+        if not parts_k:
+            return
+        keys = np.concatenate(parts_k) if len(parts_k) > 1 else parts_k[0]
+        values = np.concatenate(parts_v) if len(parts_v) > 1 else parts_v[0]
+        if combiner is None:
+            self.put_many(keys, values)
+            return
+        if keys.size:
+            order = np.argsort(keys, kind="stable")
+            sk, sv = keys[order], values[order]
+            starts = np.ones(sk.size, dtype=bool)
+            np.not_equal(sk[1:], sk[:-1], out=starts[1:])
+            run_starts = np.flatnonzero(starts)
+            if combiner == "min":
+                reduced = np.minimum.reduceat(sv, run_starts)
+            elif combiner == "sum":
+                reduced = np.add.reduceat(sv, run_starts)
+            else:
+                raise ValueError(f"unknown columnar combiner {combiner!r}")
+            keys, values = sk[run_starts], reduced
+            if combiner == "min":
+                old = self.contains_many(keys)
+                if old.any():
+                    values = values.copy()
+                    values[old] = np.minimum(
+                        values[old], self.get_many(keys[old])
+                    )
+            elif combiner == "sum":
+                old = self.contains_many(keys)
+                if old.any():
+                    values = values.copy()
+                    values[old] = values[old] + self.get_many(keys[old])
+        self.put_many(keys, values)
+
+    def carry_forward(self, snapshot: "ColumnSnapshot") -> None:
+        """Copy keys of the previous table that nothing overwrote."""
+        prev_k, prev_v = snapshot.columns()
+        if prev_k.size == 0:
+            return
+        overwritten = self.contains_many(prev_k)
+        if overwritten.all():
+            return
+        self.put_many(prev_k[~overwritten], prev_v[~overwritten])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnTable({self.name!r}, entries={len(self)}, "
+            f"dtype={self.value_dtype}, words={self.words})"
+        )
+
+
+class ColumnSnapshot:
+    """Read-only columnar view of one table at a round boundary.
+
+    The columnar analogue of :class:`TableSnapshot`: the runtime hands
+    machine slices this instead of the table, so parallel workers can
+    only read.  The arrays are shared zero-copy (flagged read-only) —
+    the shm backend publishes exactly these two columns as a
+    shared-memory block.
+    """
+
+    __slots__ = ("name", "_keys", "_values")
+
+    def __init__(self, name: str, keys: np.ndarray, values: np.ndarray):
+        self.name = name
+        keys = keys.view()
+        values = values.view()
+        keys.flags.writeable = False
+        values.flags.writeable = False
+        self._keys = keys
+        self._values = values
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (keys, values) columns, read-only."""
+        return self._keys, self._values
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    def get_many(self, keys: Any, default: Any = None) -> np.ndarray:
+        idx = np.searchsorted(self._keys, np.asarray(keys, dtype=np.int64))
+        idx_c = np.minimum(idx, max(0, self._keys.size - 1))
+        keys = np.asarray(keys, dtype=np.int64)
+        found = (
+            (idx < self._keys.size) & (self._keys[idx_c] == keys)
+            if self._keys.size
+            else np.zeros(keys.shape, dtype=bool)
+        )
+        if not found.all():
+            if default is None:
+                raise MissingKeyError(int(keys[~found][0]), self.name)
+            out = np.full(keys.shape, default, dtype=self._values.dtype)
+            out[found] = self._values[idx_c[found]]
+            return out
+        return self._values[idx_c]
+
+    def get(self, key: int) -> Any:
+        return self.get_many(np.array([key], dtype=np.int64))[0]
+
+    def contains(self, key: int) -> bool:
+        idx = int(np.searchsorted(self._keys, np.int64(key)))
+        return idx < self._keys.size and int(self._keys[idx]) == int(key)
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnSnapshot({self.name!r}, entries={len(self)})"
+
+
 def merge_writes(
     table: HashTable,
     write_lists: Iterable[list[tuple[Any, Any]]],
@@ -173,8 +423,12 @@ def merge_writes(
     """
     for writes in write_lists:
         for key, value in writes:
-            if combiner is not None and table.contains(key):
-                value = combiner(table.get(key), value)
+            if combiner is not None:
+                # One probe instead of contains()+get(): the sentinel
+                # default keeps stored-None combinable.
+                old = table.get_default(key, _MISSING)
+                if old is not _MISSING:
+                    value = combiner(old, value)
             table.put(key, value)
 
 
@@ -190,12 +444,13 @@ class DHTChain:
     def __init__(self, total_space_words: int, num_shards: int = 16):
         self.total_space_words = int(total_space_words)
         self.num_shards = num_shards
-        self._tables: list[HashTable] = [HashTable("H0", num_shards)]
+        self._tables: list[HashTable | ColumnTable] = [HashTable("H0", num_shards)]
         self._high_water = 0
+        self._rounds_advanced = 0
 
     # ------------------------------------------------------------------
     @property
-    def current(self) -> HashTable:
+    def current(self) -> HashTable | ColumnTable:
         """The table readable this round (``H_{i-1}``)."""
         return self._tables[-1]
 
@@ -208,11 +463,12 @@ class DHTChain:
         return max(self._high_water, self.current.words)
 
     # ------------------------------------------------------------------
-    def advance(self, next_table: HashTable) -> None:
+    def advance(self, next_table: HashTable | ColumnTable) -> None:
         """End a round: ``H_i`` becomes the readable table."""
         self._check_budget(next_table)
         self._high_water = max(self._high_water, self.current.words, next_table.words)
         self._tables.append(next_table)
+        self._rounds_advanced += 1
         # Retire all but the newest readable table; the model allows the
         # algorithm to re-write anything it still needs forward.
         if len(self._tables) > 2:
@@ -221,12 +477,45 @@ class DHTChain:
     def make_next(self) -> HashTable:
         return HashTable(f"H{self.round_index + 1}", self.num_shards)
 
-    def _check_budget(self, table: HashTable) -> None:
+    def make_next_column(self, value_dtype: Any = np.int64) -> ColumnTable:
+        return ColumnTable(f"H{self.round_index + 1}", value_dtype=value_dtype)
+
+    def _check_budget(self, table: HashTable | ColumnTable) -> None:
         if table.words > self.total_space_words:
             raise TotalSpaceExceeded(table.words, self.total_space_words)
 
+    def _check_seedable(self) -> None:
+        if self._rounds_advanced:
+            raise AMPCUsageError(
+                f"DHTChain.seed called after {self._rounds_advanced} round(s) "
+                "already advanced: input can only be loaded into H_0 before "
+                "the first round.  Write mid-computation state through a "
+                "round's machine programs instead."
+            )
+
     def seed(self, items: Iterable[tuple[Any, Any]]) -> None:
-        """Load the input into ``H_0`` before the first round."""
+        """Load the input into ``H_0`` before the first round.
+
+        Raises :class:`~repro.ampc.errors.AMPCUsageError` if the chain
+        has already advanced — seeding would silently write "input"
+        into the middle of a computation's table sequence.
+        """
+        self._check_seedable()
         self.current.put_many(items)
         self._check_budget(self.current)
         self._high_water = max(self._high_water, self.current.words)
+
+    def seed_table(self, table: HashTable | ColumnTable) -> None:
+        """Replace ``H_0`` wholesale (columnar seeding).
+
+        Same contract as :meth:`seed`: only legal before the first
+        round, and only onto an empty ``H_0``.
+        """
+        self._check_seedable()
+        if len(self.current):
+            raise AMPCUsageError(
+                "DHTChain.seed_table would discard an already-seeded H_0"
+            )
+        self._check_budget(table)
+        self._tables = [table]
+        self._high_water = max(self._high_water, table.words)

@@ -66,6 +66,16 @@ class ProtocolError(AMPCError):
     """
 
 
+class AMPCUsageError(AMPCError):
+    """The simulator API was used in a way that has no model meaning.
+
+    Raised eagerly (instead of silently producing nonsense) when host
+    code drives the runtime outside its contract — e.g. seeding a DHT
+    chain that has already advanced past round 0, which would write
+    "input" into the middle of a computation's table sequence.
+    """
+
+
 class MissingKeyError(AMPCError, KeyError):
     """An adaptive read referenced a key absent from the hash table."""
 

@@ -23,6 +23,9 @@ from __future__ import annotations
 import random
 from typing import Hashable, Mapping, Sequence
 
+import numpy as np
+
+from .. import columnar as col
 from ..config import AMPCConfig
 from ..ledger import RoundLedger
 from ..machine import MachineContext
@@ -70,6 +73,9 @@ def ampc_list_rank(
 
     rng = random.Random(seed)
     capacity = max(4, config.local_memory_words // 8)
+
+    if runtime.backend.supports_columnar and _listrank_columnar_ok(successor, nodes):
+        return _listrank_columnar(runtime, successor, nodes, rng)
 
     # H_0 holds the level-0 list: successor and hop weight per node.
     items: list[tuple] = []
@@ -231,3 +237,154 @@ def _level_succ(runtime: AMPCRuntime, level: int, v: Hashable):
 
 def _stable_key(v: Hashable):
     return (str(type(v)), str(v))
+
+
+# ======================================================================
+# Columnar path: same anchor-sampling scheme as picklable round specs
+# ======================================================================
+
+def _listrank_columnar_ok(
+    successor: Mapping[Hashable, Hashable | None], nodes: Sequence[Hashable]
+) -> bool:
+    """True when the columnar path provably matches the object path.
+
+    Nodes must be genuine Python ints (bools conflate with 0/1 under
+    hashing but not under ``_stable_key``) and every successor must be
+    a known node or ``None`` — dangling successors take the object
+    path, which raises its documented lookup errors.
+    """
+    if not all(type(v) is int for v in nodes):
+        return False
+    node_set = set(nodes)
+    return all(
+        u is None or (type(u) is int and u in node_set)
+        for u in successor.values()
+    )
+
+
+def _listrank_columnar(
+    runtime: AMPCRuntime,
+    successor: Mapping[Hashable, Hashable | None],
+    nodes: Sequence[Hashable],
+    rng: random.Random,
+) -> dict[Hashable, int]:
+    """Columnar twin of the anchor-sampling scheme, round for round.
+
+    The host control flow — tail/non-tail classification, anchor
+    sampling (same rng consumption), ``_stable_key`` ordering, level
+    bookkeeping — is replicated verbatim, so round count, reasons and
+    machine counts are identical.  Only the data plane changes: nodes
+    are remapped to dense positions, per-level ``succ``/``w``/``anchor``
+    columns live in int64 arrays (``-1`` encodes a tail), and the walk
+    rounds are vectorized frontier steps from :mod:`repro.ampc.columnar`.
+    """
+    config = runtime.config
+    capacity = max(4, config.local_memory_words // 8)
+    n = len(nodes)
+    node_id = {v: i for i, v in enumerate(nodes)}
+
+    def idx_of(vs: Sequence[Hashable]) -> np.ndarray:
+        return np.array([node_id[v] for v in vs], dtype=np.int64)
+
+    succ0 = np.array(
+        [-1 if successor[v] is None else node_id[successor[v]] for v in nodes],
+        dtype=np.int64,
+    )
+    runtime.seed_columns(
+        np.concatenate(
+            [
+                col.pack(col.T_SUCC_BASE + 0, np.arange(n)),
+                col.pack(col.T_W_BASE + 0, np.arange(n)),
+            ]
+        ),
+        np.concatenate([succ0, np.ones(n, dtype=np.int64)]),
+    )
+
+    levels: list[list[Hashable]] = [list(nodes)]
+    level = 0
+    while len(levels[level]) > capacity:
+        current = levels[level]
+        is_tail = (
+            runtime.table.get_many(
+                col.pack(col.T_SUCC_BASE + level, idx_of(current))
+            )
+            == -1
+        ).tolist()
+        tails = [v for v, t in zip(current, is_tail) if t]
+        non_tails = [v for v, t in zip(current, is_tail) if not t]
+        if not non_tails:
+            break
+        want = _anchor_count(len(current), config.eps)
+        k = max(0, min(len(non_tails), want - len(tails)))
+        anchors = set(tails) | set(rng.sample(non_tails, k)) if k else set(tails)
+        if not anchors:  # all-cycle guard; caller promised acyclic input
+            raise ValueError("list has no tail; input must be acyclic")
+        next_nodes = sorted(anchors, key=_stable_key)
+        nn_idx = idx_of(next_nodes)
+
+        runtime.column_round(
+            "lr_mark",
+            {"idxs": nn_idx, "out_tag": col.T_ANCH_BASE + level + 1},
+            len(next_nodes),
+            f"list rank: mark anchors level {level + 1}",
+            carry_forward=True,
+        )
+        runtime.column_round(
+            "lr_contract",
+            {
+                "next_idxs": nn_idx,
+                "succ_tag": col.T_SUCC_BASE + level,
+                "w_tag": col.T_W_BASE + level,
+                "anchor_tag": col.T_ANCH_BASE + level + 1,
+                "out_succ_tag": col.T_SUCC_BASE + level + 1,
+                "out_w_tag": col.T_W_BASE + level + 1,
+                "max_steps": len(current) + 2,
+            },
+            len(next_nodes),
+            f"list rank: contract level {level + 1}",
+            carry_forward=True,
+        )
+        levels.append(next_nodes)
+        level += 1
+
+    top_nodes = levels[level]
+    top_idx = idx_of(top_nodes)
+    if len(top_nodes) > capacity:
+        runtime.column_round(
+            "lr_zero_rank",
+            {"idxs": top_idx},
+            len(top_nodes),
+            "list rank: tail ranks (degenerate all-singleton level)",
+            carry_forward=True,
+        )
+    else:
+        runtime.column_round(
+            "lr_base",
+            {
+                "top_idxs": top_idx,
+                "succ_tag": col.T_SUCC_BASE + level,
+                "w_tag": col.T_W_BASE + level,
+            },
+            1,
+            "list rank: base case",
+            carry_forward=True,
+        )
+
+    for lvl in range(level - 1, -1, -1):
+        known = set(levels[lvl + 1])
+        pending = [v for v in levels[lvl] if v not in known]
+        runtime.column_round(
+            "lr_unwind",
+            {
+                "pending_idxs": idx_of(pending),
+                "succ_tag": col.T_SUCC_BASE + lvl,
+                "w_tag": col.T_W_BASE + lvl,
+                "max_steps": len(levels[lvl]) + 2,
+            },
+            len(pending),
+            f"list rank: unwind level {lvl}",
+            carry_forward=True,
+        )
+
+    ranks = runtime.table.get_many(col.pack(col.T_RANK, np.arange(n)))
+    return {v: int(r) for v, r in zip(nodes, ranks.tolist())}

@@ -23,6 +23,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from .. import columnar as col
 from ..config import AMPCConfig
 from ..ledger import RoundLedger
 from ..dht import word_size
@@ -119,6 +122,22 @@ def ampc_min_prefix_sum(
     return minimum
 
 
+def _columnar_ok(values: Sequence[int]) -> bool:
+    """True when the columnar path provably matches the object path.
+
+    Restricted to genuine Python ints (bools carry a different runtime
+    type even though they hash equal) whose running sums cannot leave
+    int64 range — ``np.cumsum`` over int64 is then exact, so the two
+    paths are bit-identical.  Floats stay on the object path: blocked
+    cumsum would re-associate additions and drift in the last ulp.
+    """
+    n = len(values)
+    if n == 0:
+        return True
+    bound = 2**62 // n
+    return all(type(v) is int and -bound < v < bound for v in values)
+
+
 def _prefix_impl(
     config: AMPCConfig,
     values: Sequence[int],
@@ -129,6 +148,8 @@ def _prefix_impl(
     n = len(values)
     if n == 0:
         return [], 0
+    if runtime.backend.supports_columnar and _columnar_ok(values):
+        return _prefix_columnar(runtime, values)
     n_chunks, _ = seed_chunks(runtime, "x", values)
     capacity = max(2, chunk_size_for(config))
 
@@ -194,3 +215,86 @@ def _prefix_impl(
     for j in range(n_chunks):
         out.extend(runtime.table.get(("pref", "chunk", j)))
     return out, runtime.table.get(("minprefix",))
+
+
+def _prefix_columnar(
+    runtime: AMPCRuntime, values: Sequence[int]
+) -> tuple[list[int], int]:
+    """Columnar twin of the object scan above, round for round.
+
+    Same host control flow — identical round count, reason strings and
+    machine counts — but every round is a picklable spec from
+    :mod:`repro.ampc.columnar` executed over int64 columns (blocked
+    ``np.cumsum`` instead of per-element Python adds).  Int arithmetic
+    is exact, so outputs are bit-identical to the object reference; the
+    differential harness holds this path to that.
+    """
+    config = runtime.config
+    n = len(values)
+    # Ints are one word each, so seed_chunks' word-budget packing
+    # degenerates to fixed-size chunks; replicate its boundaries.
+    budget = chunk_size_for(config)
+    bounds = list(range(0, n, budget)) + [n]
+    n_chunks = len(bounds) - 1
+    capacity = max(2, budget)
+
+    runtime.seed_columns(
+        col.pack(col.T_X, np.arange(n)), np.asarray(values, dtype=np.int64)
+    )
+
+    runtime.column_round(
+        "prefix_chunk_stats",
+        {"bounds": bounds},
+        n_chunks,
+        "prefix scan: chunk totals",
+        carry_forward=True,
+    )
+
+    counts = [n_chunks]
+    while counts[-1] > capacity:
+        counts.append((counts[-1] + capacity - 1) // capacity)
+    for lvl in range(1, len(counts)):
+        runtime.column_round(
+            "prefix_group_sum",
+            {
+                "capacity": capacity,
+                "src_level": lvl - 1,
+                "dst_level": lvl,
+                "src_count": counts[lvl - 1],
+            },
+            counts[lvl],
+            f"prefix scan: upward level {lvl}",
+            carry_forward=True,
+        )
+
+    top = len(counts) - 1
+    runtime.column_round(
+        "prefix_top_scan",
+        {"top_level": top},
+        1,
+        "prefix scan: top offsets",
+        carry_forward=True,
+    )
+    for lvl in range(top, 0, -1):
+        runtime.column_round(
+            "prefix_push_down",
+            {"capacity": capacity, "level": lvl, "child_count": counts[lvl - 1]},
+            counts[lvl],
+            f"prefix scan: downward level {lvl}",
+            carry_forward=True,
+        )
+
+    runtime.column_round(
+        "prefix_finalize",
+        {"bounds": bounds},
+        n_chunks,
+        "prefix scan: finalize",
+        carry_forward=True,
+    )
+    runtime.column_round(
+        "prefix_min_reduce", {}, 1, "prefix scan: min reduce", carry_forward=True
+    )
+
+    pref = runtime.table.get_many(col.pack(col.T_PREF, np.arange(n)))
+    minimum = int(runtime.table.get(int(col.pack(col.T_MINPREF, 0))))
+    return [int(x) for x in pref.tolist()], minimum

@@ -29,8 +29,12 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import math
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from .. import columnar as col
 from ..config import AMPCConfig
 from ..dht import word_size
 from ..ledger import RoundLedger
@@ -71,6 +75,9 @@ def ampc_sort(
             "sample sort: trivial input",
         )
         return list(values)
+
+    if runtime.backend.supports_columnar and key is None and _sort_columnar_ok(values):
+        return _sort_columnar(runtime, values)
 
     n_chunks, _ = seed_chunks(runtime, "in", values)
     decorated_key = keyf
@@ -378,3 +385,168 @@ def _make_group_merger(
         ctx.write(("mcount",) + out_prefix, n_out)
 
     return program
+
+
+# ======================================================================
+# Columnar path: same PSRS pipeline as picklable round specs
+# ======================================================================
+
+def _sort_columnar_ok(values: Sequence[Any]) -> bool:
+    """True when the columnar sort provably matches the object path.
+
+    Requires a homogeneous numeric column: all genuine Python ints in
+    int64 range, or all finite floats.  NaNs fall back to the object
+    path (``sorted`` and ``np.sort`` order them differently), as do
+    bools (they hash equal to 0/1 but carry a distinct runtime type)
+    and mixed int/float inputs (no single column dtype holds both
+    losslessly).
+    """
+    first = type(values[0])
+    if first is int:
+        return all(
+            type(v) is int and -(2**63) <= v < 2**63 for v in values
+        )
+    if first is float:
+        return all(type(v) is float and math.isfinite(v) for v in values)
+    return False
+
+
+def _sample_count(length: int, spc: int) -> int:
+    """Samples round 1 emits for a chunk: ``len(run[::step][:spc])``."""
+    step = max(1, length // spc)
+    return min(spc, (length + step - 1) // step)
+
+
+def _sort_columnar(runtime: AMPCRuntime, values: Sequence[Any]) -> list[Any]:
+    """Columnar twin of the PSRS pipeline above, round for round.
+
+    Same host control flow — identical round count, reason strings and
+    machine counts, including the data-dependent merge-tree shape — but
+    rounds are specs from :mod:`repro.ampc.columnar` over numeric
+    columns (Snippet-style sample-splitter selection + partitioned
+    exchange).  Stable numpy sorts make every merge order-equivalent to
+    the object path's stable k-way merges, so outputs are bit-identical.
+    """
+    config = runtime.config
+    n = len(values)
+    is_float = type(values[0]) is float
+    dtype = np.float64 if is_float else np.int64
+
+    # Numeric scalars are one word each, so seed_chunks' word-budget
+    # packing degenerates to fixed-size chunks; replicate its bounds.
+    budget = chunk_size_for(config)
+    bounds = list(range(0, n, budget)) + [n]
+    n_chunks = len(bounds) - 1
+
+    runtime.seed_columns(
+        col.pack(col.T_IN, np.arange(n)),
+        np.asarray(values, dtype=dtype),
+        value_dtype=dtype,
+    )
+
+    spc = max(
+        1,
+        min(
+            _SAMPLES_PER_CHUNK,
+            (config.local_memory_words // 3) // max(1, n_chunks),
+        ),
+    )
+    samp_off = [0]
+    for j in range(n_chunks):
+        samp_off.append(samp_off[-1] + _sample_count(bounds[j + 1] - bounds[j], spc))
+
+    runtime.column_round(
+        "sort_local",
+        {"bounds": bounds, "spc": spc, "samp_off": samp_off},
+        n_chunks,
+        "sample sort: local sort + sampling",
+        carry_forward=True,
+    )
+
+    n_buckets = n_chunks
+    runtime.column_round(
+        "sort_pivots",
+        {"n_buckets": n_buckets},
+        1,
+        "sample sort: pivot selection",
+        carry_forward=True,
+    )
+    runtime.column_round(
+        "sort_partition",
+        {"bounds": bounds, "n_chunks": n_chunks, "n_buckets": n_buckets},
+        n_chunks,
+        "sample sort: partition by pivots",
+        carry_forward=True,
+    )
+    runtime.column_round(
+        "sort_bucket_offsets",
+        {"n_buckets": n_buckets, "n_chunks": n_chunks},
+        1,
+        "sample sort: bucket offsets",
+        carry_forward=True,
+    )
+
+    # Host control-plane, same as the object path (which reads piece
+    # counts between rounds): segment sizes decide the merge-tree shape;
+    # the segments themselves stay in the columns.
+    segsz = (
+        runtime.table.get_many(
+            col.pack(col.T_SEGSZ, np.arange(n_buckets * n_chunks))
+        )
+        .astype(np.int64)
+        .reshape(n_buckets, n_chunks)
+    )
+    cuts = np.zeros((n_buckets + 1, n_chunks), dtype=np.int64)
+    np.cumsum(segsz, axis=0, out=cuts[1:])
+
+    fan_in = max(2, (config.local_memory_words // 2) // (_PIECE_WORDS + 2))
+    sources_of: dict[int, list[tuple[int, int, int]]] = {
+        b: [
+            (col.T_RUN, bounds[j] + int(cuts[b, j]), int(segsz[b, j]))
+            for j in range(n_chunks)
+            if segsz[b, j]
+        ]
+        for b in range(n_buckets)
+    }
+
+    merge_level = 0
+    while any(len(srcs) > fan_in for srcs in sources_of.values()):
+        groups: list[tuple[list[tuple[int, int, int]], int]] = []
+        group_meta: list[tuple[int, int, int]] = []
+        out_pos = 0
+        for b, srcs in sources_of.items():
+            if len(srcs) <= fan_in:
+                continue
+            for g in range(0, len(srcs), fan_in):
+                group = srcs[g : g + fan_in]
+                total = sum(length for _, _, length in group)
+                groups.append((group, out_pos))
+                group_meta.append((b, out_pos, total))
+                out_pos += total
+        out_tag = col.T_MS_BASE + merge_level
+        runtime.column_round(
+            "sort_merge_level",
+            {"groups": groups, "out_tag": out_tag},
+            len(groups),
+            f"sample sort: merge-tree level {merge_level}",
+            carry_forward=True,
+        )
+        new_sources: dict[int, list[tuple[int, int, int]]] = {
+            b: (srcs if len(srcs) <= fan_in else [])
+            for b, srcs in sources_of.items()
+        }
+        for b, start, total in group_meta:
+            new_sources[b].append((out_tag, start, total))
+        sources_of = new_sources
+        merge_level += 1
+
+    runtime.column_round(
+        "sort_final_merge",
+        {"buckets": [sources_of[b] for b in range(n_buckets)]},
+        n_buckets,
+        "sample sort: final streaming merge",
+        carry_forward=True,
+    )
+
+    out = runtime.table.get_many(col.pack(col.T_OUT, np.arange(n)))
+    return out.tolist()

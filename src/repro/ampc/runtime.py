@@ -33,9 +33,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+import numpy as np
+
 from .backends import RoundBackend, resolve_backend
 from .config import AMPCConfig
-from .dht import DHTChain, HashTable, merge_writes
+from .dht import ColumnTable, DHTChain, HashTable, merge_writes
 from .ledger import RoundLedger
 from .machine import MachineContext
 
@@ -74,6 +76,14 @@ class AMPCRuntime:
     def seed(self, items: Iterable[tuple[Any, Any]]) -> None:
         """Load the input into ``H_0``."""
         self.chain.seed(items)
+
+    def seed_columns(
+        self, keys: Any, values: Any, value_dtype: Any = np.int64
+    ) -> None:
+        """Load packed-int64 input columns into a columnar ``H_0``."""
+        table = ColumnTable("H0", value_dtype=value_dtype)
+        table.put_many(keys, values)
+        self.chain.seed_table(table)
 
     # ------------------------------------------------------------------
     def round(
@@ -129,6 +139,59 @@ class AMPCRuntime:
             1,
             reason,
             local_peak=local_peak,
+            total_peak=self.chain.high_water,
+            queries=queries,
+        )
+
+    # ------------------------------------------------------------------
+    def column_round(
+        self,
+        op: str,
+        params: dict,
+        n_machines: int,
+        reason: str,
+        *,
+        combiner: str | None = None,
+        carry_forward: bool = False,
+    ) -> None:
+        """Run one synchronous round over columnar state.
+
+        The columnar twin of :meth:`round`: instead of closures, the
+        round is a picklable spec — an op name registered in
+        :mod:`repro.ampc.columnar` plus ``params`` — executed over the
+        previous table's two array columns by a columnar-capable
+        backend (``backend.supports_columnar``).  Merge, carry-forward,
+        chain advancement and ledger accounting follow the exact same
+        canonical rules as the object path; only the representation of
+        machine state changes.
+        """
+        readable = self.chain.current
+        snapshot = readable.snapshot()
+        keys, values = snapshot.columns()
+        next_table = self.chain.make_next_column(readable.value_dtype)
+
+        results = self.backend.run_column_round(
+            op, params, n_machines, keys, values, self.config.local_memory_words
+        )
+
+        local_peak = 0
+        queries = 0
+        for res in results:  # machine-index (lo) order
+            local_peak = max(local_peak, res.peak_words)
+            queries += res.reads
+        next_table.merge_columns(
+            [(res.write_keys, res.write_values) for res in results], combiner
+        )
+
+        if carry_forward:
+            next_table.carry_forward(snapshot)
+
+        self.chain.advance(next_table)
+        self._rounds_run += 1
+        self.ledger.measure(
+            1,
+            reason,
+            local_peak=min(local_peak, self.config.local_memory_words),
             total_peak=self.chain.high_water,
             queries=queries,
         )

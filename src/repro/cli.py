@@ -594,9 +594,10 @@ def _add_ampc_backend_flag(p: argparse.ArgumentParser) -> None:
         "--ampc-backend",
         type=_backend_spec,
         default=None,
-        metavar="{serial,thread,process}[:WORKERS]",
+        metavar="{serial,thread,process,shm}[:WORKERS]",
         help="round-execution backend for AMPC rounds (default: "
-        "$AMPC_BACKEND or serial; never changes results)",
+        "$AMPC_BACKEND or serial; never changes results; shm runs "
+        "columnar rounds on a persistent shared-memory worker pool)",
     )
 
 

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.ampc import DHTChain, HashTable, MissingKeyError, TotalSpaceExceeded, word_size
+from repro.ampc import (
+    AMPCUsageError,
+    DHTChain,
+    HashTable,
+    MissingKeyError,
+    TotalSpaceExceeded,
+    word_size,
+)
+from repro.ampc.dht import merge_writes
 
 
 class TestWordSize:
@@ -80,6 +88,33 @@ class TestHashTable:
         with pytest.raises(ValueError):
             HashTable("H0", num_shards=0)
 
+    def test_overwriting_stored_none_keeps_words_exact(self):
+        # Regression: a plain ``shard.get(key)`` probe cannot tell a
+        # stored None from an absent key, so overwriting a None value
+        # used to leak its words into the running total.
+        t = HashTable("H0")
+        t.put("k", None)  # key 1 + value 1
+        assert t.words == 2
+        t.put("k", (1, 2, 3))  # key 1 + value 4
+        assert t.words == 5
+        t.put("k", None)
+        assert t.words == 2
+
+    def test_merge_writes_combines_with_stored_none(self):
+        # Same sentinel discipline in merge_writes: an existing None
+        # must reach the combiner, not be mistaken for "absent".
+        t = HashTable("H0")
+        t.put("k", None)
+        seen = []
+
+        def keep_new(old, new):
+            seen.append(old)
+            return new
+
+        merge_writes(t, [[("k", 9)]], combiner=keep_new)
+        assert seen == [None]
+        assert t.get("k") == 9
+
 
 class TestDHTChain:
     def test_seed_then_read(self):
@@ -120,3 +155,22 @@ class TestDHTChain:
         chain = DHTChain(total_space_words=10)
         with pytest.raises(TotalSpaceExceeded):
             chain.seed([("big", list(range(1000)))])
+
+    def test_seed_after_advance_raises(self):
+        chain = DHTChain(total_space_words=10_000)
+        chain.seed([("a", 1)])
+        chain.advance(chain.make_next())
+        with pytest.raises(AMPCUsageError, match="after 1 round"):
+            chain.seed([("b", 2)])
+
+    def test_seed_table_after_advance_raises(self):
+        chain = DHTChain(total_space_words=10_000)
+        chain.advance(chain.make_next())
+        with pytest.raises(AMPCUsageError):
+            chain.seed_table(HashTable("H0"))
+
+    def test_seed_table_onto_seeded_h0_raises(self):
+        chain = DHTChain(total_space_words=10_000)
+        chain.seed([("a", 1)])
+        with pytest.raises(AMPCUsageError, match="already-seeded"):
+            chain.seed_table(HashTable("H0"))

@@ -146,6 +146,65 @@ class TestFormatsAndSparsify:
         assert "ncut=" in out and "Q=" in out
 
 
+class TestShmBackendFlag:
+    def test_mincut_accepts_shm_spec(self, planted_file, capsys):
+        path, _ = planted_file
+        assert main(["mincut", str(path), "--trials", "1",
+                     "--ampc-backend", "shm:2"]) == 0
+        assert "cut weight:" in capsys.readouterr().out
+
+    def test_kcut_accepts_shm_spec(self, tmp_path, capsys):
+        inst = planted_kcut(24, 3, seed=2)
+        path = tmp_path / "k.txt"
+        save_graph(inst.graph, path)
+        assert main(["kcut", str(path), "3", "--ampc-backend", "shm:2"]) == 0
+        assert "k-cut weight:" in capsys.readouterr().out
+
+    def test_bogus_backend_rejected_by_parser(self, planted_file):
+        path, _ = planted_file
+        with pytest.raises(SystemExit):
+            main(["mincut", str(path), "--ampc-backend", "bogus:2"])
+
+    def test_help_text_advertises_shm(self, capsys):
+        from repro.cli import build_parser
+
+        help_text = build_parser()._subparsers._group_actions[0].choices[
+            "mincut"
+        ].format_help()
+        assert "shm" in help_text
+
+    def test_mincut_shm_subprocess_smoke(self, planted_file):
+        """Real `repro-cut ... --ampc-backend shm:2` process end to end.
+
+        The spawn pool must come up from a fresh interpreter entry
+        point (no fork, no warm state) and the run must exit cleanly —
+        the shape a user actually invokes.
+        """
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        path, _ = planted_file
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + existing if existing else src_dir
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "mincut", str(path),
+             "--trials", "1", "--ampc-backend", "shm:2"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "cut weight:" in proc.stdout
+
+
 class TestServeAndQuery:
     @pytest.fixture
     def live_service(self):
