@@ -1,22 +1,27 @@
 #!/usr/bin/env python
-"""All-pairs bottleneck capacities from one Gomory–Hu tree.
+"""All-pairs bottleneck capacities from one Gomory–Hu tree — served.
 
 Theorem 2's analysis compares APX-SPLIT against the cut structure of a
 Gomory–Hu tree (Definition 8): a tree on the vertex set whose path
 minima equal all ``n(n-1)/2`` pairwise min cuts, built from just
 ``n - 1`` max-flow calls.  This example uses it the way an operator
-would: given a small WAN-ish topology, compute every pair's bottleneck
-capacity at once, find the weakest pair, and read off the
-Saran–Vazirani k-cut bounds (Observation 10) that the paper's k-cut
-approximation is measured against.
+would: boot the serving layer in-process, upload a small WAN-ish
+topology, and ask ``POST /gomoryhu`` for every pair's bottleneck
+capacity at once — one round trip returns the full matrix, the
+canonical cut tree with each edge's bipartition, and lands in the
+result cache so the repeat is free.  The k-cut coda stays on the
+library API to read off the Saran–Vazirani bounds (Observation 10)
+that the paper's k-cut approximation is measured against.
 
 Run:  python examples/allpairs_bottleneck.py
 """
 
+import threading
+
 from repro.baselines import exact_min_cut_weight
 from repro.core import apx_split_kcut
-from repro.flow import gomory_hu_tree
 from repro.graph import Graph
+from repro.service import CutService, make_server, request_json
 
 # A toy continental backbone: (city, city, capacity in 100 Gbps units).
 LINKS = [
@@ -30,41 +35,71 @@ LINKS = [
 
 
 def main() -> None:
-    g = Graph(edges=[(u, v, float(w)) for u, v, w in LINKS])
-    cities = sorted(g.vertices())
-    print(f"backbone: {g.num_vertices} cities, {g.num_edges} links")
+    service = CutService()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        request_json(server.url, "/graphs", {
+            "name": "backbone",
+            "edges": [[u, v, float(w)] for u, v, w in LINKS],
+        })
+        reply = request_json(server.url, "/gomoryhu",
+                             {"graph": "backbone", "sides": True})
+        cities = reply["vertices"]
+        print(f"backbone: {reply['num_vertices']} cities, "
+              f"{len(LINKS)} links  (served: POST /gomoryhu)")
 
-    tree = gomory_hu_tree(g)
-    print("\nGomory-Hu tree (child --weight-- parent):")
-    for e in tree.edges_by_weight():
-        print(f"  {e.child:>3} --{e.weight:4.0f}-- {e.parent:<3}   "
-              f"(cut side: {sorted(e.child_side)})")
+        print("\nGomory-Hu tree (u --weight-- v, heaviest first):")
+        for e in sorted(reply["tree"], key=lambda e: -e["weight"]):
+            print(f"  {e['u']:>3} --{e['weight']:4.0f}-- {e['v']:<3}   "
+                  f"(cut side: {sorted(e['side'])})")
 
-    print("\nall-pairs bottleneck matrix (min s-t cut, 100 Gbps):")
-    print("     " + " ".join(f"{c:>4}" for c in cities))
-    worst = None
-    for s in cities:
-        row = [f"{s:>4}:"]
-        for t in cities:
-            if s == t:
-                row.append("   .")
-                continue
-            v = tree.min_cut_between(s, t)
-            row.append(f"{v:4.0f}")
-            if s < t and (worst is None or v < worst[2]):
-                worst = (s, t, v)
-        print(" ".join(row))
+        print("\nall-pairs bottleneck matrix (min s-t cut, 100 Gbps):")
+        print("     " + " ".join(f"{c:>4}" for c in cities))
+        matrix = reply["matrix"]
+        worst = None
+        for i, s in enumerate(cities):
+            row = [f"{s:>4}:"]
+            for j, t in enumerate(cities):
+                if i == j:
+                    row.append("   .")
+                    continue
+                v = matrix[i][j]
+                row.append(f"{v:4.0f}")
+                if i < j and (worst is None or v < worst[2]):
+                    worst = (s, t, v)
+            print(" ".join(row))
 
-    assert worst is not None
-    print(f"\nweakest pair: {worst[0]}–{worst[1]} at {worst[2]:.0f} "
-          f"(global min cut = lightest tree edge = "
-          f"{tree.min_cut_value():.0f}; exact check: "
-          f"{exact_min_cut_weight(g):.0f})")
+        g = Graph(edges=[(u, v, float(w)) for u, v, w in LINKS])
+        assert worst is not None
+        lightest = min(e["weight"] for e in reply["tree"])
+        print(f"\nweakest pair: {worst[0]}-{worst[1]} at {worst[2]:.0f} "
+              f"(global min cut = lightest tree edge = {lightest:.0f}; "
+              f"exact check: {exact_min_cut_weight(g):.0f})")
 
-    print("\nk-way isolation cost (Saran–Vazirani via the GH tree vs "
+        again = request_json(server.url, "/gomoryhu",
+                             {"graph": "backbone", "sides": True})
+        print(f"repeat query: cached={again['cached']} "
+              f"(content-fingerprint result cache)")
+    finally:
+        server.shutdown()
+        service.close()
+
+    print("\nk-way isolation cost (Saran-Vazirani union-of-cuts vs "
           "the paper's APX-SPLIT):")
+    # union of the k-1 lightest served tree cuts is the GH upper bound
+    # (Observation 10) — computable straight off the served bipartitions
+    by_weight = sorted(reply["tree"], key=lambda e: e["weight"])
     for k in (2, 3, 4):
-        upper = tree.kcut_upper_bound(k)
+        removed = set()
+        for e in by_weight[: k - 1]:
+            side = set(e["side"])
+            removed |= {
+                (u, v, w) for u, v, w in g.edges()
+                if (u in side) != (v in side)
+            }
+        upper = sum(w for _, _, w in removed)
         apx = apx_split_kcut(g, k, eps=0.5, seed=1)
         print(f"  k={k}:  GH union-of-cuts <= {upper:5.1f}   "
               f"APX-SPLIT found {apx.weight:5.1f} "

@@ -352,6 +352,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             graphs=args.graphs,
             graph_n=args.graph_n,
+            corpus=args.corpus,
             seed=args.seed,
             probe_s=args.probe,
             decrease_fraction=args.decrease_fraction,
@@ -452,6 +453,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "graph": need(args.name, "--name"),
                 "s": need(args.s, "--s"),
                 "t": need(args.t, "--t"),
+            },
+        )
+    elif args.op == "gomoryhu":
+        resp = request_json(
+            args.url,
+            "/gomoryhu",
+            {
+                "graph": need(args.name, "--name"),
+                "sides": bool(args.sides),
+            },
+        )
+    elif args.op == "sparsestcut":
+        resp = request_json(
+            args.url,
+            "/sparsestcut",
+            {
+                "graph": need(args.name, "--name"),
+                "seed": args.seed,
+                "trials": args.trials if args.trials is not None else 2,
+                "kernel": bool(args.kernel),
             },
         )
     elif args.op == "kernelize":
@@ -726,12 +747,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bounded concurrency window (worker threads)")
     p.add_argument("--mix", action="append", metavar="OP=WEIGHT",
                    help="traffic mix weight, e.g. --mix mincut=4 "
-                        "(ops: mincut stcut mutate batch upload; "
-                        "repeatable, default 4/4/1/1/1)")
+                        "(ops: mincut stcut gomoryhu sparsestcut mutate "
+                        "batch upload; repeatable; gomoryhu/sparsestcut "
+                        "default to 0)")
     p.add_argument("--graphs", type=int, default=2,
-                   help="planted-cut graphs registered as the query corpus")
+                   help="graphs registered as the query corpus")
     p.add_argument("--graph-n", type=int, default=48,
                    help="vertices per corpus graph")
+    p.add_argument("--corpus", choices=["planted", "viecut"],
+                   default="planted",
+                   help="corpus family: planted-cut instances or the "
+                        "VieCut literature shapes (clustered community / "
+                        "near-regular expander / unbalanced planted)")
     p.add_argument("--seed", type=int, default=0,
                    help="schedule + payload RNG seed (same seed, same run)")
     p.add_argument("--probe", type=float, default=0.0,
@@ -773,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("query", help="query a running serve instance")
     p.add_argument("op", choices=["register", "mincut", "kcut", "stcut",
+                                  "gomoryhu", "sparsestcut",
                                   "kernelize", "graphs", "stats", "evict"])
     p.add_argument("--url", default="http://127.0.0.1:8008")
     p.add_argument("--name", help="graph name on the server")
@@ -783,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.5)
     p.add_argument("--trials", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sides", action="store_true",
+                   help="gomoryhu: record a real cut bipartition per "
+                   "tree edge")
+    p.add_argument("--kernel", action="store_true",
+                   help="sparsestcut: contract provably-uncut edges "
+                   "before solving")
     p.add_argument("--preprocess", choices=["off", "safe", "aggressive"],
                    default=None,
                    help="kernelization level for this query "

@@ -40,10 +40,15 @@ from dataclasses import dataclass, field
 __all__ = ["DEFAULT_MIX", "LoadGen", "LoadGenConfig", "check_slos"]
 
 #: default op-class weights: query-heavy with a mutation/upload trickle,
-#: the regime the ROADMAP's serving tier is built for
+#: the regime the ROADMAP's serving tier is built for.  The scenario
+#: ops (PR 10) default to zero weight — the default traffic shape is
+#: unchanged — but are recognised, so ``--mix gomoryhu=1`` (or
+#: ``sparsestcut=1``) folds all-pairs / sparsest-cut traffic in.
 DEFAULT_MIX = {
     "mincut": 4.0,
     "stcut": 4.0,
+    "gomoryhu": 0.0,
+    "sparsestcut": 0.0,
     "mutate": 1.0,
     "batch": 1.0,
     "upload": 1.0,
@@ -61,6 +66,10 @@ class LoadGenConfig:
     mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
     graphs: int = 2               # scripted corpus size
     graph_n: int = 48             # vertices per corpus graph
+    #: corpus family: ``"planted"`` (PR 6's planted-cut instances) or
+    #: ``"viecut"`` (literature-shaped clustered / expander / planted
+    #: instances from :mod:`repro.workloads.viecut`)
+    corpus: str = "planted"
     seed: int = 0
     timeout_s: float = 30.0
     probe_s: float = 0.0          # saturation probe duration (0 = skip)
@@ -79,6 +88,7 @@ class LoadGenConfig:
             "mix": dict(self.mix),
             "graphs": self.graphs,
             "graph_n": self.graph_n,
+            "corpus": self.corpus,
             "seed": self.seed,
             "probe_s": self.probe_s,
             "decrease_fraction": self.decrease_fraction,
@@ -131,6 +141,10 @@ class LoadGen:
         unknown = set(config.mix) - set(DEFAULT_MIX)
         if unknown:
             raise ValueError(f"unknown op classes in mix: {sorted(unknown)}")
+        if config.corpus not in ("planted", "viecut"):
+            raise ValueError(
+                f"unknown corpus {config.corpus!r} (want planted or viecut)"
+            )
         if not 0.0 <= config.decrease_fraction <= 1.0:
             raise ValueError("decrease_fraction must be in [0, 1]")
         self.config = config
@@ -154,17 +168,42 @@ class LoadGen:
             self.config.url, path, payload, timeout=self.config.timeout_s
         )
 
-    def _build_corpus(self) -> None:
-        from ..workloads import planted_cut  # lazy: avoids an import cycle
+    def _corpus_graph(self, j: int):
+        # lazy imports: avoid an import cycle through repro.service
+        cfg = self.config
+        if cfg.corpus == "viecut":
+            from ..workloads import (
+                clustered_community,
+                near_regular_expander,
+                planted_viecut,
+            )
 
+            family = j % 3
+            if family == 0:
+                return clustered_community(cfg.graph_n, seed=100 + j).graph
+            if family == 1:
+                return near_regular_expander(cfg.graph_n, 4, seed=100 + j)
+            return planted_viecut(cfg.graph_n, seed=100 + j).graph
+        from ..workloads import planted_cut
+
+        return planted_cut(cfg.graph_n, inner_degree=4, seed=100 + j).graph
+
+    def _build_corpus(self) -> None:
         cfg = self.config
         self._corpus_edges = []
         for j in range(cfg.graphs):
-            g = planted_cut(cfg.graph_n, inner_degree=4, seed=100 + j).graph
+            g = self._corpus_graph(j)
             edges = [[u, v, w] for u, v, w in g.edges()]
             self._corpus_edges.append(edges)
             self._request_json("/graphs", {"name": f"lg{j}", "edges": edges})
-        mut = planted_cut(cfg.graph_n, inner_degree=4, seed=999).graph
+        if cfg.corpus == "viecut":
+            from ..workloads import clustered_community
+
+            mut = clustered_community(cfg.graph_n, seed=999).graph
+        else:
+            from ..workloads import planted_cut
+
+            mut = planted_cut(cfg.graph_n, inner_degree=4, seed=999).graph
         self._mut_edges = [[u, v, w] for u, v, w in mut.edges()]
         self._request_json("/graphs", {"name": "lgmut", "edges": self._mut_edges})
 
@@ -203,6 +242,20 @@ class LoadGen:
             if rng.random() < 0.25:
                 graph = "lgmut"
             return "/stcut", {"graph": graph, "s": s, "t": t}
+        if op == "gomoryhu":
+            # the whole matrix in one round trip: cold once per
+            # fingerprint, a result-cache hit thereafter — and a slice
+            # lands on the mutated graph so the masked/repaired oracle
+            # paths serve all-pairs traffic too
+            if rng.random() < 0.25:
+                graph = "lgmut"
+            return "/gomoryhu", {"graph": graph}
+        if op == "sparsestcut":
+            return "/sparsestcut", {
+                "graph": graph,
+                "seed": rng.randrange(2),
+                "trials": 1,
+            }
         if op == "mutate":
             u, v, w = self._mut_edges[rng.randrange(len(self._mut_edges))]
             if rng.random() < cfg.decrease_fraction:

@@ -62,11 +62,14 @@ from .service import CutService
 #: Pure read ops — safe to coalesce because identical inputs (same
 #: graph fingerprint + params + seed) are deterministic and have no
 #: side effects beyond cache warming.
-COALESCABLE_OPS = frozenset({"mincut", "kcut", "stcut", "kernelize"})
+COALESCABLE_OPS = frozenset(
+    {"mincut", "kcut", "stcut", "gomoryhu", "sparsestcut", "kernelize"}
+)
 
 #: Ops routed by the ``graph`` field of their body.
 GRAPH_OPS = frozenset(
-    {"mincut", "kcut", "stcut", "mutate", "kernelize", "evict"}
+    {"mincut", "kcut", "stcut", "gomoryhu", "sparsestcut", "mutate",
+     "kernelize", "evict"}
 )
 
 
@@ -156,6 +159,18 @@ def dispatch_service(service: CutService, op: str | None, body) -> dict:
                 require(body, "graph"),
                 require(body, "s"),
                 require(body, "t"),
+            )
+        if op == "gomoryhu":
+            return service.gomoryhu(
+                require(body, "graph"),
+                sides=bool(body.get("sides", False)),
+            )
+        if op == "sparsestcut":
+            return service.sparsestcut(
+                require(body, "graph"),
+                seed=int(body.get("seed", 0)),
+                trials=int(body.get("trials", 2)),
+                kernel=bool(body.get("kernel", False)),
             )
         if op == "mutate":
             return service.mutate(

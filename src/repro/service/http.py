@@ -33,6 +33,14 @@ POST      /mincut    ``{"graph", "eps"?, "trials"?, "seed"?,
 POST      /kcut      ``{"graph", "k", "eps"?, "trials"?, "seed"?,
                      "preprocess"?}``
 POST      /stcut     ``{"graph", "s", "t"}``
+POST      /gomoryhu  ``{"graph", "sides"?}`` — the full cut tree:
+                     all-pairs min-cut matrix, canonical tree edges,
+                     per-pair bottleneck indices (``sides=true`` adds
+                     a real cut bipartition per tree edge)
+POST      /sparsestcut ``{"graph", "seed"?, "trials"?, "kernel"?}`` —
+                     uniform sparsest cut (exact to 16 vertices,
+                     Gomory–Hu sweep above; ``kernel=true`` contracts
+                     provably-uncut edges first)
 POST      /mutate    ``{"graph", "adds"?, "removes"?, "reweights"?}``
                      or ``{"graph", "deltas": [...]}`` — in-place edge
                      deltas with selective cache invalidation; stale

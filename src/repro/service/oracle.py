@@ -453,6 +453,41 @@ class CutOracle:
                 return value
         return None
 
+    def all_pairs(self) -> dict:
+        """Every pairwise min-cut value ``{u: {v: value}}`` — exact on
+        every settle path.
+
+        A fresh tree answers the whole matrix with one ``O(n^2)`` walk
+        (:meth:`GomoryHuTree.all_pairs_min_cuts`).  Masked or repaired
+        trees fall back to per-pair :meth:`st_min_cut`, whose
+        certify-or-rebuild contract keeps each value exact — and whose
+        first uncertifiable pair upgrades the oracle to a fresh tree,
+        so the remaining pairs are plain walks.  Either way the values
+        are the unique min-cut values of the current graph, which is
+        what lets ``/gomoryhu`` promise bit-identical payloads across
+        the fresh, masked and repaired paths.
+        """
+        with self._tracer.span("oracle.allpairs") as sp:
+            tree, touched, _ = self._current()
+            if touched is None:
+                if sp:
+                    sp.set(tier="tree",
+                           num_vertices=self.graph.num_vertices)
+                with self._lock:
+                    self._inc("tree_queries")
+                return tree.all_pairs_min_cuts()
+            if sp:
+                sp.set(tier="pairwise",
+                       num_vertices=self.graph.num_vertices)
+            vs = self.graph.vertices()
+            out: dict = {v: {} for v in vs}
+            for i, s in enumerate(vs):
+                for t in vs[i + 1:]:
+                    value = self.st_min_cut(s, t)
+                    out[s][t] = value
+                    out[t][s] = value
+            return out
+
     @property
     def pair_hits(self) -> int:
         return self._pair_memo.hits

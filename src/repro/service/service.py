@@ -421,6 +421,288 @@ class CutService:
             "elapsed_s": time.perf_counter() - t0,
         }
 
+    def gomoryhu(self, name: str, *, sides: bool = False) -> dict:
+        """The full cut tree of a registered graph (`/gomoryhu`).
+
+        One response carries every pairwise min-cut value (``matrix``),
+        a flow-equivalent cut tree (``tree``), and per-pair bottleneck
+        tree-edge indices (``bottleneck``); with ``sides=True`` each
+        tree edge also records a real cut bipartition of its weight.
+
+        The *values* come from the graph's resident
+        :class:`~repro.service.oracle.CutOracle` — exact on the fresh,
+        masked and repaired settle paths alike — but the served tree is
+        **reconstructed canonically** from the value matrix (a maximum
+        spanning tree under a fixed tie-break, which is itself a valid
+        flow-equivalent Gomory–Hu tree).  Raw Gusfield trees depend on
+        build history; the canonical reconstruction is a pure function
+        of the matrix, which is how warm, cold, repaired and
+        cross-backend replicas all serve bit-identical payloads
+        (``tests/test_dynamic_stream.py``).
+
+        A disconnected graph (e.g. after a reweight-to-zero delta) is
+        served per component — cross-component entries are ``null`` and
+        ``connected`` is false — exactly as a cold rebuild would report
+        it, instead of failing on the oracle's connectivity check.
+        """
+        tracer = self.tracer
+        with tracer.span("query.gomoryhu") as qsp:
+            with tracer.span("store.lookup") as sp:
+                entry = self.store.get(name)
+                if sp:
+                    sp.set(graph=name, fingerprint=entry.fingerprint)
+            sides = bool(sides)
+            key = (entry.fingerprint, "gomoryhu", ("sides", sides), 0)
+            with tracer.span("cache.lookup") as sp:
+                cached = self.results.get(key)
+                if sp:
+                    sp.set(tier="hit" if cached is not None else "miss")
+            if qsp:
+                qsp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    algorithm="gomory-hu-allpairs",
+                    cached=cached is not None,
+                )
+            if cached is not None:
+                return {**cached, "graph": name, "cached": True}
+            if entry.graph.num_vertices < 2:
+                raise ValueError("need n >= 2")
+            self.metrics.scope("scenarios").counter("gomoryhu").inc()
+            t0 = time.perf_counter()
+            payload = self._gomoryhu_payload(name, entry, sides)
+            payload["elapsed_s"] = time.perf_counter() - t0
+            self.results.put(key, payload)
+            return {**payload, "cached": False}
+
+    def _gomoryhu_payload(self, name: str, entry: GraphEntry,
+                          sides: bool) -> dict:
+        from ..flow import DinicSolver, gomory_hu_tree
+
+        graph = entry.graph
+        vertices = _vertex_list(graph.vertices())
+        index = {v: i for i, v in enumerate(vertices)}
+        n = len(vertices)
+        components = graph.components()
+        connected = len(components) == 1
+        if connected:
+            values = self._oracle_for(entry).all_pairs()
+        else:
+            # Per-component trees, built cold: the oracle (rightly)
+            # refuses disconnected graphs, and cross-component pairs
+            # have no finite min cut (served as null).
+            values = {}
+            for comp in components:
+                if len(comp) < 2:
+                    continue
+                sub = gomory_hu_tree(
+                    graph.induced_subgraph(comp), engine=self.flow_engine
+                )
+                for u, row in sub.all_pairs_min_cuts().items():
+                    values.setdefault(u, {}).update(row)
+        matrix: list[list] = [[None] * n for _ in range(n)]
+        for u, row in values.items():
+            for v, w in row.items():
+                matrix[index[u]][index[v]] = float(w)
+
+        # Canonical cut tree: the maximum spanning forest of the value
+        # matrix under a fixed tie-break.  Adjacent matrix pairs are
+        # joined by a single tree edge, so each edge's weight is
+        # exactly that pair's min-cut value.
+        pairs = [
+            (i, j, matrix[i][j])
+            for i in range(n)
+            for j in range(i + 1, n)
+            if matrix[i][j] is not None
+        ]
+        pairs.sort(key=lambda e: (-e[2], e[0], e[1]))
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        tree: list[dict] = []
+        adjacency: list[list] = [[] for _ in range(n)]
+        for i, j, w in pairs:
+            ri, rj = find(i), find(j)
+            if ri == rj:
+                continue
+            parent[rj] = ri
+            eidx = len(tree)
+            tree.append({"u": vertices[i], "v": vertices[j], "weight": w})
+            adjacency[i].append((j, eidx, w))
+            adjacency[j].append((i, eidx, w))
+
+        # Bottleneck edge per pair: the argmin-weight edge on the tree
+        # path (lowest edge index on ties) — symmetric because both
+        # directions argmin over the same path.
+        bottleneck: list[list] = [[None] * n for _ in range(n)]
+        for s in range(n):
+            stack: list[tuple] = [(s, None)]
+            seen = {s}
+            while stack:
+                v, best = stack.pop()
+                for nbr, eidx, w in adjacency[v]:
+                    if nbr in seen:
+                        continue
+                    seen.add(nbr)
+                    cand = best
+                    if (cand is None or w < cand[0]
+                            or (w == cand[0] and eidx < cand[1])):
+                        cand = (w, eidx)
+                    bottleneck[s][nbr] = cand[1]
+                    stack.append((nbr, cand))
+
+        if sides:
+            for eidx, rec in enumerate(tree):
+                iu = index[rec["u"]]
+                reach = {iu}
+                stack = [iu]
+                while stack:
+                    v = stack.pop()
+                    for nbr, other, _ in adjacency[v]:
+                        if other != eidx and nbr not in reach:
+                            reach.add(nbr)
+                            stack.append(nbr)
+                side = frozenset(vertices[i] for i in reach)
+                if graph.cut_weight(side) != rec["weight"]:
+                    # The canonical tree is flow-equivalent, not
+                    # cut-equivalent: when the fundamental side misses,
+                    # one deterministic max-flow recovers a real cut of
+                    # exactly this value.
+                    side = DinicSolver(graph).max_flow(
+                        rec["u"], rec["v"]
+                    ).source_side
+                rec["side"] = _vertex_list(side)
+
+        return {
+            "graph": name,
+            "fingerprint": entry.fingerprint,
+            "algorithm": "gomory-hu-allpairs",
+            "num_vertices": n,
+            "connected": connected,
+            "components": len(components),
+            "vertices": vertices,
+            "matrix": matrix,
+            "tree": tree,
+            "bottleneck": bottleneck,
+            "sides": sides,
+        }
+
+    def sparsestcut(self, name: str, *, seed: int = 0, trials: int = 2,
+                    kernel: bool = False) -> dict:
+        """Uniform sparsest cut of a registered graph (`/sparsestcut`).
+
+        Exact enumeration up to 16 vertices, the Gomory–Hu
+        single-commodity sweep (:mod:`repro.analysis.sparsest`) above
+        it.  ``kernel=True`` first contracts edges provably uncut by
+        any solution sparser than a certified upper bound — shrinking
+        the instance without moving the optimum, and often pulling a
+        large graph under the exact-enumeration limit.
+
+        The solver never touches the mutable oracle state: it is a
+        pure function of graph content, so warm and cold replicas (and
+        every AMPC backend) return bit-identical answers.
+        """
+        from ..analysis.sparsest import (
+            EXACT_LIMIT,
+            approx_sparsest_cut,
+            exact_sparsest_cut,
+            lift_side,
+            sparsest_kernel,
+        )
+
+        tracer = self.tracer
+        with tracer.span("query.sparsestcut") as qsp:
+            with tracer.span("store.lookup") as sp:
+                entry = self.store.get(name)
+                if sp:
+                    sp.set(graph=name, fingerprint=entry.fingerprint)
+            seed, trials, kernel = int(seed), int(trials), bool(kernel)
+            key = (
+                entry.fingerprint,
+                "sparsestcut",
+                ("trials", trials, "kernel", kernel),
+                seed,
+            )
+            with tracer.span("cache.lookup") as sp:
+                cached = self.results.get(key)
+                if sp:
+                    sp.set(tier="hit" if cached is not None else "miss")
+            if qsp:
+                qsp.set(
+                    graph=name,
+                    fingerprint=entry.fingerprint,
+                    algorithm="sparsest-cut",
+                    cached=cached is not None,
+                )
+            if cached is not None:
+                return {**cached, "graph": name, "cached": True}
+            graph = entry.graph
+            n = graph.num_vertices
+            if n < 2:
+                raise ValueError("need n >= 2")
+            self.metrics.scope("scenarios").counter("sparsestcut").inc()
+            t0 = time.perf_counter()
+            target, sizes, blocks, kstats = graph, None, None, None
+            if kernel:
+                with tracer.span("sparsest.kernel") as sp:
+                    bound = approx_sparsest_cut(
+                        graph, seed=seed, trials=max(1, trials)
+                    )
+                    target, sizes, blocks = sparsest_kernel(
+                        graph, upper=bound.sparsity
+                    )
+                    kstats = {
+                        "original_vertices": n,
+                        "kernel_vertices": target.num_vertices,
+                        "original_edges": graph.num_edges,
+                        "kernel_edges": target.num_edges,
+                        "upper_bound": bound.sparsity,
+                    }
+                    if sp:
+                        sp.set(**kstats)
+                if target.num_vertices < 2:
+                    # Unreachable when the bound comes from a real cut;
+                    # kept as a guard against float-boundary surprises.
+                    target, sizes, blocks = graph, None, None
+            with tracer.span("sparsest.solve") as sp:
+                if target.num_vertices <= EXACT_LIMIT:
+                    result = exact_sparsest_cut(target, sizes=sizes)
+                else:
+                    result = approx_sparsest_cut(
+                        target, sizes=sizes, seed=seed, trials=trials
+                    )
+                if sp:
+                    sp.set(method=result.method,
+                           solve_vertices=target.num_vertices)
+            side = result.side if blocks is None else lift_side(
+                result.side, blocks
+            )
+            payload = {
+                "graph": name,
+                "fingerprint": entry.fingerprint,
+                "algorithm": "sparsest-cut",
+                "sparsity": result.sparsity,
+                "weight": result.weight,
+                "demand": result.demand,
+                "side": _vertex_list(side),
+                "method": result.method,
+                "exact": result.method == "exact-enum",
+                "num_vertices": n,
+                "seed": seed,
+                "trials": trials,
+                "kernel": kernel,
+                "elapsed_s": time.perf_counter() - t0,
+            }
+            if kstats is not None:
+                payload["sparsest_kernel"] = kstats
+            self.results.put(key, payload)
+            return {**payload, "cached": False}
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

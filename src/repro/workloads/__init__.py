@@ -30,15 +30,23 @@ from .trees import (
     random_tree,
     star_tree,
 )
+from .viecut import (
+    ClusteredInstance,
+    clustered_community,
+    near_regular_expander,
+    planted_viecut,
+)
 
 __all__ = [
     "KARATE_INSTRUCTOR_FACTION",
+    "ClusteredInstance",
     "PlantedCutInstance",
     "PlantedKCutInstance",
     "balanced_binary",
     "barbell",
     "broom",
     "caterpillar",
+    "clustered_community",
     "cycle",
     "dolphins",
     "erdos_renyi",
@@ -46,10 +54,12 @@ __all__ = [
     "karate_club",
     "leaf_spine",
     "karate_factions",
+    "near_regular_expander",
     "paper_figure1_tree",
     "path_tree",
     "planted_cut",
     "planted_kcut",
+    "planted_viecut",
     "power_law",
     "random_regular_ish",
     "random_tree",

@@ -1,0 +1,155 @@
+"""VieCut-family instance generators.
+
+"Practical Minimum Cut Algorithms" (Henzinger, Noe, Schulz, Strash —
+the VieCut line, PAPERS.md) benchmarks on three recurring shapes:
+clustered community graphs whose min cut separates a cluster,
+near-regular expanders where the min cut is a near-singleton degree
+cut, and planted instances with a deliberately unbalanced light cut.
+These generators reproduce those shapes at configurable scale so the
+serving tier's quality and speed claims run on literature-shaped
+inputs (loadgen ``--corpus viecut`` and ``tests/cutcorpus.py``).
+
+All generators are deterministic in ``seed`` — same seed, same edge
+rows, same graph fingerprint — which is what lets the seeded
+determinism tests pin them and the differential suites replay them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph import Graph
+from .generators import PlantedCutInstance
+
+
+@dataclass(frozen=True)
+class ClusteredInstance:
+    """A community graph with its generating cluster partition."""
+
+    graph: Graph
+    clusters: tuple[frozenset, ...]
+
+
+def clustered_community(
+    n: int,
+    *,
+    clusters: int = 4,
+    intra_p: float = 0.6,
+    intra_weight: float = 4.0,
+    inter_edges: int = 2,
+    inter_weight: float = 1.0,
+    seed: int = 0,
+) -> ClusteredInstance:
+    """Dense clusters in a lightly-connected ring (VieCut's GSH-like web
+    / community regime).
+
+    Vertices split into ``clusters`` near-equal groups; each group gets
+    a Hamiltonian cycle (connectivity) plus each remaining pair with
+    probability ``intra_p``, all at ``intra_weight``.  Consecutive
+    clusters on the ring are joined by ``inter_edges`` light edges, so
+    the sparsest and minimum cuts both separate cluster subsets.
+    """
+    if clusters < 2:
+        raise ValueError("clustered_community needs clusters >= 2")
+    if n < 2 * clusters:
+        raise ValueError("clustered_community needs n >= 2 * clusters")
+    rng = random.Random(seed)
+    bounds = [round(c * n / clusters) for c in range(clusters + 1)]
+    groups = [list(range(bounds[c], bounds[c + 1])) for c in range(clusters)]
+    g = Graph(vertices=range(n))
+    for members in groups:
+        size = len(members)
+        for i in range(size):
+            g.add_edge(members[i], members[(i + 1) % size], intra_weight)
+        for i in range(size):
+            for j in range(i + 1, size):
+                u, v = members[i], members[j]
+                if not g.has_edge(u, v) and rng.random() < intra_p:
+                    g.add_edge(u, v, intra_weight)
+    for c in range(clusters):
+        a, b = groups[c], groups[(c + 1) % clusters]
+        for _ in range(inter_edges):
+            g.add_edge(rng.choice(a), rng.choice(b), inter_weight)
+    return ClusteredInstance(
+        graph=g, clusters=tuple(frozenset(members) for members in groups)
+    )
+
+
+def near_regular_expander(
+    n: int,
+    degree: int = 4,
+    *,
+    weight: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """A near-``degree``-regular expander: one Hamiltonian cycle plus
+    ``degree - 2`` rounds of random perfect-matching edges.
+
+    The cycle guarantees connectivity; the matchings keep the degree
+    spread tight (every vertex gains at most one edge per round), which
+    is the regime where VieCut's exact routines do the most work —
+    the min cut is a degree cut, not a community split.
+    """
+    if n < 4:
+        raise ValueError("near_regular_expander needs n >= 4")
+    if degree < 2:
+        raise ValueError("near_regular_expander needs degree >= 2")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, weight)
+    for _ in range(max(0, degree - 2)):
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(0, n - 1, 2):
+            u, v = order[i], order[i + 1]
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, weight)
+    return g
+
+
+def planted_viecut(
+    n: int,
+    *,
+    small_side: int | None = None,
+    cross_edges: int = 2,
+    cross_weight: float = 1.0,
+    inner_weight: float = 4.0,
+    inner_degree: int = 5,
+    seed: int = 0,
+) -> PlantedCutInstance:
+    """An unbalanced planted cut (VieCut's hard regime: a small, light
+    community hiding inside a big dense one).
+
+    The small side holds ``small_side`` vertices (default ``n // 6``,
+    at least 2) wired as a heavy clique; the big side is a heavy
+    random near-regular graph; ``cross_edges`` light edges join them.
+    The planted cut is the small side, and the defaults keep it the
+    unique minimum.
+    """
+    if n < 6:
+        raise ValueError("planted_viecut needs n >= 6")
+    small = small_side if small_side is not None else max(2, n // 6)
+    if not 2 <= small <= n - 2:
+        raise ValueError("small_side must leave >= 2 vertices each side")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for i in range(small):  # heavy clique on the small side
+        for j in range(i + 1, small):
+            g.add_edge(i, j, inner_weight)
+    big = list(range(small, n))
+    size = len(big)
+    for i in range(size):
+        g.add_edge(big[i], big[(i + 1) % size], inner_weight)
+    extra = max(0, (inner_degree - 2) * size // 2)
+    for _ in range(extra):
+        u, v = rng.choice(big), rng.choice(big)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, inner_weight)
+    for _ in range(cross_edges):
+        g.add_edge(rng.randrange(0, small), rng.choice(big), cross_weight)
+    side = frozenset(range(small))
+    return PlantedCutInstance(
+        graph=g, planted_side=side, planted_weight=g.cut_weight(side)
+    )

@@ -92,6 +92,35 @@ def dynamic_stream_summary():
 
 
 @pytest.fixture(scope="session")
+def scenario_summary():
+    """Sink for scenario-suite records, dumped as a JSON artifact.
+
+    ``tests/test_metamorphic_scenarios.py`` appends one record per
+    gomoryhu/sparsestcut property check (matrix size, approximation
+    ratio, backend identity).  When ``SCENARIO_SUMMARY`` names a path,
+    the records are written there at session end — CI uploads that
+    file as the scenario-leg artifact.
+    """
+    records: list[dict] = []
+    yield records
+    path = os.environ.get("SCENARIO_SUMMARY")
+    if path and records:
+        ratios = [r["ratio"] for r in records if "ratio" in r]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "suite_backend": _backend_under_test(),
+                    "checks": records,
+                    "all_ok": all(r["ok"] for r in records),
+                    "max_sparsest_ratio": max(ratios) if ratios else None,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+
+
+@pytest.fixture(scope="session")
 def equivalence_summary():
     """Sink for backend-equivalence records, dumped as a JSON artifact.
 

@@ -13,10 +13,13 @@ from __future__ import annotations
 from repro.graph import Graph
 from repro.workloads import (
     barbell,
+    clustered_community,
     cycle,
     erdos_renyi,
     grid,
+    near_regular_expander,
     planted_cut,
+    planted_viecut,
     power_law,
     random_regular_ish,
     two_cycles,
@@ -51,6 +54,11 @@ def connected_corpus() -> list[tuple[str, Graph]]:
         ("star7", star_graph([5.0, 2.0, 7.0, 1.5, 3.0, 4.0])),
         ("single_edge", Graph(edges=[(0, 1, 4.0)])),
         ("triangle", Graph(edges=[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])),
+        # VieCut literature shapes (PR 10) — kept small so every suite
+        # that sweeps the corpus stays fast
+        ("viecut_cc16", clustered_community(16, seed=7).graph),
+        ("viecut_exp14", near_regular_expander(14, 4, seed=8)),
+        ("viecut_planted18", planted_viecut(18, seed=9).graph),
     ]
 
 

@@ -34,7 +34,7 @@ import pytest
 from cutcorpus import connected_corpus
 from repro.service import CutService
 from repro.workloads import planted_cut
-from test_mutation import EdgeListModel, _comparable
+from test_mutation import EdgeListModel, _comparable, two_triangles
 
 
 # ----------------------------------------------------------------------
@@ -63,6 +63,9 @@ def _compare_query(warm, model, kind, params, backend) -> None:
         elif kind == "kernelize":
             a = warm.kernelize("w", **params)
             b = cold.kernelize("c", **params)
+        elif kind == "gomoryhu":
+            a = warm.gomoryhu("w", **params)
+            b = cold.gomoryhu("c", **params)
         else:  # pragma: no cover
             raise ValueError(kind)
         assert _comparable(a) == _comparable(b), (kind, params, a, b)
@@ -125,6 +128,7 @@ def _scripted_events(graph) -> list:
         ("query", "mincut", {"seed": 3, "trials": 2, "preprocess": "safe"}),
         ("query", "stcut", {"s": s, "t": t}),
         ("query", "kernelize", {"level": "safe"}),
+        ("query", "gomoryhu", {"sides": True}),
     ]
     return [
         *q,
@@ -190,7 +194,8 @@ def _random_stream(rng, model, steps: int):
             choices = [("mincut", {"seed": rng.randrange(3), "trials": 2,
                                    "preprocess": rng.choice(["safe",
                                                              "aggressive"])}),
-                       ("kernelize", {"level": "safe"})]
+                       ("kernelize", {"level": "safe"}),
+                       ("gomoryhu", {})]
             if connected and len(vs) >= 3:
                 s = rng.choice(vs)
                 t = rng.choice([x for x in vs if x != s])
@@ -268,3 +273,48 @@ def test_localized_decreases_repair_sublinearly(ampc_backend,
     # sublinear per-step work: on average a repair recomputed a small
     # fraction of the n-1 tree edges (the probe above measured 1-4)
     assert counters["repaired_edges"] < counters["repairs"] * (n // 4)
+
+
+# ----------------------------------------------------------------------
+# Regression: reweight-to-zero disconnect must flow through /gomoryhu
+# ----------------------------------------------------------------------
+def test_gomoryhu_disconnect_via_zero_reweight(ampc_backend,
+                                               dynamic_stream_summary):
+    """A reweight-to-zero delta that severs the only bridge must make a
+    warm ``/gomoryhu`` report the cross-component pairs as absent
+    (``null`` matrix entries, ``connected: false``) exactly like a cold
+    rebuild — the warm oracle's repaired tree must not leak a stale
+    finite value for a pair that no longer has a finite min cut."""
+    graph = two_triangles()  # triangles 0-1-2 and 3-4-5, bridge (2, 3)
+    model = EdgeListModel(graph)
+    events = [
+        ("query", "gomoryhu", {"sides": True}),     # warm the oracle
+        ("mutate", {"reweights": [[2, 3, 0.0]]}),   # sever the bridge
+        ("query", "gomoryhu", {"sides": True}),     # must match cold
+        ("query", "kernelize", {"level": "safe"}),
+        ("mutate", {"adds": [[2, 3, 1.0]]}),        # reconnect
+        ("query", "gomoryhu", {"sides": True}),
+        ("query", "mincut", {"seed": 0, "trials": 1}),
+    ]
+    _run_stream(
+        graph,
+        events,
+        backend=ampc_backend,
+        name="disconnect:two_triangles",
+        sink=dynamic_stream_summary,
+    )
+    # independent shape check on the disconnected payload itself
+    with CutService(ampc_backend=ampc_backend) as svc:
+        svc.register("g", two_triangles())
+        svc.gomoryhu("g")                            # warm
+        svc.mutate("g", reweights=[[2, 3, 0.0]])
+        payload = svc.gomoryhu("g")
+        assert payload["connected"] is False
+        assert payload["components"] == 2
+        vs = payload["vertices"]
+        i0, i3 = vs.index(0), vs.index(3)
+        i1 = vs.index(1)
+        assert payload["matrix"][i0][i3] is None
+        assert payload["matrix"][i0][i1] == 4.0      # intra-triangle cut
+        svc.mutate("g", adds=[[2, 3, 1.0]])
+        assert svc.gomoryhu("g")["connected"] is True

@@ -72,6 +72,9 @@ class TestExamples:
         assert "all-pairs bottleneck matrix" in out
         assert "weakest pair" in out
         assert "APX-SPLIT found" in out
+        # PR 10: the matrix is served, not computed in-process
+        assert "served: POST /gomoryhu" in out
+        assert "cached=True" in out
 
     def test_karate_communities(self):
         out = run_example("karate_communities.py")

@@ -127,7 +127,8 @@ def test_examples_exist():
     # every endpoint of the wire protocol appears with an example
     for path in ("/healthz", "/graphs", "/stats", "/metrics", "/trace",
                  "/mincut", "/kcut", "/stcut", "/kernelize", "/mutate",
-                 "/batch", "/evict", "/frontend"):
+                 "/batch", "/evict", "/frontend", "/gomoryhu",
+                 "/sparsestcut"):
         assert path in documented_paths, f"no example for {path}"
 
 

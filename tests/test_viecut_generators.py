@@ -1,0 +1,90 @@
+"""Seeded-determinism and shape tests for the VieCut generator family.
+
+The three PR 10 generators (`clustered_community`,
+`near_regular_expander`, `planted_viecut`) feed the cut corpus and the
+load generator, so their determinism is load-bearing: the loadgen's
+shard workers rebuild the corpus per process and rely on identical
+seeds producing identical fingerprints, and every differential suite
+that sweeps ``cutcorpus.connected_corpus()`` assumes the instances are
+stable across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    clustered_community,
+    near_regular_expander,
+    planted_viecut,
+)
+
+
+BUILDERS = [
+    ("clustered", lambda seed: clustered_community(16, seed=seed).graph),
+    ("expander", lambda seed: near_regular_expander(14, 4, seed=seed)),
+    ("planted", lambda seed: planted_viecut(18, seed=seed).graph),
+]
+
+
+@pytest.mark.parametrize("name,build", BUILDERS,
+                         ids=[n for n, _ in BUILDERS])
+def test_same_seed_same_fingerprint(name, build):
+    assert build(3).fingerprint() == build(3).fingerprint()
+
+
+@pytest.mark.parametrize("name,build", BUILDERS,
+                         ids=[n for n, _ in BUILDERS])
+def test_different_seed_different_fingerprint(name, build):
+    prints = {build(seed).fingerprint() for seed in range(4)}
+    assert len(prints) >= 2, "seed must actually perturb the instance"
+
+
+@pytest.mark.parametrize("name,build", BUILDERS,
+                         ids=[n for n, _ in BUILDERS])
+def test_generators_connected(name, build):
+    for seed in range(3):
+        graph = build(seed)
+        assert len(graph.components()) == 1
+
+
+def test_clustered_community_clusters_partition():
+    inst = clustered_community(20, clusters=5, seed=2)
+    seen: set = set()
+    for cluster in inst.clusters:
+        assert cluster, "no empty clusters"
+        assert not (seen & set(cluster))
+        seen |= set(cluster)
+    assert seen == set(inst.graph.vertices())
+    assert len(inst.clusters) == 5
+    # communities are heavy inside, light between: every cluster's
+    # boundary is lighter than its internal weight
+    for cluster in inst.clusters:
+        side = frozenset(cluster)
+        internal = sum(
+            w for u, v, w in inst.graph.edges()
+            if u in side and v in side
+        )
+        assert inst.graph.cut_weight(side) < internal
+
+
+def test_near_regular_expander_degree_spread():
+    graph = near_regular_expander(24, 4, seed=1)
+    degrees = sorted(
+        sum(1 for u, v, _ in graph.edges() if s in (u, v))
+        for s in graph.vertices()
+    )
+    # "near-regular": everyone within one matching of the target degree
+    assert degrees[0] >= 2
+    assert degrees[-1] <= 4 + 2
+
+
+def test_planted_viecut_cut_is_the_global_minimum():
+    from repro.flow import gomory_hu_tree
+
+    inst = planted_viecut(18, seed=4)
+    planted = frozenset(inst.planted_side)
+    assert inst.graph.cut_weight(planted) == inst.planted_weight
+    tree = gomory_hu_tree(inst.graph)
+    global_min = min(e.weight for e in tree.edges)
+    assert global_min == inst.planted_weight
